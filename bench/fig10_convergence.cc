@@ -1,0 +1,66 @@
+// Reproduces Figure 10: test loss as a function of (simulated) run time
+// for SketchML / Adam / ZipML — six panels: {LR, SVM, Linear} x
+// {KDD12, CTR}. Each panel prints a (seconds, loss) series per method;
+// SketchML needs more epochs to converge but each epoch is far cheaper,
+// so at any time budget it sits below the baselines.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace sketchml;
+using bench::Banner;
+using bench::Rule;
+
+void RunPanel(const std::string& dataset, const std::string& model,
+              int workers, int epochs) {
+  std::printf("\n[%s, %s, %d workers] test loss vs simulated seconds\n",
+              model.c_str(), dataset.c_str(), workers);
+  Rule();
+  std::printf("%-14s %s\n", "method", "(t, loss) series");
+  Rule();
+  auto workload = bench::MakeWorkload(dataset, model);
+  for (const char* codec : {"sketchml", "adam-double", "zipml-16bit"}) {
+    auto config = bench::DefaultTrainerConfig();
+    auto stats = bench::Train(workload, codec,
+                              bench::Cluster2For(dataset, workers), config,
+                              epochs);
+    std::printf("%-14s", codec);
+    double t = 0.0;
+    int printed = 0;
+    for (const auto& s : stats) {
+      t += s.TotalSeconds();
+      // Print every epoch for short runs, every other for long ones.
+      if (epochs <= 8 || s.epoch % 2 == 0 || s.epoch == 1) {
+        std::printf(" (%.0fs, %.4f)", t, s.test_loss);
+        if (++printed % 4 == 0) std::printf("\n%-14s", "");
+      }
+    }
+    std::printf("\n");
+  }
+  Rule();
+}
+
+}  // namespace
+
+int main() {
+  Banner("Convergence rate (loss vs run time)",
+         "Figure 10(a-f): LR/SVM/Linear on KDD12 and CTR");
+
+  for (const char* dataset : {"kdd12", "ctr"}) {
+    for (const char* model : {"lr", "svm", "linear"}) {
+      RunPanel(dataset, model, /*workers=*/10, /*epochs=*/10);
+    }
+  }
+
+  std::printf(
+      "\nShape check vs paper: within any fixed time budget SketchML has\n"
+      "completed many more epochs than Adam and reaches a lower loss;\n"
+      "ZipML sits between them and flattens near the optimum (uniform\n"
+      "quantization collapses small gradients, 10(b)/10(f) discussion).\n");
+  return 0;
+}

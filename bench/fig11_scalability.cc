@@ -1,0 +1,52 @@
+// Reproduces Figure 11: scalability — run time per epoch as the number
+// of workers grows from 5 to 10 to 50 (KDD12, Cluster-2).
+//
+// The mechanism: per-worker compute shrinks with W, but the driver's
+// link carries W gradient messages per batch. For raw gradients (Adam)
+// the added communication overwhelms the computation saving at 50
+// workers; the compressed codecs keep scaling.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace sketchml;
+using bench::Banner;
+using bench::Rule;
+
+constexpr int kEpochs = 2;
+
+}  // namespace
+
+int main() {
+  Banner("Scalability with worker count (KDD12, Cluster-2)",
+         "Figure 11(a) LR, 11(b) SVM, 11(c) Linear");
+
+  for (const char* model : {"lr", "svm", "linear"}) {
+    std::printf("\n[%s] simulated seconds per epoch\n", model);
+    Rule();
+    std::printf("%-14s %10s %10s %10s\n", "method", "W=5", "W=10", "W=50");
+    Rule();
+    for (const char* codec : {"sketchml", "adam-double", "zipml-16bit"}) {
+      std::printf("%-14s", codec);
+      for (int workers : {5, 10, 50}) {
+        auto workload = bench::MakeWorkload("kdd12", model);
+        auto config = bench::DefaultTrainerConfig();
+        config.evaluate_test_loss = false;
+        auto stats = bench::Train(workload, codec, bench::Cluster2(workers),
+                                  config, kEpochs);
+        std::printf(" %10.1f", bench::MeanEpochSeconds(stats));
+      }
+      std::printf("\n");
+    }
+    Rule();
+  }
+  std::printf(
+      "\nShape check vs paper: all methods speed up from 5 -> 10 workers;\n"
+      "at 50 workers Adam DEGRADES (communication through the driver\n"
+      "overwhelms the compute saving) while SketchML and ZipML continue\n"
+      "to improve or hold.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces Figure 14 (Appendix B.3): SketchML on a neural network.
+// An MLP (input 20x20, two fully connected layers of 600, output 10) is
+// trained on MNIST-like data with batch size 60; whole-model gradients
+// are pushed through each codec and exchanged across 10 simulated
+// workers. Panels: (a) short-term and (b) long-term loss vs time.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "ml/mlp.h"
+#include "ml/synthetic.h"
+
+namespace {
+
+using namespace sketchml;
+using bench::Banner;
+using bench::Rule;
+
+constexpr int kWorkers = 10;
+constexpr int kBatch = 60;
+constexpr int kSteps = 100;
+constexpr double kLearningRate = 0.05;
+
+struct Point {
+  double t;
+  double loss;
+};
+
+std::vector<Point> TrainMlp(const std::string& codec_name,
+                            const ml::Dataset& train,
+                            const ml::Dataset& test) {
+  ml::Mlp mlp({400, 600, 600, 10}, /*seed=*/7);
+  auto codec = bench::Codec(codec_name);
+  const dist::NetworkModel net = dist::NetworkModel::Lab1Gbps();
+
+  std::vector<Point> curve;
+  double t = 0.0;
+  common::Stopwatch watch;
+  common::SparseGradient grad, decoded;
+  for (int step = 0; step < kSteps; ++step) {
+    const size_t begin = (static_cast<size_t>(step) * kBatch) % train.size();
+    const size_t end = std::min(train.size(), begin + kBatch);
+
+    watch.Restart();
+    mlp.ComputeBatchGradient(train, begin, end, &grad);
+    t += watch.ElapsedSeconds() / kWorkers;  // Workers share the batch.
+
+    watch.Restart();
+    compress::EncodedGradient msg;
+    SKETCHML_CHECK(codec->Encode(grad, &msg).ok());
+    SKETCHML_CHECK(codec->Decode(msg, &decoded).ok());
+    t += watch.ElapsedSeconds();
+
+    // W uploads + W broadcast copies through the driver link. NN
+    // gradients are dense and large (~P * 12 bytes raw), so no data-scale
+    // haircut is needed: this is already paper-sized traffic.
+    for (int w = 0; w < 2 * kWorkers; ++w) {
+      t += net.TransferSeconds(msg.size());
+    }
+
+    mlp.ApplySgd(decoded, kLearningRate);
+
+    if (step % 10 == 9 || step == 0) {
+      curve.push_back({t, mlp.ComputeMeanLoss(test)});
+    }
+  }
+  return curve;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Neural network (MLP 400-600-600-10, MNIST-like, batch 60)",
+         "Figure 14 (Appendix B.3)");
+
+  ml::Dataset all = ml::GenerateSyntheticMnist(3000, 20, 10, /*seed=*/5);
+  auto [train, test] = all.Split(0.2);
+
+  Rule();
+  std::printf("%-14s %s\n", "method", "(t, test loss) series");
+  Rule();
+  for (const char* codec : {"sketchml", "adam-double", "zipml-16bit"}) {
+    auto curve = TrainMlp(codec, train, test);
+    std::printf("%-14s", codec);
+    int printed = 0;
+    for (const auto& p : curve) {
+      std::printf(" (%.1fs, %.3f)", p.t, p.loss);
+      if (++printed % 4 == 0 && printed < static_cast<int>(curve.size())) {
+        std::printf("\n%-14s", "");
+      }
+    }
+    std::printf("\n");
+  }
+  Rule();
+  std::printf(
+      "paper: SketchML and ZipML beat Adam short-term (cheaper epochs);\n"
+      "long-term SketchML reaches the lowest loss while ZipML flattens\n"
+      "(uniform quantization zeroes the shrinking gradients). NN gains\n"
+      "are smaller than on linear models: dense gradients make the key\n"
+      "compression redundant and compute takes a larger share.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) for the gradient codecs: encode /
+// decode throughput and byte output per codec, plus the delta-binary vs
+// bitmap key-encoding ablation (Appendix A.3).
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sparse.h"
+#include "compress/delta_binary_key_codec.h"
+#include "core/codec_factory.h"
+
+namespace {
+
+using namespace sketchml;
+
+common::SparseGradient MakeGradient(size_t d, uint64_t dim, uint64_t seed) {
+  common::Rng rng(seed);
+  std::set<uint64_t> keys;
+  while (keys.size() < d) keys.insert(rng.NextBounded(dim));
+  common::SparseGradient grad;
+  for (uint64_t k : keys) {
+    const double v = rng.NextBernoulli(0.9) ? rng.NextGaussian() * 0.01
+                                            : rng.NextGaussian() * 0.3;
+    grad.push_back({k, v});
+  }
+  return grad;
+}
+
+void BM_Encode(benchmark::State& state, const char* name) {
+  auto codec = std::move(core::MakeCodec(name)).value();
+  const auto grad = MakeGradient(1 << 15, 1 << 22, 3);
+  compress::EncodedGradient msg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Encode(grad, &msg));
+  }
+  state.SetItemsProcessed(state.iterations() * grad.size());
+  state.counters["bytes/pair"] =
+      static_cast<double>(msg.size()) / static_cast<double>(grad.size());
+}
+
+void BM_Decode(benchmark::State& state, const char* name) {
+  auto codec = std::move(core::MakeCodec(name)).value();
+  const auto grad = MakeGradient(1 << 15, 1 << 22, 3);
+  compress::EncodedGradient msg;
+  if (!codec->Encode(grad, &msg).ok()) state.SkipWithError("encode failed");
+  common::SparseGradient decoded;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Decode(msg, &decoded));
+  }
+  state.SetItemsProcessed(state.iterations() * grad.size());
+}
+
+BENCHMARK_CAPTURE(BM_Encode, adam_double, "adam-double");
+BENCHMARK_CAPTURE(BM_Encode, adam_key, "adam+key");
+BENCHMARK_CAPTURE(BM_Encode, adam_key_quan, "adam+key+quan");
+BENCHMARK_CAPTURE(BM_Encode, sketchml, "sketchml");
+BENCHMARK_CAPTURE(BM_Encode, zipml16, "zipml-16bit");
+BENCHMARK_CAPTURE(BM_Encode, onebit, "onebit");
+BENCHMARK_CAPTURE(BM_Encode, qsgd, "qsgd");
+BENCHMARK_CAPTURE(BM_Encode, huffman, "huffman");
+BENCHMARK_CAPTURE(BM_Encode, rle, "rle");
+BENCHMARK_CAPTURE(BM_Decode, adam_double, "adam-double");
+BENCHMARK_CAPTURE(BM_Decode, sketchml, "sketchml");
+BENCHMARK_CAPTURE(BM_Decode, zipml16, "zipml-16bit");
+
+void BM_DeltaBinaryKeys(benchmark::State& state) {
+  const auto grad =
+      MakeGradient(static_cast<size_t>(state.range(0)), 1 << 22, 5);
+  const auto keys = common::Keys(grad);
+  for (auto _ : state) {
+    common::ByteWriter writer;
+    benchmark::DoNotOptimize(
+        compress::DeltaBinaryKeyCodec::Encode(keys, &writer));
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+  state.counters["bytes/key"] =
+      static_cast<double>(compress::DeltaBinaryKeyCodec::EncodedSize(keys)) /
+      static_cast<double>(keys.size());
+}
+BENCHMARK(BM_DeltaBinaryKeys)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BitmapKeys(benchmark::State& state) {
+  const auto grad =
+      MakeGradient(static_cast<size_t>(state.range(0)), 1 << 22, 5);
+  const auto keys = common::Keys(grad);
+  for (auto _ : state) {
+    common::ByteWriter writer;
+    benchmark::DoNotOptimize(
+        compress::BitmapKeyCodec::Encode(keys, 1 << 22, &writer));
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+  state.counters["bytes/key"] =
+      static_cast<double>(compress::BitmapKeyCodec::EncodedSize(1 << 22)) /
+      static_cast<double>(keys.size());
+}
+BENCHMARK(BM_BitmapKeys)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Micro-benchmarks for the ML substrate: AoS vs CSR gradient kernels,
+// Adam application, loss evaluation, and synthetic-data generation
+// throughput. Engineering baselines, not paper figures.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "ml/csr_matrix.h"
+#include "ml/gradient.h"
+#include "ml/loss.h"
+#include "ml/optimizer.h"
+#include "ml/synthetic.h"
+
+namespace {
+
+using namespace sketchml;
+
+const ml::Dataset& TestData() {
+  static const ml::Dataset* data = [] {
+    ml::SyntheticConfig config;
+    config.num_instances = 20000;
+    config.dim = 1 << 17;
+    config.avg_nnz = 40;
+    config.seed = 3;
+    return new ml::Dataset(ml::GenerateSynthetic(config));
+  }();
+  return *data;
+}
+
+ml::DenseVector RandomWeights(uint64_t dim) {
+  common::Rng rng(5);
+  ml::DenseVector w(dim);
+  for (auto& x : w) x = rng.NextGaussian() * 0.1;
+  return w;
+}
+
+void BM_BatchGradientAos(benchmark::State& state) {
+  const auto& data = TestData();
+  const auto w = RandomWeights(data.dim());
+  ml::LogisticLoss loss;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ml::ComputeBatchGradient(loss, w, data, 0, 2000, 0.01));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_BatchGradientAos);
+
+void BM_BatchGradientCsr(benchmark::State& state) {
+  const auto& data = TestData();
+  const auto matrix = ml::CsrMatrix::FromDataset(data);
+  const auto w = RandomWeights(data.dim());
+  ml::LogisticLoss loss;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ml::ComputeBatchGradientCsr(loss, w, matrix, 0, 2000, 0.01));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_BatchGradientCsr);
+
+void BM_AdamApply(benchmark::State& state) {
+  const auto& data = TestData();
+  ml::LogisticLoss loss;
+  const auto w = RandomWeights(data.dim());
+  const auto grad = ml::ComputeBatchGradient(loss, w, data, 0, 2000, 0.01);
+  ml::AdamOptimizer opt(data.dim(), 0.05);
+  for (auto _ : state) {
+    opt.Apply(grad);
+  }
+  state.SetItemsProcessed(state.iterations() * grad.size());
+}
+BENCHMARK(BM_AdamApply);
+
+void BM_MeanLoss(benchmark::State& state) {
+  const auto& data = TestData();
+  const auto w = RandomWeights(data.dim());
+  ml::LogisticLoss loss;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::ComputeMeanLoss(loss, w, data, 0.01));
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_MeanLoss);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    ml::SyntheticConfig config;
+    config.num_instances = 2000;
+    config.dim = 1 << 16;
+    config.avg_nnz = 40;
+    benchmark::DoNotOptimize(ml::GenerateSynthetic(config));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark) for the sketch substrate: insert
+// and query throughput of the KLL and GK quantile sketches, Count-Min,
+// and MinMaxSketch. Not a paper figure — the engineering baseline that
+// shows the encode path is compute-cheap relative to network transfer.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/gk_sketch.h"
+#include "sketch/grouped_min_max_sketch.h"
+#include "sketch/kll_sketch.h"
+#include "sketch/min_max_sketch.h"
+
+namespace {
+
+using namespace sketchml;
+
+std::vector<double> RandomValues(size_t n) {
+  common::Rng rng(1);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.NextGaussian();
+  return v;
+}
+
+void BM_KllUpdate(benchmark::State& state) {
+  const auto values = RandomValues(1 << 16);
+  for (auto _ : state) {
+    sketch::KllSketch sketch(static_cast<int>(state.range(0)));
+    for (double v : values) sketch.Update(v);
+    benchmark::DoNotOptimize(sketch.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_KllUpdate)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_KllQuantile(benchmark::State& state) {
+  const auto values = RandomValues(1 << 16);
+  sketch::KllSketch sketch(256);
+  sketch.UpdateAll(values);
+  double q = 0.0;
+  for (auto _ : state) {
+    q += 0.001;
+    if (q >= 1.0) q = 0.0;
+    benchmark::DoNotOptimize(sketch.Quantile(q));
+  }
+}
+BENCHMARK(BM_KllQuantile);
+
+void BM_KllEqualDepthSplits(benchmark::State& state) {
+  const auto values = RandomValues(1 << 16);
+  sketch::KllSketch sketch(256);
+  sketch.UpdateAll(values);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.EqualDepthSplits(256));
+  }
+}
+BENCHMARK(BM_KllEqualDepthSplits);
+
+void BM_GkUpdate(benchmark::State& state) {
+  const auto values = RandomValues(1 << 14);
+  for (auto _ : state) {
+    sketch::GkSketch sketch(0.01);
+    for (double v : values) sketch.Update(v);
+    benchmark::DoNotOptimize(sketch.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_GkUpdate);
+
+void BM_CountMinAdd(benchmark::State& state) {
+  sketch::CountMinSketch sketch(2, 1 << 16);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sketch.Add(key++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinAdd);
+
+void BM_MinMaxInsert(benchmark::State& state) {
+  sketch::MinMaxSketch sketch(static_cast<int>(state.range(0)), 1 << 16);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sketch.Insert(key, static_cast<uint8_t>(key % 250));
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinMaxInsert)->Arg(2)->Arg(4);
+
+void BM_MinMaxQuery(benchmark::State& state) {
+  sketch::MinMaxSketch sketch(2, 1 << 16);
+  for (uint64_t k = 0; k < (1 << 16); ++k) {
+    sketch.Insert(k, static_cast<uint8_t>(k % 250));
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Query(key++ % (1 << 16)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinMaxQuery);
+
+void BM_GroupedMinMaxInsert(benchmark::State& state) {
+  sketch::GroupedMinMaxSketch sketch(256, 8, 2, 1 << 14);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sketch.Insert(key, static_cast<int>(key % 256));
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GroupedMinMaxInsert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

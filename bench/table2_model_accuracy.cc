@@ -1,0 +1,83 @@
+// Reproduces Table 2: model accuracy — the minimal loss reached and the
+// (simulated) time to convergence on KDD12, for SketchML / Adam / ZipML.
+// "An algorithm is considered as converged if the variation of loss is
+// less than 1% within five epochs." (§4.4)
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace sketchml;
+using bench::Banner;
+using bench::Rule;
+
+constexpr int kMaxEpochs = 25;
+
+struct Outcome {
+  double min_loss = 0.0;
+  double converged_seconds = 0.0;
+  int converged_epoch = 0;
+};
+
+Outcome RunUntilConverged(const std::string& dataset,
+                          const std::string& model, const char* codec) {
+  auto workload = bench::MakeWorkload(dataset, model);
+  auto config = bench::DefaultTrainerConfig();
+  dist::DistributedTrainer trainer(&workload.train, &workload.test,
+                                   workload.loss.get(), bench::Codec(codec),
+                                   bench::Cluster2(10), config);
+  Outcome out;
+  std::vector<double> losses;
+  double t = 0.0;
+  out.min_loss = 1e18;
+  for (int e = 0; e < kMaxEpochs; ++e) {
+    auto stats = trainer.RunEpoch();
+    SKETCHML_CHECK(stats.ok());
+    t += stats->TotalSeconds();
+    losses.push_back(stats->test_loss);
+    out.min_loss = std::min(out.min_loss, stats->test_loss);
+    if (losses.size() >= 5) {
+      const double head = losses[losses.size() - 5];
+      const double tail = losses.back();
+      if (head > 0 && std::abs(head - tail) / head < 0.01) {
+        out.converged_seconds = t;
+        out.converged_epoch = e + 1;
+        return out;
+      }
+    }
+  }
+  out.converged_seconds = t;
+  out.converged_epoch = kMaxEpochs;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Model accuracy: min loss / time to converge (KDD12)",
+         "Table 2");
+
+  Rule();
+  std::printf("%-8s %-14s %12s %14s %8s\n", "model", "method", "min loss",
+              "converge (s)", "epochs");
+  Rule();
+  for (const char* model : {"lr", "svm", "linear"}) {
+    for (const char* codec : {"sketchml", "adam-double", "zipml-16bit"}) {
+      const Outcome out = RunUntilConverged("kdd12", model, codec);
+      std::printf("%-8s %-14s %12.4f %14.1f %8d\n", model, codec,
+                  out.min_loss, out.converged_seconds, out.converged_epoch);
+    }
+    Rule();
+  }
+  std::printf(
+      "paper: all three methods converge to almost the same loss\n"
+      "  (LR 0.6885-0.6887, SVM 0.9784-0.9788, Linear 0.2109-0.2111);\n"
+      "  SketchML converges 2-5x sooner in wall time (8.1h vs 23h/11h on\n"
+      "  LR). Expected shape here: near-equal min loss per model, with\n"
+      "  sketchml reaching it in the least simulated time.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Table 4 (Appendix B.4): the effect of the transmitted
+// weight type — SketchML vs ZipML-8bit vs ZipML-16bit vs Adam-float vs
+// Adam-double — on KDD12 / LR. Reports seconds per epoch and the minimal
+// test loss reached within a fixed simulated-time budget.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace sketchml;
+using bench::Banner;
+using bench::Rule;
+
+constexpr int kMaxEpochs = 15;
+
+}  // namespace
+
+int main() {
+  Banner("Weight types (KDD12, LR)", "Table 4 (Appendix B.4)");
+
+  const char* codecs[] = {"sketchml", "zipml-8bit", "zipml-16bit",
+                          "adam-float", "adam-double"};
+  std::vector<std::vector<dist::EpochStats>> series;
+  double slowest_total = 0.0;
+  for (const char* codec : codecs) {
+    auto workload = bench::MakeWorkload("kdd12", "lr");
+    auto config = bench::DefaultTrainerConfig();
+    series.push_back(bench::Train(workload, codec, bench::Cluster2(10),
+                                  config, kMaxEpochs));
+    slowest_total =
+        std::max(slowest_total, dist::Aggregate(series.back()).TotalSeconds());
+  }
+
+  // The paper gave every method the same two-hour budget; we use 60% of
+  // the slowest method's total so the fast codecs get extra epochs' worth
+  // of headroom, exactly like the original protocol.
+  const double budget = slowest_total * 0.6;
+  Rule();
+  std::printf("time budget: %.0f simulated seconds\n", budget);
+  Rule();
+  std::printf("%-14s %14s %18s\n", "method", "sec/epoch",
+              "min loss in budget");
+  Rule();
+  for (size_t i = 0; i < series.size(); ++i) {
+    double t = 0.0, best = 1e18;
+    for (const auto& s : series[i]) {
+      t += s.TotalSeconds();
+      if (t > budget) break;
+      best = std::min(best, s.test_loss);
+    }
+    std::printf("%-14s %14.1f %18.4f\n", codecs[i],
+                bench::MeanEpochSeconds(series[i]), best);
+  }
+  Rule();
+  std::printf(
+      "paper: s/epoch 100 / 231 / 278 / 725 / 1041 and losses 0.6905 /\n"
+      "0.6932 / 0.6919 / 0.6911 / 0.6914 — SketchML fastest per epoch\n"
+      "(2.3x vs ZipML, 7-10x vs Adam) and best loss within the budget;\n"
+      "ZipML-8bit is faster than 16bit per epoch but converges worse.\n");
+  return 0;
+}

@@ -1,0 +1,281 @@
+// Validates the paper's analytical results and ablates its design
+// decisions against measurements:
+//
+//   A.1 / Theorem A.2  — quantile-bucket quantization variance bound
+//                        d/(4q) (phi_min^2 + phi_max^2);
+//   A.2 / Eq. (2)      — MinMaxSketch correctness rate closed form;
+//   A.3                — expected delta-key bytes ceil(log2(rD/d) / 8);
+//   §3.3 Motivation    — ablation: additive Count-Min insertion amplifies
+//                        bucket indexes, MinMax never does;
+//   §3.3 Problem 1     — ablation: sign separation on/off (reversed
+//                        gradients);
+//   §3.3 Problem 2     — ablation: grouping r = 1 vs 8 (vanishing
+//                        gradients / decode error);
+//   §5                 — 1-bit threshold truncation destroys magnitude
+//                        information (why the paper rejects it).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "compress/delta_binary_key_codec.h"
+#include "compress/one_bit_codec.h"
+#include "compress/quantile_bucket_quantizer.h"
+#include "core/sketchml_codec.h"
+#include "sketch/count_min_sketch.h"
+#include "sketch/min_max_sketch.h"
+
+namespace {
+
+using namespace sketchml;
+using bench::Banner;
+using bench::Rule;
+
+std::vector<double> SkewedValues(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = rng.NextBernoulli(0.9) ? rng.NextGaussian() * 0.01
+                               : rng.NextGaussian() * 0.3;
+  }
+  return v;
+}
+
+common::SparseGradient RandomGradient(size_t d, uint64_t dim, uint64_t seed) {
+  common::Rng rng(seed);
+  std::set<uint64_t> keys;
+  while (keys.size() < d) keys.insert(rng.NextBounded(dim));
+  common::SparseGradient grad;
+  auto values = SkewedValues(d, seed + 1);
+  size_t i = 0;
+  for (uint64_t k : keys) grad.push_back({k, values[i++]});
+  return grad;
+}
+
+void VarianceBound() {
+  std::printf("\n[Theorem A.2] quantization variance vs bound\n");
+  Rule();
+  std::printf("%8s %16s %16s %8s\n", "q", "measured E||.||^2",
+              "bound d(p2)/4q", "ok");
+  Rule();
+  const auto values = SkewedValues(50000, 41);
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (int q : {16, 64, 256}) {
+    auto quant = compress::QuantileBucketQuantizer::Build(values, q, 512);
+    double err = 0.0;
+    for (double v : values) err += std::pow(v - quant.Quantize(v), 2);
+    const double bound =
+        static_cast<double>(values.size()) / (4.0 * q) * (lo * lo + hi * hi);
+    std::printf("%8d %16.4f %16.4f %8s\n", q, err, bound,
+                err <= bound ? "yes" : "NO");
+  }
+  Rule();
+}
+
+void CorrectnessRate() {
+  std::printf("\n[Eq. (2)] MinMaxSketch correctness rate vs closed form\n");
+  Rule();
+  std::printf("%6s %6s %8s %12s %12s\n", "rows", "cols", "items",
+              "measured", "Eq.(2) bound");
+  Rule();
+  struct Shape {
+    int rows, cols, items;
+  };
+  for (const Shape s : {Shape{2, 200, 1000}, Shape{2, 500, 1000},
+                        Shape{4, 200, 1000}, Shape{2, 1000, 5000}}) {
+    sketch::MinMaxSketch mm(s.rows, s.cols, 99 + s.rows * s.cols);
+    for (int l = 0; l < s.items; ++l) {
+      mm.Insert(static_cast<uint64_t>(l) * 2654435761ULL + 3,
+                static_cast<uint8_t>(l * 250 / s.items));
+    }
+    int correct = 0;
+    for (int l = 0; l < s.items; ++l) {
+      if (mm.Query(static_cast<uint64_t>(l) * 2654435761ULL + 3) ==
+          static_cast<uint8_t>(l * 250 / s.items)) {
+        ++correct;
+      }
+    }
+    double expected = 0.0;
+    for (int l = 1; l <= s.items; ++l) {
+      const double p_row = std::pow(1.0 - 1.0 / s.cols, s.items - l);
+      expected += 1.0 - std::pow(1.0 - p_row, s.rows);
+    }
+    expected /= s.items;
+    std::printf("%6d %6d %8d %11.1f%% %11.1f%%\n", s.rows, s.cols, s.items,
+                100.0 * correct / s.items, 100.0 * expected);
+  }
+  Rule();
+  std::printf("Eq. (2) is a lower bound; measured rates sit at or above "
+              "it.\n");
+}
+
+void BytesPerKey() {
+  std::printf("\n[A.3] delta-binary bytes per key vs expectation\n");
+  Rule();
+  std::printf("%12s %10s %14s %18s\n", "D", "d", "measured B/key",
+              "ceil(lg(rD/d)/8)+1/4");
+  Rule();
+  common::Rng rng(43);
+  const int r = 8;
+  for (const auto& [dim, d] : std::vector<std::pair<uint64_t, size_t>>{
+           {1 << 16, 8000}, {1 << 20, 40000}, {1 << 24, 40000}}) {
+    std::set<uint64_t> keys;
+    while (keys.size() < d) keys.insert(rng.NextBounded(dim));
+    std::vector<uint64_t> sorted(keys.begin(), keys.end());
+    // Per-group keys: every r-th key lands in the same group on average.
+    std::vector<uint64_t> group;
+    for (size_t i = 0; i < sorted.size(); i += r) group.push_back(sorted[i]);
+    const double measured =
+        static_cast<double>(
+            compress::DeltaBinaryKeyCodec::EncodedSize(group)) /
+        static_cast<double>(group.size());
+    const double expected =
+        std::ceil(std::log2(static_cast<double>(r) * dim / d) / 8.0) + 0.25;
+    std::printf("%12llu %10zu %14.2f %18.2f\n",
+                static_cast<unsigned long long>(dim), d, measured, expected);
+  }
+  Rule();
+  std::printf("paper measures ~1.27 bytes/key at d/D of a few percent.\n");
+}
+
+void CountMinVsMinMax() {
+  std::printf("\n[§3.3 ablation] additive Count-Min vs MinMax insertion\n");
+  Rule();
+  common::Rng rng(47);
+  const int n = 5000, cols = 1000, rows = 2;
+  sketch::CountMinSketch cm(rows, cols, 7);
+  sketch::MinMaxSketch mm(rows, cols, 7);
+  std::vector<uint8_t> truth(n);
+  for (int k = 0; k < n; ++k) {
+    truth[k] = static_cast<uint8_t>(rng.NextBounded(250));
+    cm.Add(static_cast<uint64_t>(k), truth[k]);
+    mm.Insert(static_cast<uint64_t>(k), truth[k]);
+  }
+  int cm_amplified = 0, mm_amplified = 0;
+  double cm_err = 0, mm_err = 0;
+  for (int k = 0; k < n; ++k) {
+    const auto cm_q = cm.Query(static_cast<uint64_t>(k));
+    const auto mm_q = mm.Query(static_cast<uint64_t>(k));
+    if (cm_q > truth[k]) ++cm_amplified;
+    if (mm_q > truth[k]) ++mm_amplified;
+    cm_err += std::abs(static_cast<double>(cm_q) - truth[k]);
+    mm_err += std::abs(static_cast<double>(mm_q) - truth[k]);
+  }
+  std::printf("count-min: %5.1f%% of decoded indexes AMPLIFIED, mean |err| "
+              "%.1f\n",
+              100.0 * cm_amplified / n, cm_err / n);
+  std::printf("min-max:   %5.1f%% amplified (always 0 by construction), "
+              "mean |err| %.1f\n",
+              100.0 * mm_amplified / n, mm_err / n);
+  Rule();
+  std::printf("Amplified bucket indexes decode to amplified gradients and\n"
+              "diverge SGD — the paper's reason for rejecting frequency\n"
+              "sketches (§3.3 Motivation).\n");
+}
+
+void SignSeparation() {
+  std::printf("\n[§3.3 Problem 1 ablation] sign separation on/off\n");
+  Rule();
+  auto grad = RandomGradient(20000, 1 << 22, 53);
+  for (bool separate : {true, false}) {
+    core::SketchMlConfig config;
+    config.separate_signs = separate;
+    config.col_ratio = 0.1;
+    core::SketchMlCodec codec(config);
+    compress::EncodedGradient msg;
+    SKETCHML_CHECK(codec.Encode(grad, &msg).ok());
+    common::SparseGradient decoded;
+    SKETCHML_CHECK(codec.Decode(msg, &decoded).ok());
+    int reversed = 0;
+    for (size_t i = 0; i < grad.size(); ++i) {
+      if (grad[i].value * decoded[i].value < 0 &&
+          std::abs(grad[i].value) > 1e-9) {
+        ++reversed;
+      }
+    }
+    std::printf("separate_signs=%-5s reversed gradients: %5.2f%%\n",
+                separate ? "true" : "false",
+                100.0 * reversed / static_cast<double>(grad.size()));
+  }
+  Rule();
+}
+
+void Grouping() {
+  std::printf("\n[§3.3 Problem 2 ablation] grouping r = 1 vs 8 vs 32\n");
+  Rule();
+  auto grad = RandomGradient(20000, 1 << 22, 59);
+  std::printf("%6s %18s %14s\n", "r", "rel L2 value err", "msg bytes");
+  for (int r : {1, 8, 32}) {
+    core::SketchMlConfig config;
+    config.num_groups = r;
+    config.col_ratio = 0.1;
+    core::SketchMlCodec codec(config);
+    compress::EncodedGradient msg;
+    SKETCHML_CHECK(codec.Encode(grad, &msg).ok());
+    common::SparseGradient decoded;
+    SKETCHML_CHECK(codec.Decode(msg, &decoded).ok());
+    double num = 0, den = 0;
+    for (size_t i = 0; i < grad.size(); ++i) {
+      num += std::pow(grad[i].value - decoded[i].value, 2);
+      den += std::pow(grad[i].value, 2);
+    }
+    std::printf("%6d %17.1f%% %14zu\n", r, 100.0 * num / den, msg.size());
+  }
+  Rule();
+  std::printf("Grouping caps the decoded-index error at q/r: the value\n"
+              "error falls steadily with r at a small message-size cost.\n");
+}
+
+void OneBitDestroysMagnitudes() {
+  std::printf("\n[§5 ablation] 1-bit threshold truncation\n");
+  Rule();
+  auto grad = RandomGradient(10000, 1 << 20, 61);
+  compress::OneBitCodec onebit;
+  compress::EncodedGradient msg;
+  SKETCHML_CHECK(onebit.Encode(grad, &msg).ok());
+  common::SparseGradient decoded;
+  SKETCHML_CHECK(onebit.Decode(msg, &decoded).ok());
+  double num = 0, den = 0;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    num += std::pow(grad[i].value - decoded[i].value, 2);
+    den += std::pow(grad[i].value, 2);
+  }
+  core::SketchMlCodec sketchml;
+  SKETCHML_CHECK(sketchml.Encode(grad, &msg).ok());
+  common::SparseGradient decoded2;
+  SKETCHML_CHECK(sketchml.Decode(msg, &decoded2).ok());
+  double num2 = 0;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    num2 += std::pow(grad[i].value - decoded2[i].value, 2);
+  }
+  std::printf("relative L2 error: onebit %.1f%%  sketchml %.1f%%\n",
+              100.0 * num / den, 100.0 * num2 / den);
+  Rule();
+  std::printf("One bit per value erases the magnitude distribution — \"too\n"
+              "aggressive for SGD to converge\" (§1.1); SketchML keeps the\n"
+              "error substantially lower at comparable size.\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("Theory validation and design-choice ablations",
+         "Appendix A.1-A.3, §3.3, §5");
+  VarianceBound();
+  CorrectnessRate();
+  BytesPerKey();
+  CountMinVsMinMax();
+  SignSeparation();
+  Grouping();
+  OneBitDestroysMagnitudes();
+  return 0;
+}

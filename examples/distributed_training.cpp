@@ -1,0 +1,60 @@
+// Distributed training example: logistic regression on a KDD-style
+// sparse dataset across 10 simulated executors, comparing SketchML
+// against the uncompressed Adam baseline — the paper's headline workload
+// (§4.3), end to end through the public API.
+//
+//   ./build/examples/distributed_training
+
+#include <cstdio>
+#include <memory>
+
+#include "core/sketchml.h"
+#include "dist/trainer.h"
+#include "ml/gradient.h"
+#include "ml/synthetic.h"
+
+int main() {
+  using namespace sketchml;
+
+  // KDD10-like sparse dataset, 75/25 train/test split.
+  ml::SyntheticConfig data_config = ml::PresetFor("kdd10");
+  data_config.num_instances = 20000;  // Keep the example snappy.
+  ml::Dataset all = ml::GenerateSynthetic(data_config);
+  auto [train, test] = all.Split(0.25);
+  auto loss = ml::MakeLoss("lr");
+
+  // A 10-executor cluster with a 1 Gbps link, scaled to the data size.
+  dist::ClusterConfig cluster;
+  cluster.num_workers = 10;
+  cluster.network = dist::NetworkModel::Scaled(
+      dist::NetworkModel::Lab1Gbps(), /*data_scale=*/840.0);
+
+  dist::TrainerConfig trainer_config;
+  trainer_config.learning_rate = 0.05;
+  trainer_config.adam_epsilon = 0.01;
+
+  std::printf("%-14s %8s %12s %12s %10s %10s\n", "codec", "epoch",
+              "sim sec", "msg KB", "train", "test");
+  for (const char* codec_name : {"adam-double", "sketchml"}) {
+    auto codec = std::move(core::MakeCodec(codec_name)).value();
+    dist::DistributedTrainer trainer(&train, &test, loss.get(),
+                                     std::move(codec), cluster,
+                                     trainer_config);
+    for (int epoch = 0; epoch < 5; ++epoch) {
+      auto stats = trainer.RunEpoch();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "epoch failed: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-14s %8d %12.2f %12.1f %10.4f %10.4f\n", codec_name,
+                  stats->epoch, stats->TotalSeconds(),
+                  stats->AvgMessageBytes() / 1e3, stats->train_loss,
+                  stats->test_loss);
+    }
+    std::printf("\n");
+  }
+  std::printf("SketchML reaches the same losses with a fraction of the\n"
+              "bytes, so each simulated epoch costs far less wall time.\n");
+  return 0;
+}

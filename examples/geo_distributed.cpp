@@ -1,0 +1,61 @@
+// Geo-distributed ML example (the paper's Case 3, §1.1): training across
+// data centers over a WAN, where bandwidth is ~10x scarcer and latency
+// ~100x higher than in a LAN. Gradient compression is the difference
+// between feasible and hopeless here.
+//
+//   ./build/examples/geo_distributed
+
+#include <cstdio>
+
+#include "core/sketchml.h"
+#include "dist/trainer.h"
+#include "ml/synthetic.h"
+
+int main() {
+  using namespace sketchml;
+
+  ml::SyntheticConfig data_config = ml::PresetFor("kdd12");
+  data_config.num_instances = 20000;
+  ml::Dataset all = ml::GenerateSynthetic(data_config);
+  auto [train, test] = all.Split(0.25);
+  auto loss = ml::MakeLoss("lr");
+
+  // Four "data centers", each holding a shard, exchanging gradients over
+  // a WAN (100 Mbps, 50 ms latency; scaled like the datasets).
+  dist::ClusterConfig wan_cluster;
+  wan_cluster.num_workers = 4;
+  wan_cluster.network =
+      dist::NetworkModel::Scaled(dist::NetworkModel::Wan(), 840.0);
+
+  // The same four sites if they were colocated on a LAN.
+  dist::ClusterConfig lan_cluster = wan_cluster;
+  lan_cluster.network =
+      dist::NetworkModel::Scaled(dist::NetworkModel::Lab1Gbps(), 840.0);
+
+  dist::TrainerConfig config;
+  config.learning_rate = 0.05;
+  config.adam_epsilon = 0.01;
+  config.evaluate_test_loss = false;
+
+  std::printf("%-10s %-14s %16s %14s\n", "network", "codec", "sec/epoch",
+              "MB moved");
+  for (const auto& [label, cluster] :
+       {std::pair<const char*, dist::ClusterConfig>{"LAN", lan_cluster},
+        {"WAN", wan_cluster}}) {
+    for (const char* codec_name : {"adam-double", "sketchml"}) {
+      auto codec = std::move(core::MakeCodec(codec_name)).value();
+      dist::DistributedTrainer trainer(&train, nullptr, loss.get(),
+                                       std::move(codec), cluster, config);
+      auto stats = trainer.Run(3);
+      if (!stats.ok()) return 1;
+      const auto total = dist::Aggregate(*stats);
+      std::printf("%-10s %-14s %16.1f %14.2f\n", label, codec_name,
+                  total.TotalSeconds() / 3.0,
+                  (total.bytes_up + total.bytes_down) / 1e6);
+    }
+  }
+  std::printf("\nOn the WAN the uncompressed baseline spends nearly all\n"
+              "its time moving gradients between sites; SketchML cuts the\n"
+              "traffic ~5x and the epoch time with it (Case 3, §1.1).\n");
+  return 0;
+}

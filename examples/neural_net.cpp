@@ -1,0 +1,58 @@
+// Neural-network example (Appendix B.3): compressing dense MLP gradients
+// with SketchML. Shows that the codec API is model-agnostic — anything
+// that can phrase its gradient as key-value pairs can use it.
+//
+//   ./build/examples/neural_net
+
+#include <cstdio>
+
+#include "core/sketchml.h"
+#include "ml/mlp.h"
+#include "ml/synthetic.h"
+
+int main() {
+  using namespace sketchml;
+
+  // A small MNIST-like problem: 10x10 images, 4 classes.
+  ml::Dataset all = ml::GenerateSyntheticMnist(1200, /*side=*/10,
+                                               /*num_classes=*/4, 7);
+  auto [train, test] = all.Split(0.25);
+
+  ml::Mlp mlp({100, 64, 4}, /*seed=*/3);
+  std::printf("MLP 100-64-4, %zu parameters\n", mlp.NumParams());
+
+  core::SketchMlCodec codec;
+  common::SparseGradient grad, decoded;
+  compress::EncodedGradient msg;
+
+  const int steps = 120;
+  const size_t batch = 60;
+  double bytes_raw = 0.0, bytes_compressed = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    const size_t begin = (step * batch) % (train.size() - batch);
+    mlp.ComputeBatchGradient(train, begin, begin + batch, &grad);
+
+    // Round-trip the gradient through SketchML before applying it, as a
+    // parameter server would.
+    if (!codec.Encode(grad, &msg).ok() || !codec.Decode(msg, &decoded).ok()) {
+      std::fprintf(stderr, "codec round-trip failed\n");
+      return 1;
+    }
+    bytes_raw += static_cast<double>(grad.size()) * 12.0;
+    bytes_compressed += static_cast<double>(msg.size());
+    mlp.ApplySgd(decoded, /*learning_rate=*/0.05);
+
+    if (step % 30 == 29) {
+      std::printf("step %3d: train loss %.3f, test accuracy %.1f%%\n",
+                  step + 1, mlp.ComputeMeanLoss(train),
+                  100.0 * mlp.ComputeAccuracy(test));
+    }
+  }
+  std::printf("\ngradient traffic: %.1f MB raw -> %.1f MB compressed "
+              "(%.1fx)\n",
+              bytes_raw / 1e6, bytes_compressed / 1e6,
+              bytes_raw / bytes_compressed);
+  std::printf("the network still trains: decayed-but-sign-safe gradients\n"
+              "keep SGD on its convergence track (§3.3).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: compress and decompress one sparse gradient with SketchML.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/sketchml.h"
+
+int main() {
+  using namespace sketchml;
+
+  // 1. A sparse gradient: key-value pairs sorted by key, values
+  //    concentrated near zero like real SGD gradients (Figure 4).
+  common::Rng rng(42);
+  common::SparseGradient gradient;
+  uint64_t key = 0;
+  for (int i = 0; i < 50000; ++i) {
+    key += 1 + rng.NextBounded(40);  // Sparse ascending keys.
+    const double value = rng.NextBernoulli(0.9)
+                             ? rng.NextGaussian() * 0.01
+                             : rng.NextGaussian() * 0.3;
+    gradient.push_back({key, value});
+  }
+
+  // 2. Configure the codec. Defaults follow the paper: q=256 quantile
+  //    buckets, r=8 groups, MinMaxSketch of 2 rows x d/5 columns.
+  core::SketchMlConfig config;
+  core::SketchMlCodec codec(config);
+
+  // 3. Encode.
+  compress::EncodedGradient message;
+  common::Status status = codec.Encode(gradient, &message);
+  if (!status.ok()) {
+    std::fprintf(stderr, "encode failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const double raw_bytes = static_cast<double>(gradient.size()) * 12.0;
+  std::printf("gradient:        %zu nonzero pairs\n", gradient.size());
+  std::printf("raw size:        %.1f KB (4-byte keys + 8-byte values)\n",
+              raw_bytes / 1e3);
+  std::printf("encoded size:    %.1f KB  (%.2fx compression)\n",
+              message.size() / 1e3, raw_bytes / message.size());
+
+  const auto& cost = codec.last_space_cost();
+  std::printf("  keys (delta-binary): %zu bytes\n", cost.key_bytes);
+  std::printf("  MinMaxSketch bins:   %zu bytes\n", cost.sketch_bytes);
+  std::printf("  bucket means:        %zu bytes\n", cost.bucket_mean_bytes);
+
+  // 4. Decode and inspect the guarantees: keys are exact, signs never
+  //    flip, and magnitudes only decay (never amplify).
+  common::SparseGradient decoded;
+  status = codec.Decode(message, &decoded);
+  if (!status.ok()) {
+    std::fprintf(stderr, "decode failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  size_t exact_keys = 0, sign_safe = 0;
+  double err = 0.0, norm = 0.0;
+  for (size_t i = 0; i < gradient.size(); ++i) {
+    if (decoded[i].key == gradient[i].key) ++exact_keys;
+    if (gradient[i].value * decoded[i].value >= 0) ++sign_safe;
+    err += std::pow(gradient[i].value - decoded[i].value, 2);
+    norm += std::pow(gradient[i].value, 2);
+  }
+  std::printf("decoded pairs:   %zu\n", decoded.size());
+  std::printf("exact keys:      %zu / %zu (lossless by design)\n",
+              exact_keys, gradient.size());
+  std::printf("sign-safe:       %zu / %zu\n", sign_safe, gradient.size());
+  std::printf("relative L2 err: %.2f%% (values are lossy but bounded)\n",
+              100.0 * err / norm);
+  return 0;
+}

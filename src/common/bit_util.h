@@ -1,0 +1,40 @@
+#ifndef SKETCHML_COMMON_BIT_UTIL_H_
+#define SKETCHML_COMMON_BIT_UTIL_H_
+
+#include <cstdint>
+
+namespace sketchml::common {
+
+/// Number of whole bytes needed to store `v` (at least 1, at most 8).
+/// A delta of 0..255 needs 1 byte, 256..65535 needs 2 bytes, etc. (§3.4).
+inline int BytesNeeded(uint64_t v) {
+  int n = 1;
+  while (v > 0xff) {
+    v >>= 8;
+    ++n;
+  }
+  return n;
+}
+
+/// Number of bits needed to represent values in [0, n); at least 1.
+inline int BitsForRange(uint64_t n) {
+  int bits = 1;
+  uint64_t capacity = 2;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Rounds `x` up to the next multiple of `align` (align > 0).
+inline uint64_t RoundUp(uint64_t x, uint64_t align) {
+  return (x + align - 1) / align * align;
+}
+
+/// Integer ceiling division for non-negative operands.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace sketchml::common
+
+#endif  // SKETCHML_COMMON_BIT_UTIL_H_

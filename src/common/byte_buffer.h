@@ -1,0 +1,133 @@
+#ifndef SKETCHML_COMMON_BYTE_BUFFER_H_
+#define SKETCHML_COMMON_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sketchml::common {
+
+/// Append-only little-endian byte sink used to define codec wire formats.
+///
+/// All message sizes reported by the benchmark harnesses are the exact
+/// `size()` of a `ByteWriter` buffer — never an estimate.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  /// Pre-allocates `capacity` bytes.
+  explicit ByteWriter(size_t capacity) { buffer_.reserve(capacity); }
+
+  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+  void WriteU16(uint16_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteFloat(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+  /// Writes exactly the low `nbytes` bytes of `v` (1..8), little-endian.
+  /// This is how delta-binary key encoding stores variable-width deltas.
+  void WriteUintN(uint64_t v, int nbytes);
+
+  /// LEB128 variable-length encoding (7 bits per byte).
+  void WriteVarint(uint64_t v);
+
+  void WriteRaw(const void* data, size_t len) {
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + len);
+  }
+
+  void WriteBytes(const std::vector<uint8_t>& bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  size_t size() const { return buffer_.size(); }
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Bounds-checked little-endian reader over a byte span.
+///
+/// All reads return a `Status`; a truncated or corrupted message yields
+/// `kCorruptedData` instead of undefined behaviour.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit ByteReader(const std::vector<uint8_t>& buffer)
+      : data_(buffer.data()), len_(buffer.size()) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU16(uint16_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU32(uint32_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadI32(int32_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadI64(int64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadFloat(float* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadDouble(double* out) { return ReadRaw(out, sizeof(*out)); }
+
+  /// Reads `nbytes` (1..8) little-endian bytes into a uint64.
+  Status ReadUintN(int nbytes, uint64_t* out);
+
+  /// Reads a LEB128 varint.
+  Status ReadVarint(uint64_t* out);
+
+  Status ReadRaw(void* out, size_t len);
+
+  size_t remaining() const { return len_ - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+/// Appends `count` bits (values 0/1 packed MSB-first per byte are not
+/// required here; we pack LSB-first) of 2-bit symbols. Used for the
+/// delta-binary "byte flag" stream (2 bits per key, §3.4).
+class TwoBitWriter {
+ public:
+  /// Appends a symbol in [0, 3].
+  void Append(uint8_t symbol);
+
+  /// Number of symbols appended so far.
+  size_t size() const { return count_; }
+
+  /// Serialized packed bytes (ceil(count/4) bytes).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t count_ = 0;
+};
+
+/// Reads back 2-bit symbols written by `TwoBitWriter`.
+class TwoBitReader {
+ public:
+  TwoBitReader(const uint8_t* data, size_t nbytes, size_t count)
+      : data_(data), nbytes_(nbytes), count_(count) {}
+
+  /// Reads the next symbol; fails with kCorruptedData past the end.
+  Status Next(uint8_t* out);
+
+  size_t remaining() const { return count_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t nbytes_;
+  size_t count_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sketchml::common
+
+#endif  // SKETCHML_COMMON_BYTE_BUFFER_H_

@@ -1,0 +1,48 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace sketchml::common {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  SKETCHML_CHECK_GT(bins, 0);
+  SKETCHML_CHECK_LT(lo, hi);
+  bin_width_ = (hi - lo) / bins;
+  counts_.assign(bins, 0);
+}
+
+void Histogram::Add(double value) {
+  int bin = static_cast<int>((value - lo_) / bin_width_);
+  bin = std::clamp(bin, 0, bins() - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+double Histogram::BinLow(int bin) const { return lo_ + bin * bin_width_; }
+double Histogram::BinHigh(int bin) const { return lo_ + (bin + 1) * bin_width_; }
+
+std::string Histogram::ToAscii(int width) const {
+  uint64_t max_count = 1;
+  for (uint64_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char line[256];
+  for (int b = 0; b < bins(); ++b) {
+    const int bar =
+        static_cast<int>(static_cast<double>(counts_[b]) / max_count * width);
+    std::snprintf(line, sizeof(line), "[%+9.4f, %+9.4f) %10llu |", BinLow(b),
+                  BinHigh(b), static_cast<unsigned long long>(counts_[b]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sketchml::common

@@ -1,0 +1,50 @@
+#ifndef SKETCHML_COMMON_HISTOGRAM_H_
+#define SKETCHML_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sketchml::common {
+
+/// Fixed-width histogram over a closed value range.
+///
+/// Used by the Figure 4 reproduction to show the nonuniform distribution of
+/// gradient values, and by tests to sanity-check samplers.
+class Histogram {
+ public:
+  /// Buckets `[lo, hi]` into `bins` equal-width bins. `bins` must be
+  /// positive and `lo < hi`.
+  Histogram(double lo, double hi, int bins);
+
+  /// Adds one observation. Values outside [lo, hi] clamp to the edge bins.
+  void Add(double value);
+
+  /// Adds every element of `values`.
+  void AddAll(const std::vector<double>& values);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  uint64_t count(int bin) const { return counts_[bin]; }
+  uint64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Lower edge of `bin`.
+  double BinLow(int bin) const;
+  /// Upper edge of `bin`.
+  double BinHigh(int bin) const;
+
+  /// Renders an ASCII bar chart, one bin per row, `width` columns max.
+  std::string ToAscii(int width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace sketchml::common
+
+#endif  // SKETCHML_COMMON_HISTOGRAM_H_

@@ -1,0 +1,70 @@
+#ifndef SKETCHML_COMMON_RESULT_H_
+#define SKETCHML_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace sketchml::common {
+
+/// Either a value of type `T` or a non-OK `Status` explaining its absence.
+///
+/// Mirrors `arrow::Result` / `absl::StatusOr`: functions that produce a
+/// value but may fail return `Result<T>` instead of taking an out-param.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. `status` must be non-OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    SKETCHML_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; the result must be OK.
+  const T& value() const& {
+    SKETCHML_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SKETCHML_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SKETCHML_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a `Result` expression to `lhs`, or propagates its
+/// error status to the caller.
+#define SKETCHML_ASSIGN_OR_RETURN(lhs, expr)                 \
+  SKETCHML_ASSIGN_OR_RETURN_IMPL_(                           \
+      SKETCHML_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define SKETCHML_CONCAT_INNER_(a, b) a##b
+#define SKETCHML_CONCAT_(a, b) SKETCHML_CONCAT_INNER_(a, b)
+#define SKETCHML_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace sketchml::common
+
+#endif  // SKETCHML_COMMON_RESULT_H_

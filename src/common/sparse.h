@@ -1,0 +1,59 @@
+#ifndef SKETCHML_COMMON_SPARSE_H_
+#define SKETCHML_COMMON_SPARSE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sketchml::common {
+
+/// One nonzero element of a sparse gradient: dimension index and value.
+/// This is the `(k_j, v_j)` pair of the paper's data model (§2.2).
+struct GradientPair {
+  uint64_t key = 0;
+  double value = 0.0;
+
+  friend bool operator==(const GradientPair& a, const GradientPair& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+/// A sparse gradient vector: nonzero entries sorted by ascending key.
+/// Codecs require (and preserve) the sort order; `SortByKey` restores it.
+using SparseGradient = std::vector<GradientPair>;
+
+/// Sorts `grad` by ascending key.
+inline void SortByKey(SparseGradient* grad) {
+  std::sort(grad->begin(), grad->end(),
+            [](const GradientPair& a, const GradientPair& b) {
+              return a.key < b.key;
+            });
+}
+
+/// True if keys are strictly increasing (the codec precondition).
+inline bool IsSortedByKey(const SparseGradient& grad) {
+  for (size_t i = 1; i < grad.size(); ++i) {
+    if (grad[i - 1].key >= grad[i].key) return false;
+  }
+  return true;
+}
+
+/// Extracts just the values.
+inline std::vector<double> Values(const SparseGradient& grad) {
+  std::vector<double> out;
+  out.reserve(grad.size());
+  for (const auto& p : grad) out.push_back(p.value);
+  return out;
+}
+
+/// Extracts just the keys.
+inline std::vector<uint64_t> Keys(const SparseGradient& grad) {
+  std::vector<uint64_t> out;
+  out.reserve(grad.size());
+  for (const auto& p : grad) out.push_back(p.key);
+  return out;
+}
+
+}  // namespace sketchml::common
+
+#endif  // SKETCHML_COMMON_SPARSE_H_

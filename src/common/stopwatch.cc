@@ -1,0 +1,4 @@
+// Intentionally empty: Stopwatch and Accumulator are header-only. This
+// translation unit exists so the target always has at least one object
+// file and to catch header self-containment regressions at compile time.
+#include "common/stopwatch.h"

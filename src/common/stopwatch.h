@@ -1,0 +1,43 @@
+#ifndef SKETCHML_COMMON_STOPWATCH_H_
+#define SKETCHML_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sketchml::common {
+
+/// Monotonic wall-clock stopwatch used to measure compute/encode/decode
+/// phases in the distributed-training simulator.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates the total of several timed spans (start/stop pairs).
+class Accumulator {
+ public:
+  void Start() { watch_.Restart(); }
+  void Stop() { total_ += watch_.ElapsedSeconds(); }
+  void Add(double seconds) { total_ += seconds; }
+  void Reset() { total_ = 0.0; }
+  double total_seconds() const { return total_; }
+
+ private:
+  Stopwatch watch_;
+  double total_ = 0.0;
+};
+
+}  // namespace sketchml::common
+
+#endif  // SKETCHML_COMMON_STOPWATCH_H_

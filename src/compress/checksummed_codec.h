@@ -1,0 +1,38 @@
+#ifndef SKETCHML_COMPRESS_CHECKSUMMED_CODEC_H_
+#define SKETCHML_COMPRESS_CHECKSUMMED_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "compress/codec.h"
+
+namespace sketchml::compress {
+
+/// Decorator that frames any codec's message with a length + CRC-32
+/// footer, turning silent wire corruption into a kCorruptedData status
+/// before the inner decoder ever parses the bytes.
+///
+/// Wire format: inner message | u32 length | u32 crc32(inner message).
+class ChecksummedCodec : public GradientCodec {
+ public:
+  explicit ChecksummedCodec(std::unique_ptr<GradientCodec> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string Name() const override { return inner_->Name() + "+crc"; }
+  bool IsLossless() const override { return inner_->IsLossless(); }
+
+  common::Status Encode(const common::SparseGradient& grad,
+                        EncodedGradient* out) override;
+  common::Status Decode(const EncodedGradient& in,
+                        common::SparseGradient* out) override;
+
+  const GradientCodec& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<GradientCodec> inner_;
+};
+
+}  // namespace sketchml::compress
+
+#endif  // SKETCHML_COMPRESS_CHECKSUMMED_CODEC_H_

@@ -1,0 +1,13 @@
+#include "compress/codec.h"
+
+namespace sketchml::compress {
+
+common::Status ValidateEncodable(const common::SparseGradient& grad) {
+  if (!common::IsSortedByKey(grad)) {
+    return common::Status::InvalidArgument(
+        "gradient keys must be strictly increasing; call SortByKey first");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace sketchml::compress

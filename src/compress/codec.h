@@ -1,0 +1,52 @@
+#ifndef SKETCHML_COMPRESS_CODEC_H_
+#define SKETCHML_COMPRESS_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sparse.h"
+#include "common/status.h"
+
+namespace sketchml::compress {
+
+/// A serialized gradient message as it would travel over the network.
+struct EncodedGradient {
+  std::vector<uint8_t> bytes;
+
+  size_t size() const { return bytes.size(); }
+};
+
+/// Interface for gradient compression schemes.
+///
+/// A codec turns a sparse gradient (key-value pairs sorted by key) into a
+/// byte message and back. Keys must round-trip exactly — decoding a wrong
+/// dimension corrupts the model (§3.4 Motivation) — while values may be
+/// lossy, trading precision for bytes.
+class GradientCodec {
+ public:
+  virtual ~GradientCodec() = default;
+
+  /// Human-readable codec name (e.g. "sketchml", "zipml-16bit").
+  virtual std::string Name() const = 0;
+
+  /// True when `Decode(Encode(g)) == g` bit-exactly.
+  virtual bool IsLossless() const = 0;
+
+  /// Serializes `grad` into `out`. `grad` must be sorted by key with
+  /// strictly increasing keys; returns InvalidArgument otherwise.
+  virtual common::Status Encode(const common::SparseGradient& grad,
+                                EncodedGradient* out) = 0;
+
+  /// Reconstructs a gradient from `in`. Keys are exact; values are exact
+  /// iff `IsLossless()`.
+  virtual common::Status Decode(const EncodedGradient& in,
+                                common::SparseGradient* out) = 0;
+};
+
+/// Validates the shared Encode precondition; used by all implementations.
+common::Status ValidateEncodable(const common::SparseGradient& grad);
+
+}  // namespace sketchml::compress
+
+#endif  // SKETCHML_COMPRESS_CODEC_H_

@@ -1,0 +1,147 @@
+#include "compress/delta_binary_key_codec.h"
+
+#include <limits>
+
+#include "common/bit_util.h"
+
+namespace sketchml::compress {
+
+common::Status DeltaBinaryKeyCodec::Encode(const std::vector<uint64_t>& keys,
+                                           common::ByteWriter* writer) {
+  writer->WriteVarint(keys.size());
+  if (keys.empty()) return common::Status::Ok();
+
+  common::TwoBitWriter flags;
+  std::vector<std::pair<uint64_t, int>> deltas;  // (delta, nbytes)
+  deltas.reserve(keys.size());
+  uint64_t previous = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0 && keys[i] <= previous) {
+      return common::Status::InvalidArgument(
+          "keys must be strictly increasing");
+    }
+    const uint64_t delta = keys[i] - previous;
+    if (delta > std::numeric_limits<uint32_t>::max()) {
+      return common::Status::OutOfRange("key delta exceeds 4 bytes");
+    }
+    const int nbytes = common::BytesNeeded(delta);
+    flags.Append(static_cast<uint8_t>(nbytes - 1));
+    deltas.emplace_back(delta, nbytes);
+    previous = keys[i];
+  }
+  writer->WriteBytes(flags.bytes());
+  for (const auto& [delta, nbytes] : deltas) {
+    writer->WriteUintN(delta, nbytes);
+  }
+  return common::Status::Ok();
+}
+
+common::Status DeltaBinaryKeyCodec::Decode(common::ByteReader* reader,
+                                           std::vector<uint64_t>* keys) {
+  uint64_t count = 0;
+  SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&count));
+  keys->clear();
+  if (count == 0) return common::Status::Ok();
+  // Every key costs at least 1 delta byte plus its flag bits; a count
+  // that cannot fit in the remaining buffer is corruption, and checking
+  // before reserve() prevents adversarial giant allocations.
+  if (count > reader->remaining()) {
+    return common::Status::CorruptedData("implausible key count");
+  }
+  keys->reserve(count);
+
+  const size_t flag_bytes = common::CeilDiv(count, 4);
+  std::vector<uint8_t> flags(flag_bytes);
+  SKETCHML_RETURN_IF_ERROR(reader->ReadRaw(flags.data(), flag_bytes));
+  common::TwoBitReader flag_reader(flags.data(), flag_bytes, count);
+
+  // Two passes over the flag stream would need it buffered anyway, so we
+  // decode flag-then-delta per key in one pass: but the wire layout stores
+  // all flags before all deltas, so read flags first, then deltas.
+  std::vector<uint8_t> widths(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t symbol = 0;
+    SKETCHML_RETURN_IF_ERROR(flag_reader.Next(&symbol));
+    widths[i] = static_cast<uint8_t>(symbol + 1);
+  }
+
+  uint64_t previous = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    SKETCHML_RETURN_IF_ERROR(reader->ReadUintN(widths[i], &delta));
+    if (i > 0 && delta == 0) {
+      return common::Status::CorruptedData("zero delta for non-first key");
+    }
+    previous += delta;
+    keys->push_back(previous);
+  }
+  return common::Status::Ok();
+}
+
+size_t DeltaBinaryKeyCodec::EncodedSize(const std::vector<uint64_t>& keys) {
+  common::ByteWriter probe;
+  probe.WriteVarint(keys.size());
+  size_t total = probe.size() + common::CeilDiv(keys.size(), 4);
+  uint64_t previous = 0;
+  for (uint64_t key : keys) {
+    total += common::BytesNeeded(key - previous);
+    previous = key;
+  }
+  return keys.empty() ? probe.size() : total;
+}
+
+common::Status BitmapKeyCodec::Encode(const std::vector<uint64_t>& keys,
+                                      uint64_t dim,
+                                      common::ByteWriter* writer) {
+  writer->WriteVarint(dim);
+  std::vector<uint8_t> bits(common::CeilDiv(dim, 8), 0);
+  uint64_t previous = 0;
+  bool first = true;
+  for (uint64_t key : keys) {
+    if (!first && key <= previous) {
+      return common::Status::InvalidArgument(
+          "keys must be strictly increasing");
+    }
+    if (key >= dim) {
+      return common::Status::OutOfRange("key exceeds bitmap dimension");
+    }
+    bits[key / 8] |= static_cast<uint8_t>(1u << (key % 8));
+    previous = key;
+    first = false;
+  }
+  writer->WriteBytes(bits);
+  return common::Status::Ok();
+}
+
+common::Status BitmapKeyCodec::Decode(common::ByteReader* reader,
+                                      std::vector<uint64_t>* keys) {
+  uint64_t dim = 0;
+  SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&dim));
+  // The bitmap itself must fit in what remains of the buffer; checking
+  // first prevents adversarial giant allocations.
+  if (common::CeilDiv(dim, 8) > reader->remaining()) {
+    return common::Status::CorruptedData("implausible bitmap dimension");
+  }
+  const size_t nbytes = common::CeilDiv(dim, 8);
+  std::vector<uint8_t> bits(nbytes);
+  SKETCHML_RETURN_IF_ERROR(reader->ReadRaw(bits.data(), nbytes));
+  keys->clear();
+  for (uint64_t byte = 0; byte < nbytes; ++byte) {
+    uint8_t b = bits[byte];
+    while (b != 0) {
+      const int bit = __builtin_ctz(b);
+      const uint64_t key = byte * 8 + static_cast<uint64_t>(bit);
+      if (key < dim) keys->push_back(key);
+      b = static_cast<uint8_t>(b & (b - 1));
+    }
+  }
+  return common::Status::Ok();
+}
+
+size_t BitmapKeyCodec::EncodedSize(uint64_t dim) {
+  common::ByteWriter probe;
+  probe.WriteVarint(dim);
+  return probe.size() + common::CeilDiv(dim, 8);
+}
+
+}  // namespace sketchml::compress

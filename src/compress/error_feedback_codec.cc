@@ -1,0 +1,84 @@
+#include "compress/error_feedback_codec.h"
+
+#include <cmath>
+
+namespace sketchml::compress {
+namespace {
+
+/// Residual entries below this magnitude are dropped: they are smaller
+/// than any gradient the optimizer would act on and would otherwise
+/// accumulate without bound across epochs.
+constexpr double kResidualFloor = 1e-12;
+
+}  // namespace
+
+common::Status ErrorFeedbackCodec::Encode(const common::SparseGradient& grad,
+                                          EncodedGradient* out) {
+  SKETCHML_RETURN_IF_ERROR(ValidateEncodable(grad));
+
+  // compensated = gradient + residual (union of keys, sorted).
+  common::SparseGradient compensated;
+  compensated.reserve(grad.size() + residual_.size());
+  for (const auto& pair : grad) {
+    const auto it = residual_.find(pair.key);
+    if (it != residual_.end()) {
+      compensated.push_back({pair.key, pair.value + it->second});
+    } else {
+      compensated.push_back(pair);
+    }
+  }
+  for (const auto& [key, value] : residual_) {
+    // Keys carrying residual but absent from this gradient still get
+    // their debt transmitted.
+    bool in_grad = false;
+    // grad is sorted: binary search.
+    size_t lo = 0, hi = grad.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (grad[mid].key < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    in_grad = lo < grad.size() && grad[lo].key == key;
+    if (!in_grad && std::abs(value) > kResidualFloor) {
+      compensated.push_back({key, value});
+    }
+  }
+  common::SortByKey(&compensated);
+
+  SKETCHML_RETURN_IF_ERROR(inner_->Encode(compensated, out));
+
+  // residual = compensated - Decode(message).
+  common::SparseGradient decoded;
+  SKETCHML_RETURN_IF_ERROR(inner_->Decode(*out, &decoded));
+  residual_.clear();
+  // Both lists are sorted over the same key set (codecs keep keys exact).
+  size_t j = 0;
+  for (const auto& pair : compensated) {
+    while (j < decoded.size() && decoded[j].key < pair.key) ++j;
+    const double transmitted =
+        (j < decoded.size() && decoded[j].key == pair.key)
+            ? decoded[j].value
+            : 0.0;
+    const double leftover = pair.value - transmitted;
+    if (std::abs(leftover) > kResidualFloor) {
+      residual_[pair.key] = leftover;
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Status ErrorFeedbackCodec::Decode(const EncodedGradient& in,
+                                          common::SparseGradient* out) {
+  return inner_->Decode(in, out);
+}
+
+double ErrorFeedbackCodec::ResidualL1() const {
+  double total = 0.0;
+  for (const auto& [key, value] : residual_) total += std::abs(value);
+  return total;
+}
+
+}  // namespace sketchml::compress

@@ -1,0 +1,56 @@
+#ifndef SKETCHML_COMPRESS_ERROR_FEEDBACK_CODEC_H_
+#define SKETCHML_COMPRESS_ERROR_FEEDBACK_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "compress/codec.h"
+
+namespace sketchml::compress {
+
+/// Error-feedback (residual compensation) wrapper around a lossy codec —
+/// the mechanism 1-bit SGD [39] relies on to converge despite its
+/// extreme quantization, and a standard companion to any biased
+/// compressor (such as MinMaxSketch's systematic decay).
+///
+/// On every Encode the sender adds its accumulated residual to the
+/// gradient, compresses the sum, and keeps the part the codec lost:
+///
+///   compensated = gradient + residual
+///   message     = Encode(compensated)
+///   residual    = compensated - Decode(message)
+///
+/// Over time every coordinate's error is eventually transmitted, so the
+/// *accumulated* applied update is unbiased even when each message is
+/// not. The wrapper is stateful per sender: use one instance per worker.
+class ErrorFeedbackCodec : public GradientCodec {
+ public:
+  explicit ErrorFeedbackCodec(std::unique_ptr<GradientCodec> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string Name() const override { return inner_->Name() + "+ef"; }
+  bool IsLossless() const override { return inner_->IsLossless(); }
+
+  common::Status Encode(const common::SparseGradient& grad,
+                        EncodedGradient* out) override;
+
+  /// Decoding is stateless and simply forwards to the inner codec.
+  common::Status Decode(const EncodedGradient& in,
+                        common::SparseGradient* out) override;
+
+  /// Current residual L1 mass (diagnostic / tests).
+  double ResidualL1() const;
+
+  /// Number of dimensions currently carrying residual.
+  size_t ResidualSize() const { return residual_.size(); }
+
+ private:
+  std::unique_ptr<GradientCodec> inner_;
+  std::unordered_map<uint64_t, double> residual_;
+};
+
+}  // namespace sketchml::compress
+
+#endif  // SKETCHML_COMPRESS_ERROR_FEEDBACK_CODEC_H_

@@ -1,0 +1,254 @@
+#include "compress/lossless.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+#include "common/byte_buffer.h"
+#include "compress/raw_codec.h"
+
+namespace sketchml::compress {
+namespace {
+
+constexpr int kAlphabet = 256;
+// Max depth of a Huffman tree over N bytes is ~1.44 log2(N); 57 covers
+// any realistic buffer and keeps the 64-bit encode accumulator safe.
+constexpr int kMaxCodeLength = 57;
+
+/// Computes Huffman code lengths for the byte frequencies in `freq`.
+/// Symbols with zero frequency get length 0 (no code).
+std::vector<uint8_t> CodeLengths(const std::vector<uint64_t>& freq) {
+  struct Node {
+    uint64_t weight;
+    int index;  // < kAlphabet: leaf symbol; otherwise internal.
+    int left = -1, right = -1;
+  };
+  std::vector<Node> nodes;
+  using Entry = std::pair<uint64_t, int>;  // (weight, node index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int s = 0; s < kAlphabet; ++s) {
+    if (freq[s] > 0) {
+      nodes.push_back({freq[s], s});
+      heap.emplace(freq[s], static_cast<int>(nodes.size()) - 1);
+    }
+  }
+  std::vector<uint8_t> lengths(kAlphabet, 0);
+  if (nodes.empty()) return lengths;
+  if (nodes.size() == 1) {
+    lengths[nodes[0].index] = 1;  // Degenerate: one distinct byte.
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, kAlphabet, a, b});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+  }
+  // Depth-first assignment of depths to leaves.
+  std::vector<std::pair<int, int>> stack = {{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[idx];
+    if (node.index < kAlphabet) {
+      lengths[node.index] =
+          static_cast<uint8_t>(std::min(depth, kMaxCodeLength));
+      continue;
+    }
+    stack.emplace_back(node.left, depth + 1);
+    stack.emplace_back(node.right, depth + 1);
+  }
+  return lengths;
+}
+
+/// Canonical codes from lengths: symbols sorted by (length, value).
+void CanonicalCodes(const std::vector<uint8_t>& lengths,
+                    std::vector<uint64_t>* codes) {
+  codes->assign(kAlphabet, 0);
+  std::vector<int> symbols;
+  for (int s = 0; s < kAlphabet; ++s) {
+    if (lengths[s] > 0) symbols.push_back(s);
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    return std::tie(lengths[a], a) < std::tie(lengths[b], b);
+  });
+  uint64_t code = 0;
+  int previous_length = 0;
+  for (int s : symbols) {
+    code <<= (lengths[s] - previous_length);
+    (*codes)[s] = code;
+    ++code;
+    previous_length = lengths[s];
+  }
+}
+
+}  // namespace
+
+void HuffmanByteCoder::Encode(const std::vector<uint8_t>& input,
+                              std::vector<uint8_t>* out) {
+  common::ByteWriter writer(input.size() + kAlphabet + 16);
+  writer.WriteVarint(input.size());
+
+  std::vector<uint64_t> freq(kAlphabet, 0);
+  for (uint8_t b : input) ++freq[b];
+  const std::vector<uint8_t> lengths = CodeLengths(freq);
+  for (int s = 0; s < kAlphabet; ++s) writer.WriteU8(lengths[s]);
+
+  std::vector<uint64_t> codes;
+  CanonicalCodes(lengths, &codes);
+
+  // MSB-first bit packing.
+  uint64_t bit_buffer = 0;
+  int bit_count = 0;
+  for (uint8_t b : input) {
+    bit_buffer = (bit_buffer << lengths[b]) | codes[b];
+    bit_count += lengths[b];
+    while (bit_count >= 8) {
+      bit_count -= 8;
+      writer.WriteU8(static_cast<uint8_t>(bit_buffer >> bit_count));
+    }
+  }
+  if (bit_count > 0) {
+    writer.WriteU8(static_cast<uint8_t>(bit_buffer << (8 - bit_count)));
+  }
+  *out = writer.TakeBuffer();
+}
+
+common::Status HuffmanByteCoder::Decode(const std::vector<uint8_t>& input,
+                                        std::vector<uint8_t>* out) {
+  common::ByteReader reader(input);
+  uint64_t original_size = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadVarint(&original_size));
+  // A Huffman code emits at least 1 bit per symbol.
+  if (original_size / 8 > input.size()) {
+    return common::Status::CorruptedData("implausible decoded size");
+  }
+  std::vector<uint8_t> lengths(kAlphabet);
+  SKETCHML_RETURN_IF_ERROR(reader.ReadRaw(lengths.data(), kAlphabet));
+  for (uint8_t len : lengths) {
+    if (len > kMaxCodeLength) {
+      return common::Status::CorruptedData("code length too large");
+    }
+  }
+  std::vector<uint64_t> codes;
+  CanonicalCodes(lengths, &codes);
+
+  // Slow-but-simple canonical decoding: grow the candidate code bit by
+  // bit and match (code, length) pairs via a per-length lookup.
+  struct LengthGroup {
+    uint64_t first_code = 0;
+    std::vector<int> symbols;  // In canonical order within this length.
+  };
+  std::vector<LengthGroup> groups(kMaxCodeLength + 1);
+  {
+    std::vector<int> symbols;
+    for (int s = 0; s < kAlphabet; ++s) {
+      if (lengths[s] > 0) symbols.push_back(s);
+    }
+    std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+      return std::tie(lengths[a], a) < std::tie(lengths[b], b);
+    });
+    for (int s : symbols) {
+      auto& group = groups[lengths[s]];
+      if (group.symbols.empty()) group.first_code = codes[s];
+      group.symbols.push_back(s);
+    }
+  }
+
+  out->clear();
+  out->reserve(original_size);
+  uint64_t code = 0;
+  int code_length = 0;
+  uint8_t byte = 0;
+  int bits_left = 0;
+  while (out->size() < original_size) {
+    if (bits_left == 0) {
+      SKETCHML_RETURN_IF_ERROR(reader.ReadU8(&byte));
+      bits_left = 8;
+    }
+    code = (code << 1) | ((byte >> (bits_left - 1)) & 1);
+    --bits_left;
+    ++code_length;
+    if (code_length > kMaxCodeLength) {
+      return common::Status::CorruptedData("invalid Huffman stream");
+    }
+    const auto& group = groups[code_length];
+    if (!group.symbols.empty() && code >= group.first_code &&
+        code < group.first_code + group.symbols.size()) {
+      out->push_back(
+          static_cast<uint8_t>(group.symbols[code - group.first_code]));
+      code = 0;
+      code_length = 0;
+    }
+  }
+  return common::Status::Ok();
+}
+
+void RunLengthByteCoder::Encode(const std::vector<uint8_t>& input,
+                                std::vector<uint8_t>* out) {
+  common::ByteWriter writer(input.size() * 2 + 16);
+  writer.WriteVarint(input.size());
+  size_t i = 0;
+  while (i < input.size()) {
+    const uint8_t value = input[i];
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == value && run < 255) {
+      ++run;
+    }
+    writer.WriteU8(static_cast<uint8_t>(run));
+    writer.WriteU8(value);
+    i += run;
+  }
+  *out = writer.TakeBuffer();
+}
+
+common::Status RunLengthByteCoder::Decode(const std::vector<uint8_t>& input,
+                                          std::vector<uint8_t>* out) {
+  common::ByteReader reader(input);
+  uint64_t original_size = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadVarint(&original_size));
+  // Each (run, value) pair encodes at least one byte in two.
+  if (original_size > reader.remaining() * 255) {
+    return common::Status::CorruptedData("implausible decoded size");
+  }
+  out->clear();
+  out->reserve(original_size);
+  while (out->size() < original_size) {
+    uint8_t run = 0, value = 0;
+    SKETCHML_RETURN_IF_ERROR(reader.ReadU8(&run));
+    SKETCHML_RETURN_IF_ERROR(reader.ReadU8(&value));
+    if (run == 0) return common::Status::CorruptedData("zero run length");
+    if (out->size() + run > original_size) {
+      return common::Status::CorruptedData("run overflows declared size");
+    }
+    out->insert(out->end(), run, value);
+  }
+  return common::Status::Ok();
+}
+
+template <typename ByteCoder>
+common::Status LosslessGradientCodec<ByteCoder>::Encode(
+    const common::SparseGradient& grad, EncodedGradient* out) {
+  RawCodec raw(ValueType::kDouble);
+  EncodedGradient raw_msg;
+  SKETCHML_RETURN_IF_ERROR(raw.Encode(grad, &raw_msg));
+  ByteCoder::Encode(raw_msg.bytes, &out->bytes);
+  return common::Status::Ok();
+}
+
+template <typename ByteCoder>
+common::Status LosslessGradientCodec<ByteCoder>::Decode(
+    const EncodedGradient& in, common::SparseGradient* out) {
+  EncodedGradient raw_msg;
+  SKETCHML_RETURN_IF_ERROR(ByteCoder::Decode(in.bytes, &raw_msg.bytes));
+  RawCodec raw(ValueType::kDouble);
+  return raw.Decode(raw_msg, out);
+}
+
+template class LosslessGradientCodec<HuffmanByteCoder>;
+template class LosslessGradientCodec<RunLengthByteCoder>;
+
+}  // namespace sketchml::compress

@@ -1,0 +1,29 @@
+#ifndef SKETCHML_COMPRESS_ONE_BIT_CODEC_H_
+#define SKETCHML_COMPRESS_ONE_BIT_CODEC_H_
+
+#include <string>
+
+#include "compress/codec.h"
+
+namespace sketchml::compress {
+
+/// 1-bit SGD / threshold truncation baseline (Seide et al. [39]).
+///
+/// Each value is reduced to its sign bit; the decoder reconstructs
+/// sign * (mean magnitude of that sign's values). The paper dismisses this
+/// family as "too aggressive ... to get converged" (§1.1, §5); it is here
+/// so that claim can be measured (see `theory_validation`).
+class OneBitCodec : public GradientCodec {
+ public:
+  std::string Name() const override { return "onebit"; }
+  bool IsLossless() const override { return false; }
+
+  common::Status Encode(const common::SparseGradient& grad,
+                        EncodedGradient* out) override;
+  common::Status Decode(const EncodedGradient& in,
+                        common::SparseGradient* out) override;
+};
+
+}  // namespace sketchml::compress
+
+#endif  // SKETCHML_COMPRESS_ONE_BIT_CODEC_H_

@@ -1,0 +1,44 @@
+#ifndef SKETCHML_COMPRESS_QSGD_CODEC_H_
+#define SKETCHML_COMPRESS_QSGD_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "compress/codec.h"
+
+namespace sketchml::compress {
+
+/// QSGD-style randomized quantization (Alistarh et al. [5], cited by the
+/// paper as the theory behind lossy gradient quantization).
+///
+/// Each value v is encoded as sign(v) and a stochastic level
+/// l ∈ {0..s} with E[l/s * ||g||_2] = |v|: quantization is unbiased and
+/// the variance is bounded by min(d/s^2, sqrt(d)/s) ||g||^2 (the bound
+/// Appendix A.1 compares against). Levels concentrate at 0 for small
+/// gradients, so they compress well; we store them with Elias-gamma
+/// bit codes as the QSGD paper proposes. Keys stay 4-byte ints (QSGD,
+/// like ZipML, targets dense vectors).
+class QsgdCodec : public GradientCodec {
+ public:
+  /// `levels` is the paper's s (quantization levels per sign).
+  explicit QsgdCodec(int levels = 255, uint64_t seed = 19);
+
+  std::string Name() const override { return "qsgd"; }
+  bool IsLossless() const override { return false; }
+
+  common::Status Encode(const common::SparseGradient& grad,
+                        EncodedGradient* out) override;
+  common::Status Decode(const EncodedGradient& in,
+                        common::SparseGradient* out) override;
+
+  int levels() const { return levels_; }
+
+ private:
+  int levels_;
+  common::Rng rng_;
+};
+
+}  // namespace sketchml::compress
+
+#endif  // SKETCHML_COMPRESS_QSGD_CODEC_H_

@@ -1,0 +1,73 @@
+#include "compress/quantile_bucket_quantizer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sketch/gk_sketch.h"
+#include "sketch/kll_sketch.h"
+
+namespace sketchml::compress {
+
+QuantileBucketQuantizer QuantileBucketQuantizer::Build(
+    const std::vector<double>& values, int num_buckets, int sketch_k,
+    uint64_t seed, Backend backend) {
+  SKETCHML_CHECK(!values.empty());
+  SKETCHML_CHECK_GT(num_buckets, 0);
+  if (backend == Backend::kGk) {
+    sketch::GkSketch sketch(
+        std::min(0.4, 1.0 / (2.0 * static_cast<double>(sketch_k))));
+    sketch.UpdateAll(values);
+    return QuantileBucketQuantizer(sketch.EqualDepthSplits(num_buckets));
+  }
+  sketch::KllSketch sketch(sketch_k, seed);
+  sketch.UpdateAll(values);
+  return QuantileBucketQuantizer(sketch.EqualDepthSplits(num_buckets));
+}
+
+QuantileBucketQuantizer::QuantileBucketQuantizer(std::vector<double> splits)
+    : splits_(std::move(splits)) {
+  SKETCHML_CHECK_GE(splits_.size(), 2u);
+  SKETCHML_CHECK(std::is_sorted(splits_.begin(), splits_.end()));
+  means_.reserve(splits_.size() - 1);
+  for (size_t i = 0; i + 1 < splits_.size(); ++i) {
+    means_.push_back(0.5 * (splits_[i] + splits_[i + 1]));
+  }
+}
+
+int QuantileBucketQuantizer::BucketOf(double value) const {
+  SKETCHML_CHECK(!splits_.empty()) << "means-only quantizer cannot bucket";
+  // Bucket i covers [splits_[i], splits_[i+1]); the last bucket is closed
+  // above so the maximum lands in bucket num_buckets-1.
+  const auto it = std::upper_bound(splits_.begin(), splits_.end(), value);
+  int idx = static_cast<int>(it - splits_.begin()) - 1;
+  return std::clamp(idx, 0, num_buckets() - 1);
+}
+
+void QuantileBucketQuantizer::SerializeMeans(
+    common::ByteWriter* writer) const {
+  writer->WriteVarint(means_.size());
+  // float32 is plenty: the quantization error of the bucket itself is
+  // orders of magnitude above float precision, and it halves the fixed
+  // per-message header (the paper's 8q term becomes 4q).
+  for (double m : means_) writer->WriteFloat(static_cast<float>(m));
+}
+
+common::Status QuantileBucketQuantizer::DeserializeMeans(
+    common::ByteReader* reader, QuantileBucketQuantizer* out) {
+  uint64_t count = 0;
+  SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&count));
+  if (count == 0 || count > reader->remaining() / sizeof(float)) {
+    return common::Status::CorruptedData("implausible bucket count");
+  }
+  QuantileBucketQuantizer q;
+  q.means_.resize(count);
+  for (auto& m : q.means_) {
+    float f = 0.0f;
+    SKETCHML_RETURN_IF_ERROR(reader->ReadFloat(&f));
+    m = f;
+  }
+  *out = std::move(q);
+  return common::Status::Ok();
+}
+
+}  // namespace sketchml::compress

@@ -1,0 +1,39 @@
+#ifndef SKETCHML_COMPRESS_RAW_CODEC_H_
+#define SKETCHML_COMPRESS_RAW_CODEC_H_
+
+#include <string>
+
+#include "compress/codec.h"
+
+namespace sketchml::compress {
+
+/// Width of the transmitted value (Table 4's "weight type").
+enum class ValueType { kDouble, kFloat };
+
+/// The no-compression baseline ("Adam" in the paper's plots): 4-byte keys
+/// plus 8-byte double (or 4-byte float) values, 12d (or 8d) bytes total.
+///
+/// With kFloat, values round-trip through IEEE float, which is the only
+/// loss this codec introduces.
+class RawCodec : public GradientCodec {
+ public:
+  explicit RawCodec(ValueType value_type = ValueType::kDouble)
+      : value_type_(value_type) {}
+
+  std::string Name() const override {
+    return value_type_ == ValueType::kDouble ? "adam-double" : "adam-float";
+  }
+  bool IsLossless() const override { return value_type_ == ValueType::kDouble; }
+
+  common::Status Encode(const common::SparseGradient& grad,
+                        EncodedGradient* out) override;
+  common::Status Decode(const EncodedGradient& in,
+                        common::SparseGradient* out) override;
+
+ private:
+  ValueType value_type_;
+};
+
+}  // namespace sketchml::compress
+
+#endif  // SKETCHML_COMPRESS_RAW_CODEC_H_

@@ -1,0 +1,102 @@
+#include "compress/zipml_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/byte_buffer.h"
+#include "common/logging.h"
+
+namespace sketchml::compress {
+
+ZipMlCodec::ZipMlCodec(int bits, uint64_t seed, bool stochastic_rounding)
+    : bits_(bits), rng_(seed), stochastic_rounding_(stochastic_rounding) {
+  SKETCHML_CHECK(bits == 8 || bits == 16) << "ZipML supports 8 or 16 bits";
+}
+
+common::Status ZipMlCodec::Encode(const common::SparseGradient& grad,
+                                  EncodedGradient* out) {
+  SKETCHML_RETURN_IF_ERROR(ValidateEncodable(grad));
+  const int value_bytes = bits_ / 8;
+  common::ByteWriter writer(grad.size() * (4 + value_bytes) + 32);
+  writer.WriteU8(static_cast<uint8_t>(bits_));
+  writer.WriteVarint(grad.size());
+
+  double lo = 0.0, hi = 0.0;
+  if (!grad.empty()) {
+    lo = hi = grad.front().value;
+    for (const auto& p : grad) {
+      lo = std::min(lo, p.value);
+      hi = std::max(hi, p.value);
+    }
+  }
+  writer.WriteDouble(lo);
+  writer.WriteDouble(hi);
+
+  for (const auto& p : grad) {
+    if (p.key > std::numeric_limits<uint32_t>::max()) {
+      return common::Status::OutOfRange("key exceeds 32 bits");
+    }
+    writer.WriteU32(static_cast<uint32_t>(p.key));
+  }
+
+  const uint64_t levels = (1ULL << bits_) - 1;
+  const double width = hi > lo ? (hi - lo) / static_cast<double>(levels) : 0.0;
+  for (const auto& p : grad) {
+    uint64_t level = 0;
+    if (width > 0.0) {
+      const double exact = (p.value - lo) / width;
+      const double floor_level = std::floor(exact);
+      double chosen = floor_level;
+      if (stochastic_rounding_) {
+        // Round up with probability equal to the fractional part, so the
+        // expected decoded value equals the input (unbiased quantizer).
+        const double frac = exact - floor_level;
+        if (rng_.NextBernoulli(frac)) chosen += 1.0;
+      } else {
+        chosen = std::round(exact);
+      }
+      level = static_cast<uint64_t>(
+          std::clamp(chosen, 0.0, static_cast<double>(levels)));
+    }
+    writer.WriteUintN(level, value_bytes);
+  }
+  out->bytes = writer.TakeBuffer();
+  return common::Status::Ok();
+}
+
+common::Status ZipMlCodec::Decode(const EncodedGradient& in,
+                                  common::SparseGradient* out) {
+  common::ByteReader reader(in.bytes);
+  uint8_t bits = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadU8(&bits));
+  if (bits != 8 && bits != 16) {
+    return common::Status::CorruptedData("bad ZipML bit width");
+  }
+  uint64_t count = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadVarint(&count));
+  // Each pair takes at least 5 bytes (4-byte key + 1-byte level).
+  if (count > in.bytes.size() / 5) {
+    return common::Status::CorruptedData("implausible pair count");
+  }
+  double lo = 0.0, hi = 0.0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadDouble(&lo));
+  SKETCHML_RETURN_IF_ERROR(reader.ReadDouble(&hi));
+
+  out->assign(count, {});
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t key = 0;
+    SKETCHML_RETURN_IF_ERROR(reader.ReadU32(&key));
+    (*out)[i].key = key;
+  }
+  const uint64_t levels = (1ULL << bits) - 1;
+  const double width = hi > lo ? (hi - lo) / static_cast<double>(levels) : 0.0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t level = 0;
+    SKETCHML_RETURN_IF_ERROR(reader.ReadUintN(bits / 8, &level));
+    (*out)[i].value = lo + static_cast<double>(level) * width;
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace sketchml::compress

@@ -1,0 +1,50 @@
+#ifndef SKETCHML_COMPRESS_ZIPML_CODEC_H_
+#define SKETCHML_COMPRESS_ZIPML_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "compress/codec.h"
+
+namespace sketchml::compress {
+
+/// ZipML-style uniform fixed-point quantization [45] — the paper's main
+/// lossy baseline.
+///
+/// The value range [min, max] of each gradient is divided into 2^bits - 1
+/// equal *width* steps and every value maps to a grid level (stochastic
+/// rounding keeps the quantizer unbiased, as QSGD/ZipML do). Keys are not
+/// compressed (4-byte ints): ZipML was designed for dense vectors.
+///
+/// The failure mode SketchML exploits (§4.3): gradients concentrate near
+/// zero, so with a uniform grid most values collapse onto the level
+/// nearest zero, stalling convergence close to the optimum.
+class ZipMlCodec : public GradientCodec {
+ public:
+  /// `bits` per value, 8 or 16 (Table 4 evaluates both). `seed` drives
+  /// stochastic rounding; fixed seed => deterministic encoding.
+  explicit ZipMlCodec(int bits = 16, uint64_t seed = 11,
+                      bool stochastic_rounding = true);
+
+  std::string Name() const override {
+    return "zipml-" + std::to_string(bits_) + "bit";
+  }
+  bool IsLossless() const override { return false; }
+
+  common::Status Encode(const common::SparseGradient& grad,
+                        EncodedGradient* out) override;
+  common::Status Decode(const EncodedGradient& in,
+                        common::SparseGradient* out) override;
+
+  int bits() const { return bits_; }
+
+ private:
+  int bits_;
+  common::Rng rng_;
+  bool stochastic_rounding_;
+};
+
+}  // namespace sketchml::compress
+
+#endif  // SKETCHML_COMPRESS_ZIPML_CODEC_H_

@@ -1,0 +1,311 @@
+#include "core/sketchml_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/byte_buffer.h"
+#include "common/logging.h"
+#include "compress/delta_binary_key_codec.h"
+#include "compress/quantile_bucket_quantizer.h"
+#include "sketch/grouped_min_max_sketch.h"
+
+namespace sketchml::core {
+namespace {
+
+constexpr uint8_t kWireVersion = 1;
+
+/// Splits `grad` into the positive (value >= 0) and negative streams,
+/// preserving key order within each stream.
+void SplitBySign(const common::SparseGradient& grad,
+                 common::SparseGradient* pos, common::SparseGradient* neg) {
+  for (const auto& pair : grad) {
+    (pair.value >= 0 ? pos : neg)->push_back(pair);
+  }
+}
+
+int TotalCols(const SketchMlConfig& config, size_t stream_size) {
+  const int by_ratio = static_cast<int>(
+      std::ceil(static_cast<double>(stream_size) * config.col_ratio));
+  return std::max(config.min_cols, by_ratio);
+}
+
+compress::QuantileBucketQuantizer::Backend BackendOf(
+    const SketchMlConfig& config) {
+  return config.quantile_backend == QuantileBackend::kGk
+             ? compress::QuantileBucketQuantizer::Backend::kGk
+             : compress::QuantileBucketQuantizer::Backend::kKll;
+}
+
+/// Effective bucket count for a stream of `stream_size` values: the
+/// configured q, shrunk for tiny streams so the 4q-byte means header
+/// cannot dominate a small message. With fewer than 8 values per bucket
+/// the extra resolution is statistically meaningless anyway.
+int EffectiveBuckets(const SketchMlConfig& config, size_t stream_size) {
+  const int by_size =
+      std::max(16, static_cast<int>(stream_size / 8));
+  return std::min(config.num_buckets, by_size);
+}
+
+/// Encodes one sign stream. When `negate` is set the stream holds
+/// negative values and is quantized on magnitude, so bucket index 0 is
+/// the bucket nearest zero and MinMax decay always shrinks magnitudes.
+common::Status EncodeStream(const common::SparseGradient& stream, bool negate,
+                            const SketchMlConfig& config, uint64_t seed,
+                            common::ByteWriter* writer, SpaceCost* cost) {
+  writer->WriteVarint(stream.size());
+  if (stream.empty()) return common::Status::Ok();
+
+  std::vector<double> values;
+  values.reserve(stream.size());
+  for (const auto& pair : stream) {
+    values.push_back(negate ? -pair.value : pair.value);
+  }
+
+  const int buckets = EffectiveBuckets(config, stream.size());
+  const int groups = std::min(config.num_groups, buckets);
+  auto quantizer = compress::QuantileBucketQuantizer::Build(
+      values, buckets, config.quantile_sketch_k, seed, BackendOf(config));
+  sketch::GroupedMinMaxSketch mm_sketch(buckets, groups, config.rows,
+                                        TotalCols(config, stream.size()),
+                                        seed);
+
+  std::vector<std::vector<uint64_t>> group_keys(groups);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const int bucket = quantizer.BucketOf(values[i]);
+    mm_sketch.Insert(stream[i].key, bucket);
+    group_keys[mm_sketch.GroupOf(bucket)].push_back(stream[i].key);
+  }
+
+  size_t mark = writer->size();
+  quantizer.SerializeMeans(writer);
+  cost->bucket_mean_bytes += writer->size() - mark;
+
+  mark = writer->size();
+  mm_sketch.Serialize(writer);
+  cost->sketch_bytes += writer->size() - mark;
+
+  mark = writer->size();
+  for (const auto& keys : group_keys) {
+    SKETCHML_RETURN_IF_ERROR(
+        compress::DeltaBinaryKeyCodec::Encode(keys, writer));
+  }
+  cost->key_bytes += writer->size() - mark;
+  return common::Status::Ok();
+}
+
+/// Decodes one sign stream and appends its pairs (with `sign` applied)
+/// to `out`.
+common::Status DecodeStream(common::ByteReader* reader, double sign,
+                            common::SparseGradient* out) {
+  uint64_t count = 0;
+  SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&count));
+  if (count == 0) return common::Status::Ok();
+  // Each pair costs at least one delta byte downstream.
+  if (count > reader->remaining()) {
+    return common::Status::CorruptedData("implausible stream size");
+  }
+
+  compress::QuantileBucketQuantizer quantizer({0.0, 0.0});
+  SKETCHML_RETURN_IF_ERROR(
+      compress::QuantileBucketQuantizer::DeserializeMeans(reader, &quantizer));
+
+  sketch::GroupedMinMaxSketch mm_sketch(1, 1, 1, 1);
+  SKETCHML_RETURN_IF_ERROR(
+      sketch::GroupedMinMaxSketch::Deserialize(reader, &mm_sketch));
+  if (mm_sketch.num_buckets() != quantizer.num_buckets()) {
+    return common::Status::CorruptedData("bucket count mismatch");
+  }
+
+  uint64_t decoded = 0;
+  std::vector<uint64_t> keys;
+  for (int group = 0; group < mm_sketch.num_groups(); ++group) {
+    SKETCHML_RETURN_IF_ERROR(
+        compress::DeltaBinaryKeyCodec::Decode(reader, &keys));
+    for (uint64_t key : keys) {
+      const int bucket = mm_sketch.Query(key, group);
+      out->push_back({key, sign * quantizer.MeanOf(bucket)});
+    }
+    decoded += keys.size();
+  }
+  if (decoded != count) {
+    return common::Status::CorruptedData("stream key count mismatch");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+SketchMlCodec::SketchMlCodec(const SketchMlConfig& config) : config_(config) {
+  SKETCHML_CHECK(config.Validate().ok()) << config.Validate().ToString();
+}
+
+common::Status SketchMlCodec::Encode(const common::SparseGradient& grad,
+                                     compress::EncodedGradient* out) {
+  SKETCHML_RETURN_IF_ERROR(compress::ValidateEncodable(grad));
+  last_space_cost_ = SpaceCost();
+  common::ByteWriter writer(grad.size() * 2 + 64);
+
+  writer.WriteU8(kWireVersion);
+  writer.WriteVarint(grad.size());
+  last_space_cost_.header_bytes = writer.size();
+
+  common::SparseGradient pos, neg;
+  if (config_.separate_signs) {
+    SplitBySign(grad, &pos, &neg);
+  } else {
+    pos = grad;  // Ablation: quantize both signs together (Problem 1).
+  }
+
+  // Distinct seeds per message keep hash functions fresh across epochs
+  // while staying deterministic for a fixed config seed.
+  const uint64_t seed = config_.seed + 0x9E3779B97F4A7C15ULL * encode_calls_;
+  ++encode_calls_;
+
+  SKETCHML_RETURN_IF_ERROR(EncodeStream(pos, /*negate=*/false, config_, seed,
+                                        &writer, &last_space_cost_));
+  SKETCHML_RETURN_IF_ERROR(EncodeStream(neg, /*negate=*/true, config_,
+                                        seed + 1, &writer, &last_space_cost_));
+  out->bytes = writer.TakeBuffer();
+  return common::Status::Ok();
+}
+
+common::Status SketchMlCodec::Decode(const compress::EncodedGradient& in,
+                                     common::SparseGradient* out) {
+  common::ByteReader reader(in.bytes);
+  uint8_t version = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadU8(&version));
+  if (version != kWireVersion) {
+    return common::Status::CorruptedData("unknown SketchML wire version");
+  }
+  uint64_t total = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadVarint(&total));
+  // Every pair costs at least one wire byte; validate before reserving.
+  if (total > in.bytes.size()) {
+    return common::Status::CorruptedData("implausible pair count");
+  }
+
+  out->clear();
+  out->reserve(total);
+  SKETCHML_RETURN_IF_ERROR(DecodeStream(&reader, +1.0, out));
+  SKETCHML_RETURN_IF_ERROR(DecodeStream(&reader, -1.0, out));
+  if (out->size() != total) {
+    return common::Status::CorruptedData("decoded pair count mismatch");
+  }
+  common::SortByKey(out);
+  return common::Status::Ok();
+}
+
+common::Status KeyOnlyCodec::Encode(const common::SparseGradient& grad,
+                                    compress::EncodedGradient* out) {
+  SKETCHML_RETURN_IF_ERROR(compress::ValidateEncodable(grad));
+  common::ByteWriter writer(grad.size() * 10 + 16);
+  SKETCHML_RETURN_IF_ERROR(
+      compress::DeltaBinaryKeyCodec::Encode(common::Keys(grad), &writer));
+  for (const auto& pair : grad) writer.WriteDouble(pair.value);
+  out->bytes = writer.TakeBuffer();
+  return common::Status::Ok();
+}
+
+common::Status KeyOnlyCodec::Decode(const compress::EncodedGradient& in,
+                                    common::SparseGradient* out) {
+  common::ByteReader reader(in.bytes);
+  std::vector<uint64_t> keys;
+  SKETCHML_RETURN_IF_ERROR(
+      compress::DeltaBinaryKeyCodec::Decode(&reader, &keys));
+  out->assign(keys.size(), {});
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*out)[i].key = keys[i];
+    SKETCHML_RETURN_IF_ERROR(reader.ReadDouble(&(*out)[i].value));
+  }
+  return common::Status::Ok();
+}
+
+QuantileOnlyCodec::QuantileOnlyCodec(const SketchMlConfig& config)
+    : config_(config) {
+  SKETCHML_CHECK(config.Validate().ok()) << config.Validate().ToString();
+}
+
+common::Status QuantileOnlyCodec::Encode(const common::SparseGradient& grad,
+                                         compress::EncodedGradient* out) {
+  SKETCHML_RETURN_IF_ERROR(compress::ValidateEncodable(grad));
+  common::ByteWriter writer(grad.size() * 3 + 64);
+  writer.WriteU8(kWireVersion);
+
+  common::SparseGradient pos, neg;
+  SplitBySign(grad, &pos, &neg);
+  const uint64_t seed = config_.seed + 0x9E3779B97F4A7C15ULL * encode_calls_;
+  ++encode_calls_;
+
+  const common::SparseGradient* streams[2] = {&pos, &neg};
+  for (int s = 0; s < 2; ++s) {
+    const auto& stream = *streams[s];
+    const bool negate = s == 1;
+    writer.WriteVarint(stream.size());
+    if (stream.empty()) continue;
+    std::vector<double> values;
+    values.reserve(stream.size());
+    for (const auto& pair : stream) {
+      values.push_back(negate ? -pair.value : pair.value);
+    }
+    auto quantizer = compress::QuantileBucketQuantizer::Build(
+        values, EffectiveBuckets(config_, stream.size()),
+        config_.quantile_sketch_k, seed + s, BackendOf(config_));
+    quantizer.SerializeMeans(&writer);
+    SKETCHML_RETURN_IF_ERROR(compress::DeltaBinaryKeyCodec::Encode(
+        common::Keys(stream), &writer));
+    for (double v : values) {
+      writer.WriteU8(static_cast<uint8_t>(quantizer.BucketOf(v)));
+    }
+  }
+  out->bytes = writer.TakeBuffer();
+  return common::Status::Ok();
+}
+
+common::Status QuantileOnlyCodec::Decode(const compress::EncodedGradient& in,
+                                         common::SparseGradient* out) {
+  common::ByteReader reader(in.bytes);
+  uint8_t version = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadU8(&version));
+  if (version != kWireVersion) {
+    return common::Status::CorruptedData("unknown wire version");
+  }
+  out->clear();
+  for (int s = 0; s < 2; ++s) {
+    const double sign = s == 0 ? 1.0 : -1.0;
+    uint64_t count = 0;
+    SKETCHML_RETURN_IF_ERROR(reader.ReadVarint(&count));
+    if (count == 0) continue;
+    if (count > reader.remaining()) {
+      return common::Status::CorruptedData("implausible stream size");
+    }
+    compress::QuantileBucketQuantizer quantizer({0.0, 0.0});
+    SKETCHML_RETURN_IF_ERROR(
+        compress::QuantileBucketQuantizer::DeserializeMeans(&reader,
+                                                            &quantizer));
+    std::vector<uint64_t> keys;
+    SKETCHML_RETURN_IF_ERROR(
+        compress::DeltaBinaryKeyCodec::Decode(&reader, &keys));
+    if (keys.size() != count) {
+      return common::Status::CorruptedData("key count mismatch");
+    }
+    for (uint64_t key : keys) {
+      uint8_t bucket = 0;
+      SKETCHML_RETURN_IF_ERROR(reader.ReadU8(&bucket));
+      if (bucket >= quantizer.num_buckets()) {
+        return common::Status::CorruptedData("bucket index out of range");
+      }
+      out->push_back({key, sign * quantizer.MeanOf(bucket)});
+    }
+  }
+  common::SortByKey(out);
+  return common::Status::Ok();
+}
+
+std::unique_ptr<compress::GradientCodec> MakeSketchMlCodec(
+    const SketchMlConfig& config) {
+  return std::make_unique<SketchMlCodec>(config);
+}
+
+}  // namespace sketchml::core

@@ -1,0 +1,114 @@
+#ifndef SKETCHML_CORE_SKETCHML_CODEC_H_
+#define SKETCHML_CORE_SKETCHML_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "compress/codec.h"
+#include "core/sketchml_config.h"
+
+namespace sketchml::core {
+
+/// Byte-level breakdown of one encoded message (§3.5 space analysis).
+///
+/// The paper's closed form: total =
+///   d * (ceil(log2(rD/d)/8) + 1/4)  -- delta keys + byte flags
+///   + 8q                            -- bucket means (we use float32: 4q)
+///   + s * t * ceil(log2(q)/8)       -- MinMaxSketch bins
+struct SpaceCost {
+  size_t header_bytes = 0;
+  size_t bucket_mean_bytes = 0;  // 4q per nonempty sign stream.
+  size_t sketch_bytes = 0;       // MinMaxSketch bins (s * t).
+  size_t key_bytes = 0;          // Delta keys + 2-bit byte flags.
+  size_t value_bytes = 0;        // Per-value payload of non-sketch codecs.
+
+  size_t Total() const {
+    return header_bytes + bucket_mean_bytes + sketch_bytes + key_bytes +
+           value_bytes;
+  }
+};
+
+/// The full SketchML gradient compressor (§3, Figure 2).
+///
+/// Encode pipeline:
+///   1. split the pairs into positive and negative streams (§3.3 Sol. 1);
+///      negatives are quantized on magnitude so bucket 0 is always the
+///      bucket nearest zero for both streams;
+///   2. per stream, quantile-bucket quantification (§3.2): a KLL quantile
+///      sketch yields q equal-depth buckets, every value becomes a bucket
+///      index;
+///   3. bucket indexes go into a grouped MinMaxSketch keyed by gradient
+///      key (§3.3): min on insert / max on query, so collisions only decay
+///      values toward zero, never amplify or flip them;
+///   4. each group's (ascending) key list is delta-binary encoded (§3.4).
+///
+/// Decode reverses it: recover keys, query the group's sketch for each
+/// key, map the bucket index to its mean, re-apply the sign.
+///
+/// Lossy but sign- and monotonicity-safe: for every pair,
+/// |decoded| <= |quantized(original)| and sign(decoded) == sign(original).
+class SketchMlCodec : public compress::GradientCodec {
+ public:
+  explicit SketchMlCodec(const SketchMlConfig& config = SketchMlConfig());
+
+  std::string Name() const override { return "sketchml"; }
+  bool IsLossless() const override { return false; }
+
+  common::Status Encode(const common::SparseGradient& grad,
+                        compress::EncodedGradient* out) override;
+  common::Status Decode(const compress::EncodedGradient& in,
+                        common::SparseGradient* out) override;
+
+  /// Byte breakdown of the most recent Encode call.
+  const SpaceCost& last_space_cost() const { return last_space_cost_; }
+
+  const SketchMlConfig& config() const { return config_; }
+
+ private:
+  SketchMlConfig config_;
+  SpaceCost last_space_cost_;
+  uint64_t encode_calls_ = 0;
+};
+
+/// "Adam+Key" ablation stage of Figure 8: delta-binary keys, raw double
+/// values. Lossless.
+class KeyOnlyCodec : public compress::GradientCodec {
+ public:
+  std::string Name() const override { return "adam+key"; }
+  bool IsLossless() const override { return true; }
+
+  common::Status Encode(const common::SparseGradient& grad,
+                        compress::EncodedGradient* out) override;
+  common::Status Decode(const compress::EncodedGradient& in,
+                        common::SparseGradient* out) override;
+};
+
+/// "Adam+Key+Quan" ablation stage of Figure 8: delta-binary keys plus
+/// quantile-bucket quantification with explicit one-byte bucket indexes
+/// (no MinMaxSketch). Positive/negative streams are separated exactly as
+/// in the full codec.
+class QuantileOnlyCodec : public compress::GradientCodec {
+ public:
+  explicit QuantileOnlyCodec(const SketchMlConfig& config = SketchMlConfig());
+
+  std::string Name() const override { return "adam+key+quan"; }
+  bool IsLossless() const override { return false; }
+
+  common::Status Encode(const common::SparseGradient& grad,
+                        compress::EncodedGradient* out) override;
+  common::Status Decode(const compress::EncodedGradient& in,
+                        common::SparseGradient* out) override;
+
+ private:
+  SketchMlConfig config_;
+  uint64_t encode_calls_ = 0;
+};
+
+/// Builds the full SketchML codec behind the generic interface.
+std::unique_ptr<compress::GradientCodec> MakeSketchMlCodec(
+    const SketchMlConfig& config = SketchMlConfig());
+
+}  // namespace sketchml::core
+
+#endif  // SKETCHML_CORE_SKETCHML_CODEC_H_

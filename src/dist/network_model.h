@@ -1,0 +1,56 @@
+#ifndef SKETCHML_DIST_NETWORK_MODEL_H_
+#define SKETCHML_DIST_NETWORK_MODEL_H_
+
+#include <cstddef>
+
+namespace sketchml::dist {
+
+/// Linear cost model for moving bytes over one network link.
+///
+/// This is the substitution for the paper's physical clusters (§4.1): we
+/// serialize real messages and convert their exact byte counts into
+/// seconds with `latency + bytes / effective_bandwidth`. A switch- or
+/// driver-bottlenecked cluster obeys exactly this model, so relative
+/// speedups (who wins, by what factor, where the worker-count crossover
+/// falls) carry over even though absolute seconds differ from Tencent's
+/// hardware.
+struct NetworkModel {
+  double bandwidth_gbps = 1.0;     // Raw link speed, gigabits/second.
+  double latency_seconds = 5e-4;   // Per-message latency.
+  double congestion_factor = 1.0;  // >1: shared cluster eats bandwidth.
+
+  /// Seconds to move `bytes` over this link.
+  double TransferSeconds(size_t bytes) const {
+    const double effective_bps =
+        bandwidth_gbps * 1e9 / 8.0 / congestion_factor;
+    return latency_seconds + static_cast<double>(bytes) / effective_bps;
+  }
+
+  /// Cluster-1 (§4.1): dedicated lab cluster, 1 Gbps Ethernet.
+  static NetworkModel Lab1Gbps() { return {1.0, 5e-4, 1.0}; }
+
+  /// Cluster-2 (§4.1): 10 Gbps but "more congested than Cluster-1 since
+  /// Cluster-2 serves many applications simultaneously"; the paper notes
+  /// SketchML runs *slower* there than on Cluster-1's dedicated 1 Gbps.
+  /// Model the contention as a 20x effective-bandwidth haircut (~0.5
+  /// Gbps), which reproduces that observation.
+  static NetworkModel Congested10Gbps() { return {10.0, 1e-3, 20.0}; }
+
+  /// Geo-distributed / WAN (§1.1 Case 3): low bandwidth, high latency.
+  static NetworkModel Wan() { return {0.1, 5e-2, 1.0}; }
+
+  /// Rescales `base` for a workload whose messages are `data_scale` times
+  /// smaller than the paper's (the benches use ~840: 35 MB raw messages
+  /// there vs ~42 KB here). Dividing bandwidth by the same factor keeps
+  /// the bytes/bandwidth ratio — and therefore every relative result —
+  /// intact while letting the simulation run on laptop-scale data.
+  static NetworkModel Scaled(const NetworkModel& base, double data_scale) {
+    NetworkModel scaled = base;
+    scaled.bandwidth_gbps = base.bandwidth_gbps / data_scale;
+    return scaled;
+  }
+};
+
+}  // namespace sketchml::dist
+
+#endif  // SKETCHML_DIST_NETWORK_MODEL_H_

@@ -1,0 +1,44 @@
+#include "dist/stats.h"
+
+#include <cstdio>
+
+namespace sketchml::dist {
+
+std::string EpochStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "epoch %2d: %.2fs (cpu %.2fs net %.2fs) up %.2fMB "
+                "down %.2fMB loss %.5f",
+                epoch, TotalSeconds(),
+                compute_seconds + encode_seconds + decode_seconds +
+                    update_seconds,
+                network_seconds, bytes_up / 1e6, bytes_down / 1e6,
+                train_loss);
+  return buf;
+}
+
+EpochStats Aggregate(const std::vector<EpochStats>& stats) {
+  EpochStats total;
+  for (const auto& s : stats) {
+    total.compute_seconds += s.compute_seconds;
+    total.encode_seconds += s.encode_seconds;
+    total.decode_seconds += s.decode_seconds;
+    total.update_seconds += s.update_seconds;
+    total.network_seconds += s.network_seconds;
+    total.bytes_up += s.bytes_up;
+    total.bytes_down += s.bytes_down;
+    total.messages += s.messages;
+    total.num_batches += s.num_batches;
+  }
+  if (!stats.empty()) {
+    total.epoch = stats.back().epoch;
+    total.train_loss = stats.back().train_loss;
+    total.test_loss = stats.back().test_loss;
+    double nnz = 0.0;
+    for (const auto& s : stats) nnz += s.avg_gradient_nnz;
+    total.avg_gradient_nnz = nnz / static_cast<double>(stats.size());
+  }
+  return total;
+}
+
+}  // namespace sketchml::dist

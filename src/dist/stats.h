@@ -1,0 +1,73 @@
+#ifndef SKETCHML_DIST_STATS_H_
+#define SKETCHML_DIST_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sketchml::dist {
+
+/// Per-epoch accounting produced by the distributed trainer.
+///
+/// CPU phases (compute/encode/decode/update) are *measured* wall time on
+/// real data; network time is *modeled* from exact serialized byte counts
+/// (see NetworkModel). Keeping them separate lets benches report both the
+/// paper's wall-clock figures and raw message sizes.
+struct EpochStats {
+  int epoch = 0;
+
+  // Measured CPU seconds (parallel phases already divided by workers).
+  double compute_seconds = 0.0;  // Gradient computation on workers.
+  double encode_seconds = 0.0;   // Worker-side compression.
+  double decode_seconds = 0.0;   // Driver-side decompression (serial).
+  double update_seconds = 0.0;   // Aggregation + optimizer step.
+
+  // Modeled network seconds through the driver's link.
+  double network_seconds = 0.0;
+
+  // Exact serialized traffic.
+  uint64_t bytes_up = 0;    // Workers -> driver (gradients).
+  uint64_t bytes_down = 0;  // Driver -> workers (model update).
+  uint64_t messages = 0;    // Total gradient messages this epoch.
+
+  size_t num_batches = 0;
+  double avg_gradient_nnz = 0.0;  // Mean d per worker message.
+  double train_loss = 0.0;        // After the epoch.
+  double test_loss = 0.0;
+
+  /// Simulated wall-clock seconds of this epoch.
+  double TotalSeconds() const {
+    return compute_seconds + encode_seconds + decode_seconds +
+           update_seconds + network_seconds;
+  }
+
+  /// CPU busy fraction of the epoch, in percent — the Figure 8(c) metric.
+  /// Compressed codecs spend less time idling on the network, so their
+  /// average CPU usage is higher.
+  double AvgCpuPercent() const {
+    const double total = TotalSeconds();
+    if (total <= 0) return 0.0;
+    return (compute_seconds + encode_seconds + decode_seconds +
+            update_seconds) /
+           total * 100.0;
+  }
+
+  /// Mean gradient message size in bytes.
+  double AvgMessageBytes() const {
+    return messages == 0 ? 0.0
+                         : static_cast<double>(bytes_up) /
+                               static_cast<double>(messages);
+  }
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Sums the per-epoch numbers of `stats` (loss fields take the last
+/// epoch's values).
+EpochStats Aggregate(const std::vector<EpochStats>& stats);
+
+}  // namespace sketchml::dist
+
+#endif  // SKETCHML_DIST_STATS_H_

@@ -1,0 +1,110 @@
+#ifndef SKETCHML_DIST_TRAINER_H_
+#define SKETCHML_DIST_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "compress/codec.h"
+#include "dist/network_model.h"
+#include "dist/stats.h"
+#include "ml/dataset.h"
+#include "ml/loss.h"
+#include "ml/optimizer.h"
+
+namespace sketchml::dist {
+
+/// Cluster shape for the simulator.
+struct ClusterConfig {
+  int num_workers = 10;
+  NetworkModel network = NetworkModel::Lab1Gbps();
+
+  /// Parameter-server shards. 1 = the paper's Spark prototype (a single
+  /// driver gathers every gradient — its NIC serializes all W messages).
+  /// S > 1 key-range-shards the aggregation across S server links that
+  /// run in parallel, the parameter-server architecture the paper cites
+  /// [22]; the gather bottleneck drops by ~S at the cost of W*S smaller
+  /// messages (more per-message framing).
+  int num_servers = 1;
+
+  /// Multiplies measured gradient-computation seconds; lets experiments
+  /// model slower executor hardware (e.g. the paper's JVM workers)
+  /// without changing the workload.
+  double compute_scale = 1.0;
+
+  /// Multiplies measured encode/decode/aggregate seconds. Kept separate
+  /// from `compute_scale` because codec kernels are tight array loops in
+  /// both systems while the paper's gradient math pays full JVM overhead.
+  double codec_scale = 1.0;
+};
+
+/// Training-loop knobs (paper protocol, §4.1).
+struct TrainerConfig {
+  double batch_ratio = 0.1;   // Mini-batch = 10 % of the train set.
+  double learning_rate = 0.1;
+  double lambda = 0.01;       // ℓ2 coefficient.
+  bool use_adam = true;       // Adam SGD for all candidates (§4.1).
+
+  /// Adam's epsilon. The paper uses 1e-8 on ~11M-instance mini-batches;
+  /// scaled-down workloads have much noisier gradients, and a larger
+  /// epsilon damps Adam's normalized step on dimensions whose gradient is
+  /// below the noise floor (otherwise rare features random-walk).
+  double adam_epsilon = 1e-8;
+
+  bool evaluate_test_loss = true;
+};
+
+/// Data-parallel mini-batch SGD with a pluggable gradient codec — the
+/// stand-in for the paper's Spark driver/executor prototype (§4.1).
+///
+/// Per batch:
+///   1. the batch is range-partitioned over W executors; each computes a
+///      sparse gradient over its shard (measured, / W for parallelism);
+///   2. each executor encodes its gradient with the codec (measured) and
+///      "sends" it: bytes flow through the driver's link (modeled);
+///   3. the driver decodes W messages (measured, serial), averages them,
+///      and feeds the aggregate to the optimizer (Adam by default);
+///   4. the driver broadcasts the updated-weights delta, re-encoded with
+///      the same codec, to W executors (modeled).
+///
+/// Lossy codecs therefore distort what the optimizer sees exactly once,
+/// matching the paper's architecture where compression sits on the
+/// gradient aggregation path.
+class DistributedTrainer {
+ public:
+  /// `codec` may be null for a no-compression (raw double) baseline.
+  /// `train`/`test` and `loss` must outlive the trainer.
+  DistributedTrainer(const ml::Dataset* train, const ml::Dataset* test,
+                     const ml::Loss* loss,
+                     std::unique_ptr<compress::GradientCodec> codec,
+                     const ClusterConfig& cluster,
+                     const TrainerConfig& config);
+
+  /// Runs one epoch (one pass over the train set) and returns its stats.
+  common::Result<EpochStats> RunEpoch();
+
+  /// Runs `epochs` epochs, returning per-epoch stats.
+  common::Result<std::vector<EpochStats>> Run(int epochs);
+
+  const ml::Optimizer& optimizer() const { return *optimizer_; }
+  int epochs_run() const { return epochs_run_; }
+
+  /// Simulated wall-clock seconds so far (sum over epochs).
+  double simulated_seconds() const { return simulated_seconds_; }
+
+ private:
+  const ml::Dataset* train_;
+  const ml::Dataset* test_;
+  const ml::Loss* loss_;
+  std::unique_ptr<compress::GradientCodec> codec_;
+  ClusterConfig cluster_;
+  TrainerConfig config_;
+  std::unique_ptr<ml::Optimizer> optimizer_;
+  int epochs_run_ = 0;
+  double simulated_seconds_ = 0.0;
+};
+
+}  // namespace sketchml::dist
+
+#endif  // SKETCHML_DIST_TRAINER_H_

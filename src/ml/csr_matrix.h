@@ -1,0 +1,76 @@
+#ifndef SKETCHML_ML_CSR_MATRIX_H_
+#define SKETCHML_ML_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sparse.h"
+#include "ml/dataset.h"
+#include "ml/loss.h"
+#include "ml/types.h"
+
+namespace sketchml::ml {
+
+/// Compressed Sparse Row storage of a dataset's feature matrix (§1.1 /
+/// §5 mention CSR as the standard sparse representation).
+///
+/// Compared with the per-instance `std::vector<Feature>` layout, CSR
+/// packs all indices and values into two contiguous arrays with a row
+/// offset table: one allocation, sequential scans, and ~40 % less memory
+/// (no per-vector headers). The trainer-facing helpers below mirror the
+/// AoS API so the two layouts are interchangeable.
+class CsrMatrix {
+ public:
+  /// Borrowed, read-only view of one row.
+  struct RowView {
+    const uint32_t* indices;
+    const float* values;
+    size_t nnz;
+  };
+
+  /// Builds CSR arrays (and the label vector) from `data`.
+  static CsrMatrix FromDataset(const Dataset& data);
+
+  size_t rows() const { return row_offsets_.size() - 1; }
+  uint64_t cols() const { return cols_; }
+  size_t nnz() const { return indices_.size(); }
+  double label(size_t row) const { return labels_[row]; }
+
+  RowView Row(size_t row) const {
+    const size_t begin = row_offsets_[row];
+    return {indices_.data() + begin, values_.data() + begin,
+            row_offsets_[row + 1] - begin};
+  }
+
+  /// Sparse dot product <w, row>.
+  double RowDot(size_t row, const DenseVector& w) const;
+
+  /// Bytes of index/value/offset storage.
+  size_t MemoryBytes() const {
+    return indices_.size() * sizeof(uint32_t) +
+           values_.size() * sizeof(float) +
+           row_offsets_.size() * sizeof(size_t) +
+           labels_.size() * sizeof(double);
+  }
+
+ private:
+  CsrMatrix() = default;
+
+  uint64_t cols_ = 0;
+  std::vector<size_t> row_offsets_;  // rows + 1 entries.
+  std::vector<uint32_t> indices_;
+  std::vector<float> values_;
+  std::vector<double> labels_;
+};
+
+/// CSR-backed mini-batch gradient: identical semantics to
+/// `ComputeBatchGradient` (same loss, same lazy ℓ2), different storage.
+common::SparseGradient ComputeBatchGradientCsr(const Loss& loss,
+                                               const DenseVector& w,
+                                               const CsrMatrix& matrix,
+                                               size_t begin, size_t end,
+                                               double lambda);
+
+}  // namespace sketchml::ml
+
+#endif  // SKETCHML_ML_CSR_MATRIX_H_

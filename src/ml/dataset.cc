@@ -1,0 +1,114 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sketchml::ml {
+
+double Dataset::AvgNnz() const {
+  if (instances_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& inst : instances_) total += inst.features.size();
+  return static_cast<double>(total) / instances_.size();
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double test_fraction) const {
+  const size_t test_count =
+      static_cast<size_t>(static_cast<double>(size()) * test_fraction);
+  const size_t train_count = size() - test_count;
+  std::vector<Instance> train(instances_.begin(),
+                              instances_.begin() + train_count);
+  std::vector<Instance> test(instances_.begin() + train_count,
+                             instances_.end());
+  return {Dataset(std::move(train), dim_), Dataset(std::move(test), dim_)};
+}
+
+namespace {
+
+common::Status ParseLine(const std::string& line, Instance* inst,
+                         uint64_t* max_index) {
+  std::istringstream ss(line);
+  double label = 0.0;
+  if (!(ss >> label)) {
+    return common::Status::CorruptedData("missing label: " + line);
+  }
+  // Map {0, 1} labels to {-1, +1}; leave regression targets alone
+  // (they are also commonly 0/1 in CTR-style data, which maps fine).
+  inst->label = label == 0.0 ? -1.0 : label;
+
+  std::string token;
+  while (ss >> token) {
+    const size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      return common::Status::CorruptedData("bad feature token: " + token);
+    }
+    char* end = nullptr;
+    const unsigned long long index =
+        std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() + colon) {
+      return common::Status::CorruptedData("bad feature index: " + token);
+    }
+    const double value = std::strtod(token.c_str() + colon + 1, &end);
+    if (end == token.c_str() + colon + 1) {
+      return common::Status::CorruptedData("bad feature value: " + token);
+    }
+    inst->features.push_back(
+        {static_cast<uint32_t>(index), static_cast<float>(value)});
+    *max_index = std::max(*max_index, static_cast<uint64_t>(index));
+  }
+  std::sort(inst->features.begin(), inst->features.end(),
+            [](const Feature& a, const Feature& b) {
+              return a.index < b.index;
+            });
+  return common::Status::Ok();
+}
+
+common::Result<Dataset> ParseStream(std::istream& in) {
+  std::vector<Instance> instances;
+  uint64_t max_index = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Instance inst;
+    SKETCHML_RETURN_IF_ERROR(ParseLine(line, &inst, &max_index));
+    instances.push_back(std::move(inst));
+  }
+  return Dataset(std::move(instances), max_index + 1);
+}
+
+}  // namespace
+
+common::Result<Dataset> ReadLibSvmFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return common::Status::IoError("cannot open " + path);
+  }
+  return ParseStream(file);
+}
+
+common::Result<Dataset> ParseLibSvm(const std::string& text) {
+  std::istringstream ss(text);
+  return ParseStream(ss);
+}
+
+common::Status WriteLibSvmFile(const Dataset& data, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return common::Status::IoError("cannot open " + path + " for writing");
+  }
+  for (const auto& inst : data.instances()) {
+    file << inst.label;
+    for (const auto& f : inst.features) {
+      file << ' ' << f.index << ':' << f.value;
+    }
+    file << '\n';
+  }
+  if (!file) {
+    return common::Status::IoError("write failed for " + path);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace sketchml::ml

@@ -1,0 +1,62 @@
+#include "ml/gradient.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace sketchml::ml {
+
+common::SparseGradient ComputeBatchGradient(const Loss& loss,
+                                            const DenseVector& w,
+                                            const Dataset& data, size_t begin,
+                                            size_t end, double lambda) {
+  SKETCHML_CHECK_LE(begin, end);
+  SKETCHML_CHECK_LE(end, data.size());
+  std::unordered_map<uint32_t, double> acc;
+  acc.reserve((end - begin) * 8);
+  const double inv_batch = end > begin ? 1.0 / (end - begin) : 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const Instance& x = data.instances()[i];
+    const double margin = Dot(w, x);
+    const double scale = loss.PointGradientScale(margin, x.label) * inv_batch;
+    if (scale == 0.0) continue;
+    for (const auto& f : x.features) {
+      acc[f.index] += scale * static_cast<double>(f.value);
+    }
+  }
+  common::SparseGradient grad;
+  grad.reserve(acc.size());
+  for (const auto& [key, value] : acc) {
+    const double with_reg = value + lambda * w[key];
+    if (with_reg != 0.0) grad.push_back({key, with_reg});
+  }
+  common::SortByKey(&grad);
+  return grad;
+}
+
+double ComputeMeanLoss(const Loss& loss, const DenseVector& w,
+                       const Dataset& data, double lambda) {
+  if (data.size() == 0) return 0.0;
+  double total = 0.0;
+  for (const auto& x : data.instances()) {
+    total += loss.PointLoss(Dot(w, x), x.label);
+  }
+  double reg = 0.0;
+  if (lambda > 0.0) {
+    for (double wi : w) reg += wi * wi;
+    reg *= lambda / 2.0;
+  }
+  return total / static_cast<double>(data.size()) + reg;
+}
+
+double ComputeAccuracy(const DenseVector& w, const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  size_t correct = 0;
+  for (const auto& x : data.instances()) {
+    const double margin = Dot(w, x);
+    if ((margin >= 0 ? 1.0 : -1.0) == x.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace sketchml::ml

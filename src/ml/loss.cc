@@ -1,0 +1,45 @@
+#include "ml/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sketchml::ml {
+
+double LogisticLoss::PointLoss(double margin, double label) const {
+  const double z = -label * margin;
+  // log(1 + e^z), numerically stable for large |z|.
+  if (z > 30) return z;
+  return std::log1p(std::exp(z));
+}
+
+double LogisticLoss::PointGradientScale(double margin, double label) const {
+  const double z = -label * margin;
+  const double sigma = z > 30 ? 1.0 : std::exp(z) / (1.0 + std::exp(z));
+  return -label * sigma;
+}
+
+double HingeLoss::PointLoss(double margin, double label) const {
+  return std::max(0.0, 1.0 - label * margin);
+}
+
+double HingeLoss::PointGradientScale(double margin, double label) const {
+  return label * margin < 1.0 ? -label : 0.0;
+}
+
+double SquaredLoss::PointLoss(double margin, double label) const {
+  const double diff = label - margin;
+  return diff * diff;
+}
+
+double SquaredLoss::PointGradientScale(double margin, double label) const {
+  return 2.0 * (margin - label);
+}
+
+std::unique_ptr<Loss> MakeLoss(const std::string& name) {
+  if (name == "lr") return std::make_unique<LogisticLoss>();
+  if (name == "svm") return std::make_unique<HingeLoss>();
+  if (name == "linear") return std::make_unique<SquaredLoss>();
+  return nullptr;
+}
+
+}  // namespace sketchml::ml

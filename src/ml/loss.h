@@ -1,0 +1,59 @@
+#ifndef SKETCHML_ML_LOSS_H_
+#define SKETCHML_ML_LOSS_H_
+
+#include <memory>
+#include <string>
+
+#include "ml/types.h"
+
+namespace sketchml::ml {
+
+/// A generalized-linear-model loss with ℓ2 regularization (§4.1).
+///
+/// `PointLoss` evaluates the per-instance loss at margin m = <w, x> (with
+/// label y); `PointGradientScale` returns dL/dm so the per-instance
+/// gradient is scale * x — the sparse structure SketchML compresses.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Per-instance loss given the prediction margin and the label.
+  virtual double PointLoss(double margin, double label) const = 0;
+
+  /// dL/dmargin given the margin and the label.
+  virtual double PointGradientScale(double margin, double label) const = 0;
+};
+
+/// Logistic regression: log(1 + exp(-y m)).
+class LogisticLoss : public Loss {
+ public:
+  std::string Name() const override { return "LR"; }
+  double PointLoss(double margin, double label) const override;
+  double PointGradientScale(double margin, double label) const override;
+};
+
+/// Support vector machine (hinge): max(0, 1 - y m).
+class HingeLoss : public Loss {
+ public:
+  std::string Name() const override { return "SVM"; }
+  double PointLoss(double margin, double label) const override;
+  double PointGradientScale(double margin, double label) const override;
+};
+
+/// Linear regression (squared): (y - m)^2.
+class SquaredLoss : public Loss {
+ public:
+  std::string Name() const override { return "Linear"; }
+  double PointLoss(double margin, double label) const override;
+  double PointGradientScale(double margin, double label) const override;
+};
+
+/// Builds a loss by the paper's model names: "lr", "svm", "linear".
+/// Returns nullptr for unknown names.
+std::unique_ptr<Loss> MakeLoss(const std::string& name);
+
+}  // namespace sketchml::ml
+
+#endif  // SKETCHML_ML_LOSS_H_

@@ -1,0 +1,69 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace sketchml::ml {
+
+double AucFromScores(const std::vector<double>& scores,
+                     const std::vector<double>& labels) {
+  SKETCHML_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  if (n == 0) return 0.5;
+
+  // Rank-sum formulation: AUC = (R_pos - P(P+1)/2) / (P * N) where R_pos
+  // is the sum of (tie-averaged) ranks of positive instances.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  double positives = 0, negatives = 0, positive_rank_sum = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] > 0) {
+      positives += 1;
+      positive_rank_sum += ranks[k];
+    } else {
+      negatives += 1;
+    }
+  }
+  if (positives == 0 || negatives == 0) return 0.5;
+  return (positive_rank_sum - positives * (positives + 1) / 2.0) /
+         (positives * negatives);
+}
+
+double ComputeAuc(const DenseVector& w, const Dataset& data) {
+  std::vector<double> scores, labels;
+  scores.reserve(data.size());
+  labels.reserve(data.size());
+  for (const auto& x : data.instances()) {
+    scores.push_back(Dot(w, x));
+    labels.push_back(x.label);
+  }
+  return AucFromScores(scores, labels);
+}
+
+double ComputeRmse(const DenseVector& w, const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  double total = 0.0;
+  for (const auto& x : data.instances()) {
+    const double diff = Dot(w, x) - x.label;
+    total += diff * diff;
+  }
+  return std::sqrt(total / static_cast<double>(data.size()));
+}
+
+}  // namespace sketchml::ml

@@ -1,0 +1,27 @@
+#ifndef SKETCHML_ML_METRICS_H_
+#define SKETCHML_ML_METRICS_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/types.h"
+
+namespace sketchml::ml {
+
+/// Area under the ROC curve for binary classification scores.
+/// `scores[i]` is the model margin for instance i; `labels[i]` is ±1.
+/// Ties are handled by the standard rank-average (trapezoid) rule.
+/// Returns 0.5 when one class is absent.
+double AucFromScores(const std::vector<double>& scores,
+                     const std::vector<double>& labels);
+
+/// AUC of model `w` over `data` — the metric CTR systems optimize.
+double ComputeAuc(const DenseVector& w, const Dataset& data);
+
+/// Root-mean-squared error of the margins against the labels
+/// (regression).
+double ComputeRmse(const DenseVector& w, const Dataset& data);
+
+}  // namespace sketchml::ml
+
+#endif  // SKETCHML_ML_METRICS_H_

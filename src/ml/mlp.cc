@@ -1,0 +1,163 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace sketchml::ml {
+
+Mlp::Mlp(std::vector<int> layer_sizes, uint64_t seed)
+    : layer_sizes_(std::move(layer_sizes)) {
+  SKETCHML_CHECK_GE(layer_sizes_.size(), 2u);
+  size_t offset = 0;
+  const int layers = static_cast<int>(layer_sizes_.size()) - 1;
+  for (int l = 0; l < layers; ++l) {
+    weight_offsets_.push_back(offset);
+    offset += static_cast<size_t>(layer_sizes_[l]) * layer_sizes_[l + 1];
+    bias_offsets_.push_back(offset);
+    offset += layer_sizes_[l + 1];
+  }
+  params_.assign(offset, 0.0);
+  common::Rng rng(seed);
+  for (int l = 0; l < layers; ++l) {
+    const double scale =
+        std::sqrt(2.0 / (layer_sizes_[l] + layer_sizes_[l + 1]));
+    double* w = params_.data() + WeightOffset(l);
+    const size_t count =
+        static_cast<size_t>(layer_sizes_[l]) * layer_sizes_[l + 1];
+    for (size_t i = 0; i < count; ++i) w[i] = rng.NextGaussian() * scale;
+  }
+}
+
+std::vector<double> Mlp::Forward(
+    const Instance& x, std::vector<std::vector<double>>* acts) const {
+  const int layers = static_cast<int>(layer_sizes_.size()) - 1;
+  std::vector<double> current(layer_sizes_[0], 0.0);
+  for (const auto& f : x.features) {
+    if (f.index < current.size()) current[f.index] = f.value;
+  }
+  if (acts != nullptr) acts->push_back(current);
+
+  for (int l = 0; l < layers; ++l) {
+    const int in = layer_sizes_[l];
+    const int out = layer_sizes_[l + 1];
+    const double* w = params_.data() + WeightOffset(l);
+    const double* b = params_.data() + BiasOffset(l);
+    std::vector<double> next(out, 0.0);
+    for (int j = 0; j < out; ++j) next[j] = b[j];
+    for (int i = 0; i < in; ++i) {
+      const double xi = current[i];
+      if (xi == 0.0) continue;
+      const double* row = w + static_cast<size_t>(i) * out;
+      for (int j = 0; j < out; ++j) next[j] += xi * row[j];
+    }
+    if (l + 1 < layers) {
+      for (double& v : next) v = std::max(0.0, v);  // ReLU.
+    }
+    current = std::move(next);
+    if (acts != nullptr) acts->push_back(current);
+  }
+
+  // Softmax on the output layer.
+  const double max_logit = *std::max_element(current.begin(), current.end());
+  double denom = 0.0;
+  for (double& v : current) {
+    v = std::exp(v - max_logit);
+    denom += v;
+  }
+  for (double& v : current) v /= denom;
+  return current;
+}
+
+double Mlp::ComputeBatchGradient(const Dataset& data, size_t begin,
+                                 size_t end,
+                                 common::SparseGradient* grad) const {
+  SKETCHML_CHECK_LT(begin, end);
+  SKETCHML_CHECK_LE(end, data.size());
+  const int layers = static_cast<int>(layer_sizes_.size()) - 1;
+  std::vector<double> flat(params_.size(), 0.0);
+  double total_loss = 0.0;
+  const double inv_batch = 1.0 / static_cast<double>(end - begin);
+
+  for (size_t n = begin; n < end; ++n) {
+    const Instance& x = data.instances()[n];
+    const int label = static_cast<int>(x.label);
+    std::vector<std::vector<double>> acts;
+    std::vector<double> probs = Forward(x, &acts);
+    SKETCHML_CHECK_GE(label, 0);
+    SKETCHML_CHECK_LT(label, static_cast<int>(probs.size()));
+    total_loss += -std::log(std::max(probs[label], 1e-12));
+
+    // Backward. delta = dL/dz for the current layer's pre-activations.
+    std::vector<double> delta = probs;
+    delta[label] -= 1.0;
+    for (int l = layers - 1; l >= 0; --l) {
+      const int in = layer_sizes_[l];
+      const int out = layer_sizes_[l + 1];
+      const std::vector<double>& input = acts[l];
+      double* gw = flat.data() + WeightOffset(l);
+      double* gb = flat.data() + BiasOffset(l);
+      for (int j = 0; j < out; ++j) gb[j] += delta[j] * inv_batch;
+      for (int i = 0; i < in; ++i) {
+        const double xi = input[i];
+        if (xi == 0.0) continue;
+        double* grow = gw + static_cast<size_t>(i) * out;
+        for (int j = 0; j < out; ++j) {
+          grow[j] += xi * delta[j] * inv_batch;
+        }
+      }
+      if (l > 0) {
+        const double* w = params_.data() + WeightOffset(l);
+        std::vector<double> prev_delta(in, 0.0);
+        for (int i = 0; i < in; ++i) {
+          if (acts[l][i] <= 0.0) continue;  // ReLU derivative.
+          const double* row = w + static_cast<size_t>(i) * out;
+          double sum = 0.0;
+          for (int j = 0; j < out; ++j) sum += row[j] * delta[j];
+          prev_delta[i] = sum;
+        }
+        delta = std::move(prev_delta);
+      }
+    }
+  }
+
+  grad->clear();
+  grad->reserve(flat.size());
+  for (size_t k = 0; k < flat.size(); ++k) {
+    if (flat[k] != 0.0) grad->push_back({k, flat[k]});
+  }
+  return total_loss * inv_batch;
+}
+
+double Mlp::ComputeMeanLoss(const Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  double total = 0.0;
+  for (const auto& x : data.instances()) {
+    const auto probs = Forward(x, nullptr);
+    const int label = static_cast<int>(x.label);
+    total += -std::log(std::max(probs[label], 1e-12));
+  }
+  return total / static_cast<double>(data.size());
+}
+
+double Mlp::ComputeAccuracy(const Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  size_t correct = 0;
+  for (const auto& x : data.instances()) {
+    const auto probs = Forward(x, nullptr);
+    const int predicted = static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+    if (predicted == static_cast<int>(x.label)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+void Mlp::ApplySgd(const common::SparseGradient& grad, double learning_rate) {
+  for (const auto& pair : grad) {
+    params_[pair.key] -= learning_rate * pair.value;
+  }
+}
+
+}  // namespace sketchml::ml

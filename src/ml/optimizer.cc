@@ -1,0 +1,43 @@
+#include "ml/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sketchml::ml {
+
+void SgdOptimizer::Apply(const common::SparseGradient& grad) {
+  for (const auto& pair : grad) {
+    weights_[pair.key] -= learning_rate_ * pair.value;
+  }
+}
+
+AdamOptimizer::AdamOptimizer(uint64_t dim, double learning_rate, double beta1,
+                             double beta2, double epsilon)
+    : Optimizer(dim),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      m_(dim, 0.0),
+      v_(dim, 0.0) {
+  SKETCHML_CHECK(beta1 >= 0 && beta1 < 1);
+  SKETCHML_CHECK(beta2 >= 0 && beta2 < 1);
+}
+
+void AdamOptimizer::Apply(const common::SparseGradient& grad) {
+  ++step_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (const auto& pair : grad) {
+    const uint64_t k = pair.key;
+    const double g = pair.value;
+    m_[k] = beta1_ * m_[k] + (1.0 - beta1_) * g;
+    v_[k] = beta2_ * v_[k] + (1.0 - beta2_) * g * g;
+    const double m_hat = m_[k] / bias1;
+    const double v_hat = v_[k] / bias2;
+    weights_[k] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+  }
+}
+
+}  // namespace sketchml::ml

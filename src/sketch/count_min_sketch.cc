@@ -1,0 +1,36 @@
+#include "sketch/count_min_sketch.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace sketchml::sketch {
+
+CountMinSketch::CountMinSketch(int rows, int cols, uint64_t seed)
+    : rows_(rows), cols_(cols) {
+  SKETCHML_CHECK_GT(rows, 0);
+  SKETCHML_CHECK_GT(cols, 0);
+  hashes_.reserve(rows);
+  for (int i = 0; i < rows; ++i) {
+    hashes_.emplace_back(seed * 0x100000001b3ULL + static_cast<uint64_t>(i));
+  }
+  table_.assign(static_cast<size_t>(rows) * cols, 0);
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t amount) {
+  for (int row = 0; row < rows_; ++row) {
+    table_[CellIndex(row, key)] += amount;
+  }
+  total_ += amount;
+}
+
+uint64_t CountMinSketch::Query(uint64_t key) const {
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  for (int row = 0; row < rows_; ++row) {
+    best = std::min(best, table_[CellIndex(row, key)]);
+  }
+  return best;
+}
+
+}  // namespace sketchml::sketch

@@ -1,0 +1,56 @@
+#ifndef SKETCHML_SKETCH_COUNT_MIN_SKETCH_H_
+#define SKETCHML_SKETCH_COUNT_MIN_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/murmur_hash.h"
+
+namespace sketchml::sketch {
+
+/// Count-Min frequency sketch (Cormode & Muthukrishnan [12], Figure 1).
+///
+/// A two-dimensional array of `rows` hash tables with `cols` bins each.
+/// Insertion increments one bin per row; queries take the minimum over
+/// rows, so estimates are never below the true frequency (one-sided
+/// overestimation error ε·N with probability 1-δ for rows = ln(1/δ),
+/// cols = e/ε).
+///
+/// SketchML evaluates — and rejects — the additive Count-Min strategy for
+/// storing bucket indexes (§3.3 Motivation): collisions amplify decoded
+/// gradients arbitrarily. The `theory_validation` bench reproduces that
+/// negative result with this class.
+class CountMinSketch {
+ public:
+  /// Creates a sketch with `rows` hash tables of `cols` bins. `seed`
+  /// derives the per-row hash functions.
+  CountMinSketch(int rows, int cols, uint64_t seed = 7);
+
+  /// Adds `amount` to item `key`'s frequency.
+  void Add(uint64_t key, uint64_t amount = 1);
+
+  /// Returns the (over-)estimated frequency of `key`.
+  uint64_t Query(uint64_t key) const;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  uint64_t TotalInsertions() const { return total_; }
+
+  /// Bytes of counter storage.
+  size_t SizeBytes() const { return table_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t CellIndex(int row, uint64_t key) const {
+    return static_cast<size_t>(row) * cols_ + hashes_[row].Bucket(key, cols_);
+  }
+
+  int rows_;
+  int cols_;
+  uint64_t total_ = 0;
+  std::vector<common::HashFunction> hashes_;
+  std::vector<uint64_t> table_;  // rows_ x cols_, row-major.
+};
+
+}  // namespace sketchml::sketch
+
+#endif  // SKETCHML_SKETCH_COUNT_MIN_SKETCH_H_

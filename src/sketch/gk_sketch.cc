@@ -1,0 +1,102 @@
+#include "sketch/gk_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace sketchml::sketch {
+
+GkSketch::GkSketch(double epsilon) : epsilon_(epsilon) {
+  SKETCHML_CHECK(epsilon > 0.0 && epsilon < 0.5);
+  compress_every_ =
+      std::max<uint64_t>(1, static_cast<uint64_t>(1.0 / (2.0 * epsilon_)));
+}
+
+void GkSketch::Update(double value) {
+  // Find the insertion point: first tuple with value >= new value.
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](const Tuple& t, double v) { return t.value < v; });
+
+  uint64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insertion: the new tuple may sit anywhere inside the rank
+    // band of its neighborhood, so it inherits the allowed uncertainty.
+    const uint64_t band =
+        static_cast<uint64_t>(std::floor(2.0 * epsilon_ * count_));
+    delta = band > 0 ? band - 1 : 0;
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  ++count_;
+
+  if (++since_compress_ >= compress_every_) {
+    Compress();
+    since_compress_ = 0;
+  }
+}
+
+void GkSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const uint64_t threshold =
+      static_cast<uint64_t>(std::floor(2.0 * epsilon_ * count_));
+  if (threshold == 0) return;
+
+  // Standard GK compress: scan right-to-left, folding tuple i into its
+  // successor when the merged tuple's rank band (g_i + g_{i+1} + Δ_{i+1})
+  // stays below the threshold. The min (first) and max (last) tuples are
+  // never removed, so Min()/Max() stay exact.
+  std::vector<Tuple> kept;
+  kept.reserve(tuples_.size());
+  kept.push_back(tuples_.back());
+  for (size_t idx = tuples_.size() - 1; idx-- > 1;) {
+    Tuple& successor = kept.back();  // Tuple to the right of tuples_[idx].
+    const Tuple& cur = tuples_[idx];
+    if (cur.g + successor.g + successor.delta < threshold) {
+      successor.g += cur.g;  // Fold cur into its successor.
+    } else {
+      kept.push_back(cur);
+    }
+  }
+  kept.push_back(tuples_.front());
+  std::reverse(kept.begin(), kept.end());
+  tuples_ = std::move(kept);
+}
+
+double GkSketch::Quantile(double q) const {
+  SKETCHML_CHECK_GT(count_, 0u);
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
+                                q * static_cast<double>(count_))));
+
+  // Return the value of the tuple whose rank band is closest to `target`;
+  // by the GK invariant this is within epsilon * n of the true rank.
+  uint64_t rmin = 0;
+  double best_value = tuples_.front().value;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const uint64_t rmax = rmin + t.delta;
+    const double mid = 0.5 * (static_cast<double>(rmin) + static_cast<double>(rmax));
+    const double err = std::abs(mid - static_cast<double>(target));
+    if (err < best_error) {
+      best_error = err;
+      best_value = t.value;
+    }
+  }
+  return best_value;
+}
+
+double GkSketch::Min() const {
+  SKETCHML_CHECK(!tuples_.empty());
+  return tuples_.front().value;
+}
+
+double GkSketch::Max() const {
+  SKETCHML_CHECK(!tuples_.empty());
+  return tuples_.back().value;
+}
+
+}  // namespace sketchml::sketch

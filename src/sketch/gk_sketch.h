@@ -1,0 +1,54 @@
+#ifndef SKETCHML_SKETCH_GK_SKETCH_H_
+#define SKETCHML_SKETCH_GK_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sketch/quantile_sketch.h"
+
+namespace sketchml::sketch {
+
+/// Greenwald–Khanna quantile summary (GK01), the classical deterministic
+/// quantile sketch the paper cites [16].
+///
+/// Maintains an ordered sequence of tuples (v, g, Δ) where `g` is the gap
+/// between the minimum ranks of consecutive tuples and `Δ` bounds the rank
+/// uncertainty of the tuple. Guarantees every quantile answer has rank
+/// error at most `epsilon * n`, using O((1/ε) log(εn)) tuples.
+class GkSketch : public QuantileSketch {
+ public:
+  /// `epsilon` is the target rank-error fraction; must be in (0, 0.5).
+  explicit GkSketch(double epsilon = 0.001);
+
+  void Update(double value) override;
+  uint64_t Count() const override { return count_; }
+  double Quantile(double q) const override;
+  double Min() const override;
+  double Max() const override;
+
+  double epsilon() const { return epsilon_; }
+
+  /// Number of stored tuples (the sketch's space footprint).
+  size_t NumTuples() const { return tuples_.size(); }
+
+ private:
+  struct Tuple {
+    double value;
+    uint64_t g;      // rmin(this) - rmin(previous)
+    uint64_t delta;  // rmax(this) - rmin(this)
+  };
+
+  /// Merges tuples whose combined uncertainty stays within 2*epsilon*n.
+  void Compress();
+
+  double epsilon_;
+  uint64_t count_ = 0;
+  uint64_t compress_every_;
+  uint64_t since_compress_ = 0;
+  std::vector<Tuple> tuples_;  // Ordered by value.
+};
+
+}  // namespace sketchml::sketch
+
+#endif  // SKETCHML_SKETCH_GK_SKETCH_H_

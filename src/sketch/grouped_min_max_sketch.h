@@ -1,0 +1,66 @@
+#ifndef SKETCHML_SKETCH_GROUPED_MIN_MAX_SKETCH_H_
+#define SKETCHML_SKETCH_GROUPED_MIN_MAX_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/status.h"
+#include "sketch/min_max_sketch.h"
+
+namespace sketchml::sketch {
+
+/// Grouped MinMaxSketch (§3.3, Solution 2 — "Grouped MinMaxSketch").
+///
+/// Divides the `num_buckets` bucket indexes into `num_groups` equal-width
+/// ranges and gives each range its own MinMaxSketch. A key whose bucket
+/// index falls in group g is only inserted into (and queried from) group
+/// g's sketch, so a hash collision can at worst report the smallest index
+/// *within the same group*: the maximal decoding error drops from q to
+/// q / r (paper notation), which is what rescues convergence near the
+/// optimum where gradients are tiny.
+///
+/// The caller must remember each key's group (SketchML stores the key
+/// lists per group on the wire) and pass it back to `Query`.
+class GroupedMinMaxSketch {
+ public:
+  /// `total_cols` bins are divided evenly among groups (at least 1 per
+  /// group); `rows` hash tables per group sketch.
+  GroupedMinMaxSketch(int num_buckets, int num_groups, int rows,
+                      int total_cols, uint64_t seed = 13);
+
+  /// Group that bucket index `bucket` belongs to.
+  int GroupOf(int bucket) const { return bucket / group_width_; }
+
+  /// Inserts `key` with global bucket index `bucket` (in [0, num_buckets)).
+  void Insert(uint64_t key, int bucket);
+
+  /// Returns the decoded global bucket index for `key`, which was inserted
+  /// into `group`. Result is <= the inserted index and within the group's
+  /// range (error < num_buckets / num_groups).
+  int Query(uint64_t key, int group) const;
+
+  int num_buckets() const { return num_buckets_; }
+  int num_groups() const { return num_groups_; }
+  int group_width() const { return group_width_; }
+
+  /// Total bytes of bin storage across groups.
+  size_t SizeBytes() const;
+
+  /// Wire format: shape header + each group's sketch.
+  void Serialize(common::ByteWriter* writer) const;
+  static common::Status Deserialize(common::ByteReader* reader,
+                                    GroupedMinMaxSketch* out);
+
+ private:
+  GroupedMinMaxSketch() = default;
+
+  int num_buckets_ = 0;
+  int num_groups_ = 0;
+  int group_width_ = 0;
+  std::vector<MinMaxSketch> groups_;
+};
+
+}  // namespace sketchml::sketch
+
+#endif  // SKETCHML_SKETCH_GROUPED_MIN_MAX_SKETCH_H_

@@ -1,0 +1,155 @@
+#include "sketch/kll_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace sketchml::sketch {
+
+namespace {
+// Per-level capacity decay; 2/3 is the published KLL constant.
+constexpr double kLevelDecay = 2.0 / 3.0;
+constexpr size_t kMinLevelCapacity = 8;
+}  // namespace
+
+KllSketch::KllSketch(int k, uint64_t seed) : k_(k), rng_(seed) {
+  SKETCHML_CHECK_GE(k, 8);
+  levels_.emplace_back();
+  levels_[0].reserve(LevelCapacity(0));
+}
+
+size_t KllSketch::LevelCapacity(int level) const {
+  // The highest levels get capacity k; deeper (younger) levels decay
+  // geometrically. `level` counts from 0 = youngest, so decay by the
+  // distance from the top level.
+  const int depth = static_cast<int>(levels_.size()) - 1 - level;
+  double cap = static_cast<double>(k_) * std::pow(kLevelDecay, depth);
+  return std::max<size_t>(kMinLevelCapacity, static_cast<size_t>(cap));
+}
+
+void KllSketch::Update(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  levels_[0].push_back(value);
+  if (levels_[0].size() >= LevelCapacity(0)) {
+    // Compact cascading upward while levels overflow.
+    for (int level = 0; level < static_cast<int>(levels_.size()); ++level) {
+      if (levels_[level].size() >= LevelCapacity(level)) {
+        Compact(level);
+      }
+    }
+  }
+}
+
+void KllSketch::Compact(int level) {
+  if (levels_[level].size() < 2) return;
+  // Grow the level list *before* taking references: emplace_back can
+  // reallocate and would otherwise dangle them.
+  if (level + 1 >= static_cast<int>(levels_.size())) {
+    levels_.emplace_back();
+  }
+  auto& buf = levels_[level];
+  auto& next = levels_[level + 1];
+  std::sort(buf.begin(), buf.end());
+  // Random phase: keep either the even- or odd-indexed half.
+  const size_t phase = rng_.NextBounded(2);
+  // If the buffer has odd size, one item stays behind at this level so
+  // total weight is conserved.
+  std::vector<double> leftover;
+  size_t n = buf.size();
+  if (n % 2 == 1) {
+    leftover.push_back(buf.back());
+    --n;
+  }
+  for (size_t i = phase; i < n; i += 2) {
+    next.push_back(buf[i]);
+  }
+  buf = std::move(leftover);
+}
+
+std::vector<std::pair<double, uint64_t>> KllSketch::SortedItems() const {
+  std::vector<std::pair<double, uint64_t>> items;
+  items.reserve(NumRetained());
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    const uint64_t weight = 1ULL << level;
+    for (double v : levels_[level]) items.emplace_back(v, weight);
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+double KllSketch::Quantile(double q) const {
+  SKETCHML_CHECK_GT(count_, 0u);
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  const auto items = SortedItems();
+  uint64_t total_weight = 0;
+  for (const auto& [v, w] : items) total_weight += w;
+  const double target = q * static_cast<double>(total_weight);
+  uint64_t cumulative = 0;
+  for (const auto& [v, w] : items) {
+    cumulative += w;
+    if (static_cast<double>(cumulative) >= target) return v;
+  }
+  return max_;
+}
+
+double KllSketch::Rank(double value) const {
+  SKETCHML_CHECK_GT(count_, 0u);
+  const auto items = SortedItems();
+  uint64_t total_weight = 0;
+  uint64_t below = 0;
+  for (const auto& [v, w] : items) {
+    total_weight += w;
+    if (v <= value) below += w;
+  }
+  return static_cast<double>(below) / static_cast<double>(total_weight);
+}
+
+double KllSketch::Min() const {
+  SKETCHML_CHECK_GT(count_, 0u);
+  return min_;
+}
+
+double KllSketch::Max() const {
+  SKETCHML_CHECK_GT(count_, 0u);
+  return max_;
+}
+
+void KllSketch::Merge(const KllSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  while (levels_.size() < other.levels_.size()) levels_.emplace_back();
+  for (size_t level = 0; level < other.levels_.size(); ++level) {
+    auto& dst = levels_[level];
+    const auto& src = other.levels_[level];
+    dst.insert(dst.end(), src.begin(), src.end());
+  }
+  // Restore capacity invariants.
+  for (int level = 0; level < static_cast<int>(levels_.size()); ++level) {
+    if (levels_[level].size() >= LevelCapacity(level)) Compact(level);
+  }
+}
+
+size_t KllSketch::NumRetained() const {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+}  // namespace sketchml::sketch

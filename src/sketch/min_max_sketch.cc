@@ -1,0 +1,66 @@
+#include "sketch/min_max_sketch.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sketchml::sketch {
+
+MinMaxSketch::MinMaxSketch(int rows, int cols, uint64_t seed)
+    : rows_(rows), cols_(cols), seed_(seed) {
+  SKETCHML_CHECK_GT(rows, 0);
+  SKETCHML_CHECK_GT(cols, 0);
+  hashes_.reserve(rows);
+  for (int i = 0; i < rows; ++i) {
+    hashes_.emplace_back(seed * 0x9E3779B185EBCA87ULL +
+                         static_cast<uint64_t>(i) * 0x100000001b3ULL + 1);
+  }
+  table_.assign(static_cast<size_t>(rows) * cols, kEmpty);
+}
+
+void MinMaxSketch::Insert(uint64_t key, uint8_t value) {
+  for (int row = 0; row < rows_; ++row) {
+    uint8_t& cell = table_[CellIndex(row, key)];
+    cell = std::min(cell, value);
+  }
+  ++insertions_;
+}
+
+uint8_t MinMaxSketch::Query(uint64_t key) const {
+  uint8_t best = 0;
+  bool any = false;
+  for (int row = 0; row < rows_; ++row) {
+    const uint8_t cell = table_[CellIndex(row, key)];
+    if (cell != kEmpty) {
+      best = std::max(best, cell);
+      any = true;
+    }
+  }
+  return any ? best : kEmpty;
+}
+
+void MinMaxSketch::Serialize(common::ByteWriter* writer) const {
+  writer->WriteVarint(static_cast<uint64_t>(rows_));
+  writer->WriteVarint(static_cast<uint64_t>(cols_));
+  writer->WriteU64(seed_);
+  writer->WriteBytes(table_);
+}
+
+common::Status MinMaxSketch::Deserialize(common::ByteReader* reader,
+                                         MinMaxSketch* out) {
+  uint64_t rows = 0, cols = 0, seed = 0;
+  SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&rows));
+  SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&cols));
+  SKETCHML_RETURN_IF_ERROR(reader->ReadU64(&seed));
+  if (rows == 0 || cols == 0 || rows > 64 ||
+      rows * cols > reader->remaining()) {
+    return common::Status::CorruptedData("implausible MinMaxSketch shape");
+  }
+  MinMaxSketch sketch(static_cast<int>(rows), static_cast<int>(cols), seed);
+  SKETCHML_RETURN_IF_ERROR(
+      reader->ReadRaw(sketch.table_.data(), sketch.table_.size()));
+  *out = std::move(sketch);
+  return common::Status::Ok();
+}
+
+}  // namespace sketchml::sketch

@@ -1,0 +1,82 @@
+#ifndef SKETCHML_SKETCH_MIN_MAX_SKETCH_H_
+#define SKETCHML_SKETCH_MIN_MAX_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/murmur_hash.h"
+#include "common/status.h"
+
+namespace sketchml::sketch {
+
+/// MinMaxSketch — the paper's novel sketch (§3.3, Figure 5).
+///
+/// Stores one small integer (a bucket index, < 256) per key using `rows`
+/// hash tables of `cols` one-byte bins.
+///
+///  * Insert: each chosen bin keeps the **minimum** of its current value
+///    and the inserted value, so hash collisions can only *decrease* what
+///    is stored ("Min").
+///  * Query: take the **maximum** of the `rows` candidate bins, the one
+///    closest to the original value ("Max").
+///
+/// Hence queries are never overestimates: the decoded bucket index is
+/// less than or equal to the inserted one (Appendix A.2 shows the value of
+/// any bin equals the minimum value among keys mapping to it, Theorem A.4,
+/// and derives the exact-answer rate, Eq. (2)). Underestimated bucket
+/// indexes decay gradients toward the "minimum bucket" instead of
+/// amplifying them, which preserves SGD convergence.
+class MinMaxSketch {
+ public:
+  /// Initial bin value. Doubles as the "never written" indicator: since
+  /// insertion takes the minimum, a bin equal to kEmpty either was never
+  /// written or only ever received the maximal index 255 — both decode to
+  /// the same (top) value, so no information is lost.
+  static constexpr uint8_t kEmpty = 0xff;
+
+  /// `rows` = number of hash tables (paper's `s`), `cols` = bins per table
+  /// (paper's `t`). `seed` derives the row hash functions; encoder and
+  /// decoder must use the same seed (it is serialized).
+  MinMaxSketch(int rows, int cols, uint64_t seed = 13);
+
+  /// Inserts `(key, value)`. Each row bin keeps min(current, value).
+  /// Inserting 255 is legal and equivalent to leaving the bin untouched.
+  void Insert(uint64_t key, uint8_t value);
+
+  /// Returns the max over the key's row bins — the best available
+  /// underestimate of the inserted value. Querying a key that was never
+  /// inserted returns kEmpty.
+  uint8_t Query(uint64_t key) const;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  uint64_t seed() const { return seed_; }
+  uint64_t NumInsertions() const { return insertions_; }
+
+  /// Bytes of bin storage (the wire size of the table).
+  size_t SizeBytes() const { return table_.size(); }
+
+  /// Appends rows/cols/seed and the bin table to `writer` (wire format).
+  void Serialize(common::ByteWriter* writer) const;
+
+  /// Reconstructs a sketch previously written by `Serialize`.
+  static common::Status Deserialize(common::ByteReader* reader,
+                                    MinMaxSketch* out);
+
+ private:
+  size_t CellIndex(int row, uint64_t key) const {
+    return static_cast<size_t>(row) * cols_ + hashes_[row].Bucket(key, cols_);
+  }
+
+  int rows_;
+  int cols_;
+  uint64_t seed_;
+  uint64_t insertions_ = 0;
+  std::vector<common::HashFunction> hashes_;
+  std::vector<uint8_t> table_;  // rows_ x cols_, row-major; kEmpty = unset.
+};
+
+}  // namespace sketchml::sketch
+
+#endif  // SKETCHML_SKETCH_MIN_MAX_SKETCH_H_

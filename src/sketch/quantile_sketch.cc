@@ -1,0 +1,31 @@
+#include "sketch/quantile_sketch.h"
+
+#include "common/logging.h"
+
+namespace sketchml::sketch {
+
+void QuantileSketch::UpdateAll(const std::vector<double>& values) {
+  for (double v : values) Update(v);
+}
+
+std::vector<double> QuantileSketch::EqualDepthSplits(int num_splits) const {
+  SKETCHML_CHECK_GT(num_splits, 0);
+  SKETCHML_CHECK_GT(Count(), 0u);
+  std::vector<double> splits;
+  splits.reserve(num_splits + 1);
+  splits.push_back(Min());
+  for (int i = 1; i < num_splits; ++i) {
+    const double q = static_cast<double>(i) / num_splits;
+    double v = Quantile(q);
+    // Quantile estimates can jitter below the running maximum of previous
+    // splits; enforce monotonicity so bucket thresholds are well ordered.
+    if (v < splits.back()) v = splits.back();
+    splits.push_back(v);
+  }
+  double hi = Max();
+  if (hi < splits.back()) hi = splits.back();
+  splits.push_back(hi);
+  return splits;
+}
+
+}  // namespace sketchml::sketch

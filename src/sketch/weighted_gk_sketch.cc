@@ -1,0 +1,99 @@
+#include "sketch/weighted_gk_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace sketchml::sketch {
+
+WeightedGkSketch::WeightedGkSketch(double epsilon) : epsilon_(epsilon) {
+  SKETCHML_CHECK(epsilon > 0.0 && epsilon < 0.5);
+  compress_every_ =
+      std::max<size_t>(1, static_cast<size_t>(1.0 / (2.0 * epsilon_)));
+}
+
+void WeightedGkSketch::Update(double value, double weight) {
+  SKETCHML_CHECK_GT(weight, 0.0);
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](const Tuple& t, double v) { return t.value < v; });
+
+  double delta = 0.0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insertion inherits the allowed weighted uncertainty. The
+    // new item's own weight is certain, so subtract it from the band.
+    const double band = 2.0 * epsilon_ * total_weight_;
+    delta = std::max(0.0, band - weight);
+  }
+  tuples_.insert(it, Tuple{value, weight, delta});
+  total_weight_ += weight;
+  ++count_;
+
+  if (++since_compress_ >= compress_every_) {
+    Compress();
+    since_compress_ = 0;
+  }
+}
+
+void WeightedGkSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const double threshold = 2.0 * epsilon_ * total_weight_;
+  if (threshold <= 0.0) return;
+
+  // Right-to-left fold, preserving the exact min and max tuples.
+  std::vector<Tuple> kept;
+  kept.reserve(tuples_.size());
+  kept.push_back(tuples_.back());
+  for (size_t idx = tuples_.size() - 1; idx-- > 1;) {
+    Tuple& successor = kept.back();
+    const Tuple& cur = tuples_[idx];
+    if (cur.g + successor.g + successor.delta < threshold) {
+      successor.g += cur.g;
+    } else {
+      kept.push_back(cur);
+    }
+  }
+  kept.push_back(tuples_.front());
+  std::reverse(kept.begin(), kept.end());
+  tuples_ = std::move(kept);
+}
+
+double WeightedGkSketch::Quantile(double q) const {
+  SKETCHML_CHECK_GT(count_, 0u);
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_weight_;
+
+  double rmin = 0.0;
+  double best_value = tuples_.front().value;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const double rmax = rmin + t.delta;
+    // A tuple's own weight covers the weighted ranks (rmin - g, rmax];
+    // if the target falls inside, this tuple is the exact answer (heavy
+    // items span wide rank intervals — the midpoint heuristic alone
+    // would miss them).
+    if (target > rmin - t.g && target <= rmax) return t.value;
+    const double mid = 0.5 * (rmin + rmax);
+    const double err = std::abs(mid - target);
+    if (err < best_error) {
+      best_error = err;
+      best_value = t.value;
+    }
+  }
+  return best_value;
+}
+
+double WeightedGkSketch::Min() const {
+  SKETCHML_CHECK(!tuples_.empty());
+  return tuples_.front().value;
+}
+
+double WeightedGkSketch::Max() const {
+  SKETCHML_CHECK(!tuples_.empty());
+  return tuples_.back().value;
+}
+
+}  // namespace sketchml::sketch

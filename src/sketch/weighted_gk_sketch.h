@@ -1,0 +1,61 @@
+#ifndef SKETCHML_SKETCH_WEIGHTED_GK_SKETCH_H_
+#define SKETCHML_SKETCH_WEIGHTED_GK_SKETCH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sketchml::sketch {
+
+/// Weighted Greenwald–Khanna quantile summary — the generalization behind
+/// XGBoost's weighted quantile sketch ([11], cited in §2.3 as a GK
+/// extension). Items carry arbitrary positive weights; `Quantile(q)`
+/// answers rank queries over the *weighted* CDF with rank error at most
+/// `epsilon * total_weight`.
+///
+/// Useful wherever split candidates must respect importance rather than
+/// counts: instance-weighted training data, gradient values weighted by
+/// feature frequency, second-order (hessian-weighted) splits as in
+/// gradient boosting.
+class WeightedGkSketch {
+ public:
+  /// `epsilon` is the weighted-rank-error fraction, in (0, 0.5).
+  explicit WeightedGkSketch(double epsilon = 0.001);
+
+  /// Inserts `value` with positive `weight` (checked).
+  void Update(double value, double weight = 1.0);
+
+  /// Total weight inserted.
+  double TotalWeight() const { return total_weight_; }
+  /// Number of items inserted.
+  size_t Count() const { return count_; }
+
+  /// Value whose weighted rank is ~`q * TotalWeight()`; q clamps to
+  /// [0, 1]. Requires a non-empty sketch (checked).
+  double Quantile(double q) const;
+
+  double Min() const;
+  double Max() const;
+
+  /// Stored tuples (space footprint).
+  size_t NumTuples() const { return tuples_.size(); }
+
+ private:
+  struct Tuple {
+    double value;
+    double g;      // Weighted gap from the previous tuple's rmin.
+    double delta;  // Weighted rank uncertainty.
+  };
+
+  void Compress();
+
+  double epsilon_;
+  double total_weight_ = 0.0;
+  size_t count_ = 0;
+  size_t compress_every_;
+  size_t since_compress_ = 0;
+  std::vector<Tuple> tuples_;  // Ordered by value.
+};
+
+}  // namespace sketchml::sketch
+
+#endif  // SKETCHML_SKETCH_WEIGHTED_GK_SKETCH_H_

@@ -1,0 +1,145 @@
+#include "common/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sketchml::common {
+namespace {
+
+TEST(ByteWriterTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteI32(-42);
+  w.WriteI64(-1234567890123LL);
+  w.WriteFloat(1.5f);
+  w.WriteDouble(-2.25);
+
+  ByteReader r(w.buffer());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  int64_t i64;
+  float f;
+  double d;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI32(&i32).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadFloat(&f).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -1234567890123LL);
+  EXPECT_EQ(f, 1.5f);
+  EXPECT_EQ(d, -2.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteWriterTest, UintNWritesExactWidth) {
+  ByteWriter w;
+  w.WriteUintN(0x7f, 1);
+  EXPECT_EQ(w.size(), 1u);
+  w.WriteUintN(0xbeef, 2);
+  EXPECT_EQ(w.size(), 3u);
+  w.WriteUintN(0xabcdef, 3);
+  EXPECT_EQ(w.size(), 6u);
+
+  ByteReader r(w.buffer());
+  uint64_t v;
+  ASSERT_TRUE(r.ReadUintN(1, &v).ok());
+  EXPECT_EQ(v, 0x7fu);
+  ASSERT_TRUE(r.ReadUintN(2, &v).ok());
+  EXPECT_EQ(v, 0xbeefu);
+  ASSERT_TRUE(r.ReadUintN(3, &v).ok());
+  EXPECT_EQ(v, 0xabcdefu);
+}
+
+TEST(ByteReaderTest, ReadPastEndFails) {
+  ByteWriter w;
+  w.WriteU16(7);
+  ByteReader r(w.buffer());
+  uint32_t v32;
+  EXPECT_FALSE(r.ReadU32(&v32).ok());
+}
+
+TEST(ByteReaderTest, ReadUintNRejectsBadWidth) {
+  std::vector<uint8_t> buf(16, 0);
+  ByteReader r(buf.data(), buf.size());
+  uint64_t v;
+  EXPECT_EQ(r.ReadUintN(0, &v).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.ReadUintN(9, &v).code(), StatusCode::kInvalidArgument);
+}
+
+class VarintRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTripTest, RoundTrips) {
+  ByteWriter w;
+  w.WriteVarint(GetParam());
+  ByteReader r(w.buffer());
+  uint64_t v = 0;
+  ASSERT_TRUE(r.ReadVarint(&v).ok());
+  EXPECT_EQ(v, GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeValues, VarintRoundTripTest,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL, 16384ULL,
+                      (1ULL << 32) - 1, 1ULL << 32, (1ULL << 56) + 123,
+                      std::numeric_limits<uint64_t>::max()));
+
+TEST(VarintTest, TruncatedVarintFails) {
+  std::vector<uint8_t> buf = {0x80, 0x80};  // Continuation with no end.
+  ByteReader r(buf.data(), buf.size());
+  uint64_t v;
+  EXPECT_EQ(r.ReadVarint(&v).code(), StatusCode::kCorruptedData);
+}
+
+TEST(VarintTest, OverlongVarintFails) {
+  std::vector<uint8_t> buf(11, 0x80);  // > 64 bits of continuation.
+  ByteReader r(buf.data(), buf.size());
+  uint64_t v;
+  EXPECT_EQ(r.ReadVarint(&v).code(), StatusCode::kCorruptedData);
+}
+
+TEST(TwoBitStreamTest, RoundTripsAllSymbols) {
+  TwoBitWriter w;
+  std::vector<uint8_t> symbols = {0, 1, 2, 3, 3, 2, 1, 0, 2};
+  for (uint8_t s : symbols) w.Append(s);
+  EXPECT_EQ(w.size(), symbols.size());
+  EXPECT_EQ(w.bytes().size(), 3u);  // ceil(9 / 4).
+
+  TwoBitReader r(w.bytes().data(), w.bytes().size(), w.size());
+  for (uint8_t expected : symbols) {
+    uint8_t got = 0;
+    ASSERT_TRUE(r.Next(&got).ok());
+    EXPECT_EQ(got, expected);
+  }
+  uint8_t extra;
+  EXPECT_FALSE(r.Next(&extra).ok());
+}
+
+TEST(TwoBitStreamTest, EmptyStream) {
+  TwoBitWriter w;
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+  TwoBitReader r(nullptr, 0, 0);
+  uint8_t v;
+  EXPECT_FALSE(r.Next(&v).ok());
+}
+
+}  // namespace
+}  // namespace sketchml::common

@@ -1,0 +1,183 @@
+#include "compress/delta_binary_key_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/random.h"
+
+namespace sketchml::compress {
+namespace {
+
+std::vector<uint64_t> RandomSortedKeys(size_t count, uint64_t dim,
+                                       uint64_t seed) {
+  common::Rng rng(seed);
+  std::set<uint64_t> keys;
+  while (keys.size() < count) keys.insert(rng.NextBounded(dim));
+  return {keys.begin(), keys.end()};
+}
+
+TEST(DeltaBinaryKeyCodecTest, PaperExampleRoundTrips) {
+  // The key list from Figure 7.
+  std::vector<uint64_t> keys = {702, 735, 1244, 2516, 3536, 3786, 4187, 4195};
+  common::ByteWriter writer;
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Encode(keys, &writer).ok());
+  common::ByteReader reader(writer.buffer());
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Decode(&reader, &decoded).ok());
+  EXPECT_EQ(decoded, keys);
+  // Deltas: 702,33,509,1272,1020,250,401,8 -> widths 2,1,2,2,2,1,2,1 = 13
+  // bytes + 2 flag bytes + 1 count byte = 16.
+  EXPECT_EQ(writer.size(), 16u);
+}
+
+TEST(DeltaBinaryKeyCodecTest, EmptyKeyList) {
+  common::ByteWriter writer;
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Encode({}, &writer).ok());
+  common::ByteReader reader(writer.buffer());
+  std::vector<uint64_t> decoded = {1, 2, 3};
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Decode(&reader, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(DeltaBinaryKeyCodecTest, SingleKeyIncludingZero) {
+  for (uint64_t key : {0ULL, 1ULL, 255ULL, 256ULL, 4294967295ULL}) {
+    common::ByteWriter writer;
+    ASSERT_TRUE(DeltaBinaryKeyCodec::Encode({key}, &writer).ok());
+    common::ByteReader reader(writer.buffer());
+    std::vector<uint64_t> decoded;
+    ASSERT_TRUE(DeltaBinaryKeyCodec::Decode(&reader, &decoded).ok());
+    ASSERT_EQ(decoded.size(), 1u);
+    EXPECT_EQ(decoded[0], key);
+  }
+}
+
+TEST(DeltaBinaryKeyCodecTest, RejectsUnsortedKeys) {
+  common::ByteWriter writer;
+  EXPECT_EQ(DeltaBinaryKeyCodec::Encode({5, 3}, &writer).code(),
+            common::StatusCode::kInvalidArgument);
+  common::ByteWriter writer2;
+  EXPECT_EQ(DeltaBinaryKeyCodec::Encode({5, 5}, &writer2).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaBinaryKeyCodecTest, RejectsHugeDelta) {
+  common::ByteWriter writer;
+  EXPECT_EQ(DeltaBinaryKeyCodec::Encode({0, (1ULL << 33)}, &writer).code(),
+            common::StatusCode::kOutOfRange);
+}
+
+TEST(DeltaBinaryKeyCodecTest, BoundaryDeltasUseMinimalWidth) {
+  // Deltas exactly at the byte-width thresholds of §3.4.
+  std::vector<uint64_t> keys = {255};            // 1 byte.
+  keys.push_back(keys.back() + 256);             // 2 bytes.
+  keys.push_back(keys.back() + 65535);           // 2 bytes.
+  keys.push_back(keys.back() + 65536);           // 3 bytes.
+  keys.push_back(keys.back() + 16777215);        // 3 bytes.
+  keys.push_back(keys.back() + 16777216);        // 4 bytes.
+  common::ByteWriter writer;
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Encode(keys, &writer).ok());
+  // 1 count + 2 flag bytes (6 keys) + 1+2+2+3+3+4 delta bytes = 18.
+  EXPECT_EQ(writer.size(), 18u);
+  common::ByteReader reader(writer.buffer());
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Decode(&reader, &decoded).ok());
+  EXPECT_EQ(decoded, keys);
+}
+
+TEST(DeltaBinaryKeyCodecTest, EncodedSizeMatchesActual) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const auto keys = RandomSortedKeys(500, 1 << 20, seed);
+    common::ByteWriter writer;
+    ASSERT_TRUE(DeltaBinaryKeyCodec::Encode(keys, &writer).ok());
+    EXPECT_EQ(DeltaBinaryKeyCodec::EncodedSize(keys), writer.size());
+  }
+}
+
+TEST(DeltaBinaryKeyCodecTest, DecodeDetectsTruncation) {
+  const auto keys = RandomSortedKeys(100, 1 << 16, 4);
+  common::ByteWriter writer;
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Encode(keys, &writer).ok());
+  auto bytes = writer.buffer();
+  bytes.resize(bytes.size() / 2);
+  common::ByteReader reader(bytes.data(), bytes.size());
+  std::vector<uint64_t> decoded;
+  EXPECT_EQ(DeltaBinaryKeyCodec::Decode(&reader, &decoded).code(),
+            common::StatusCode::kCorruptedData);
+}
+
+class DeltaKeyDensityTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(DeltaKeyDensityTest, RoundTripsAndBeatsRawInts) {
+  const size_t count = std::get<0>(GetParam());
+  const uint64_t dim = std::get<1>(GetParam());
+  const auto keys = RandomSortedKeys(count, dim, count ^ dim);
+  common::ByteWriter writer;
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Encode(keys, &writer).ok());
+  common::ByteReader reader(writer.buffer());
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Decode(&reader, &decoded).ok());
+  EXPECT_EQ(decoded, keys);
+  EXPECT_LT(writer.size(), keys.size() * 4);  // Beats 4-byte raw keys.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, DeltaKeyDensityTest,
+    ::testing::Values(std::make_tuple(100, 1000ULL),        // Dense.
+                      std::make_tuple(1000, 100000ULL),     // 1 %.
+                      std::make_tuple(1000, 10000000ULL),   // Sparse.
+                      std::make_tuple(5000, 1ULL << 31)));  // Very sparse.
+
+TEST(DeltaBinaryKeyCodecTest, DenseKeysApproachOneByteAndAQuarter) {
+  // Appendix A.3: with average delta < 256 every key costs 1 delta byte +
+  // 1/4 flag byte.
+  std::vector<uint64_t> keys(10000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i * 3;
+  common::ByteWriter writer;
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Encode(keys, &writer).ok());
+  const double bytes_per_key =
+      static_cast<double>(writer.size()) / keys.size();
+  EXPECT_NEAR(bytes_per_key, 1.25, 0.01);
+}
+
+TEST(BitmapKeyCodecTest, RoundTrips) {
+  const auto keys = RandomSortedKeys(200, 5000, 9);
+  common::ByteWriter writer;
+  ASSERT_TRUE(BitmapKeyCodec::Encode(keys, 5000, &writer).ok());
+  EXPECT_EQ(writer.size(), BitmapKeyCodec::EncodedSize(5000));
+  common::ByteReader reader(writer.buffer());
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(BitmapKeyCodec::Decode(&reader, &decoded).ok());
+  EXPECT_EQ(decoded, keys);
+}
+
+TEST(BitmapKeyCodecTest, RejectsKeyBeyondDim) {
+  common::ByteWriter writer;
+  EXPECT_EQ(BitmapKeyCodec::Encode({10}, 10, &writer).code(),
+            common::StatusCode::kOutOfRange);
+}
+
+TEST(BitmapKeyCodecTest, EmptyBitmap) {
+  common::ByteWriter writer;
+  ASSERT_TRUE(BitmapKeyCodec::Encode({}, 100, &writer).ok());
+  common::ByteReader reader(writer.buffer());
+  std::vector<uint64_t> decoded = {1};
+  ASSERT_TRUE(BitmapKeyCodec::Decode(&reader, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(BitmapKeyCodecTest, DeltaBeatsBitmapWhenSparse) {
+  // A.3's conclusion: delta-binary wins for sparse gradients because the
+  // bitmap pays ceil(D/8) regardless of d.
+  const uint64_t dim = 1 << 24;
+  const auto keys = RandomSortedKeys(1000, dim, 13);
+  EXPECT_LT(DeltaBinaryKeyCodec::EncodedSize(keys),
+            BitmapKeyCodec::EncodedSize(dim) / 100);
+}
+
+}  // namespace
+}  // namespace sketchml::compress

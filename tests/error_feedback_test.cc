@@ -1,0 +1,150 @@
+#include "compress/error_feedback_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "compress/one_bit_codec.h"
+#include "compress/raw_codec.h"
+#include "compress/zipml_codec.h"
+#include "core/sketchml_codec.h"
+
+namespace sketchml::compress {
+namespace {
+
+common::SparseGradient FixedGradient(double scale, uint64_t seed) {
+  common::Rng rng(seed);
+  common::SparseGradient grad;
+  uint64_t key = 0;
+  for (int i = 0; i < 400; ++i) {
+    key += 1 + rng.NextBounded(40);
+    grad.push_back({key, rng.NextGaussian() * scale});
+  }
+  return grad;
+}
+
+TEST(ErrorFeedbackCodecTest, LosslessInnerLeavesNoResidual) {
+  ErrorFeedbackCodec codec(std::make_unique<RawCodec>());
+  const auto grad = FixedGradient(0.1, 401);
+  EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode(grad, &msg).ok());
+  EXPECT_EQ(codec.ResidualSize(), 0u);
+  common::SparseGradient decoded;
+  ASSERT_TRUE(codec.Decode(msg, &decoded).ok());
+  EXPECT_EQ(decoded, grad);
+  EXPECT_EQ(codec.Name(), "adam-double+ef");
+}
+
+TEST(ErrorFeedbackCodecTest, ResidualEqualsWhatTheCodecLost) {
+  ErrorFeedbackCodec codec(std::make_unique<core::SketchMlCodec>());
+  const auto grad = FixedGradient(0.1, 409);
+  EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode(grad, &msg).ok());
+  common::SparseGradient decoded;
+  ASSERT_TRUE(codec.Decode(msg, &decoded).ok());
+  // grad - decoded must equal the stored residual (first call: residual
+  // started empty so compensated == grad).
+  double expected_l1 = 0.0;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    expected_l1 += std::abs(grad[i].value - decoded[i].value);
+  }
+  EXPECT_NEAR(codec.ResidualL1(), expected_l1, 1e-9);
+}
+
+TEST(ErrorFeedbackCodecTest, AccumulatedTransmissionIsUnbiased) {
+  // The defining property: sum of decoded messages converges to the sum
+  // of inputs, even though each message is biased (MinMax decay).
+  ErrorFeedbackCodec codec(std::make_unique<core::SketchMlCodec>());
+  const auto grad = FixedGradient(0.1, 419);
+
+  std::map<uint64_t, double> sent_total, received_total;
+  const int rounds = 30;
+  for (int round = 0; round < rounds; ++round) {
+    for (const auto& pair : grad) sent_total[pair.key] += pair.value;
+    EncodedGradient msg;
+    ASSERT_TRUE(codec.Encode(grad, &msg).ok());
+    common::SparseGradient decoded;
+    ASSERT_TRUE(codec.Decode(msg, &decoded).ok());
+    for (const auto& pair : decoded) received_total[pair.key] += pair.value;
+  }
+  // Relative L1 gap between what was sent and what arrived, over rounds.
+  double gap = 0.0, norm = 0.0;
+  for (const auto& [key, sent] : sent_total) {
+    gap += std::abs(sent - received_total[key]);
+    norm += std::abs(sent);
+  }
+  // Residual is bounded (one message's worth), so the per-round share of
+  // the gap shrinks like 1/rounds.
+  EXPECT_LT(gap / norm, 0.15);
+
+  // Compare with no feedback: the bias compounds every round.
+  core::SketchMlCodec plain;
+  std::map<uint64_t, double> plain_received;
+  for (int round = 0; round < rounds; ++round) {
+    EncodedGradient msg;
+    ASSERT_TRUE(plain.Encode(grad, &msg).ok());
+    common::SparseGradient decoded;
+    ASSERT_TRUE(plain.Decode(msg, &decoded).ok());
+    for (const auto& pair : decoded) plain_received[pair.key] += pair.value;
+  }
+  double plain_gap = 0.0;
+  for (const auto& [key, sent] : sent_total) {
+    plain_gap += std::abs(sent - plain_received[key]);
+  }
+  EXPECT_LT(gap, plain_gap / 2);
+}
+
+TEST(ErrorFeedbackCodecTest, OneBitWithFeedbackTransmitsMagnitudes) {
+  // 1-bit SGD's own recipe [39]: sign quantization alone destroys
+  // magnitudes, but with error feedback the accumulated stream recovers
+  // them.
+  ErrorFeedbackCodec with_ef(std::make_unique<OneBitCodec>());
+  const auto grad = FixedGradient(0.1, 421);
+  std::map<uint64_t, double> sent_total, received_total;
+  const int rounds = 60;
+  for (int round = 0; round < rounds; ++round) {
+    for (const auto& pair : grad) sent_total[pair.key] += pair.value;
+    EncodedGradient msg;
+    ASSERT_TRUE(with_ef.Encode(grad, &msg).ok());
+    common::SparseGradient decoded;
+    ASSERT_TRUE(with_ef.Decode(msg, &decoded).ok());
+    for (const auto& pair : decoded) received_total[pair.key] += pair.value;
+  }
+  double gap = 0.0, norm = 0.0;
+  for (const auto& [key, sent] : sent_total) {
+    gap += std::abs(sent - received_total[key]);
+    norm += std::abs(sent);
+  }
+  EXPECT_LT(gap / norm, 0.5);  // Without feedback this ratio is >> 1.
+}
+
+TEST(ErrorFeedbackCodecTest, ResidualOnlyKeysStillTransmitted) {
+  // A key present in round 1 but absent afterwards must still have its
+  // residual delivered in later messages.
+  ErrorFeedbackCodec codec(std::make_unique<ZipMlCodec>(8, 3));
+  common::SparseGradient first = {{5, 0.4}, {9, -0.2}, {12345, 0.31}};
+  common::SparseGradient later = {{5, 0.4}, {9, -0.2}};
+  EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode(first, &msg).ok());
+  common::SparseGradient decoded;
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(codec.Encode(later, &msg).ok());
+    ASSERT_TRUE(codec.Decode(msg, &decoded).ok());
+  }
+  // After enough rounds key 12345's leftover is flushed through the
+  // messages and the residual mass stays bounded.
+  EXPECT_LT(codec.ResidualL1(), 0.5);
+}
+
+TEST(ErrorFeedbackCodecTest, RejectsUnsortedInput) {
+  ErrorFeedbackCodec codec(std::make_unique<RawCodec>());
+  EncodedGradient msg;
+  common::SparseGradient bad = {{7, 1.0}, {3, 1.0}};
+  EXPECT_FALSE(codec.Encode(bad, &msg).ok());
+}
+
+}  // namespace
+}  // namespace sketchml::compress

@@ -1,0 +1,115 @@
+#include "sketch/gk_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sketchml::sketch {
+namespace {
+
+// True rank (0-based fraction) of `value` within sorted `data`.
+double TrueRankFraction(const std::vector<double>& sorted, double value) {
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), value);
+  return static_cast<double>(it - sorted.begin()) / sorted.size();
+}
+
+TEST(GkSketchTest, ExactOnTinyStream) {
+  GkSketch sketch(0.01);
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) sketch.Update(v);
+  EXPECT_EQ(sketch.Count(), 5u);
+  EXPECT_DOUBLE_EQ(sketch.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Max(), 5.0);
+  EXPECT_NEAR(sketch.Quantile(0.5), 3.0, 1.0);
+}
+
+TEST(GkSketchTest, RejectsBadEpsilon) {
+  EXPECT_DEATH(GkSketch(0.0), "");
+  EXPECT_DEATH(GkSketch(0.5), "");
+}
+
+class GkSketchErrorTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(GkSketchErrorTest, RankErrorWithinEpsilon) {
+  const double epsilon = std::get<0>(GetParam());
+  const int n = std::get<1>(GetParam());
+  GkSketch sketch(epsilon);
+  common::Rng rng(17);
+  std::vector<double> data;
+  data.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    data.push_back(v);
+    sketch.Update(v);
+  }
+  std::sort(data.begin(), data.end());
+
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double estimate = sketch.Quantile(q);
+    const double actual_rank = TrueRankFraction(data, estimate);
+    // Allow 3x the nominal epsilon: our simplified query picks the tuple
+    // with the closest band midpoint rather than solving the LP exactly.
+    EXPECT_NEAR(actual_rank, q, 3.0 * epsilon + 2.0 / n)
+        << "q=" << q << " eps=" << epsilon << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GkSketchErrorTest,
+    ::testing::Combine(::testing::Values(0.001, 0.01, 0.05),
+                       ::testing::Values(1000, 20000, 100000)));
+
+TEST(GkSketchTest, SpaceStaysSublinear) {
+  GkSketch sketch(0.01);
+  common::Rng rng(23);
+  for (int i = 0; i < 200000; ++i) sketch.Update(rng.NextDouble());
+  // 1/eps * log(eps * n) ~ 100 * log(2000) ~ 760; generous bound.
+  EXPECT_LT(sketch.NumTuples(), 6000u);
+}
+
+TEST(GkSketchTest, MinMaxExactUnderCompression) {
+  GkSketch sketch(0.05);
+  common::Rng rng(29);
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.NextUniform(-7.0, 11.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sketch.Update(v);
+  }
+  EXPECT_DOUBLE_EQ(sketch.Min(), lo);
+  EXPECT_DOUBLE_EQ(sketch.Max(), hi);
+}
+
+TEST(GkSketchTest, SortedAndReverseSortedInput) {
+  for (bool reverse : {false, true}) {
+    GkSketch sketch(0.01);
+    for (int i = 0; i < 10000; ++i) {
+      sketch.Update(reverse ? 10000 - i : i);
+    }
+    EXPECT_NEAR(sketch.Quantile(0.5), 5000.0, 400.0);
+    EXPECT_NEAR(sketch.Quantile(0.9), 9000.0, 400.0);
+  }
+}
+
+TEST(GkSketchTest, ConstantStream) {
+  GkSketch sketch(0.01);
+  for (int i = 0; i < 1000; ++i) sketch.Update(3.14);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 3.14);
+  EXPECT_DOUBLE_EQ(sketch.Min(), 3.14);
+  EXPECT_DOUBLE_EQ(sketch.Max(), 3.14);
+}
+
+TEST(GkSketchTest, QuantileClampsQ) {
+  GkSketch sketch(0.01);
+  for (int i = 1; i <= 100; ++i) sketch.Update(i);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(-0.5), sketch.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.5), sketch.Quantile(1.0));
+}
+
+}  // namespace
+}  // namespace sketchml::sketch

@@ -1,0 +1,120 @@
+#include "sketch/grouped_min_max_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/random.h"
+
+namespace sketchml::sketch {
+namespace {
+
+TEST(GroupedMinMaxSketchTest, GroupAssignmentIsEqualWidth) {
+  GroupedMinMaxSketch sketch(256, 8, 2, 64);
+  EXPECT_EQ(sketch.group_width(), 32);
+  EXPECT_EQ(sketch.GroupOf(0), 0);
+  EXPECT_EQ(sketch.GroupOf(31), 0);
+  EXPECT_EQ(sketch.GroupOf(32), 1);
+  EXPECT_EQ(sketch.GroupOf(255), 7);
+}
+
+TEST(GroupedMinMaxSketchTest, RoundTripWithoutCollisions) {
+  GroupedMinMaxSketch sketch(256, 8, 2, 1 << 16);
+  common::Rng rng(97);
+  std::map<uint64_t, int> truth;
+  for (uint64_t key = 0; key < 300; ++key) {
+    const int bucket = static_cast<int>(rng.NextBounded(256));
+    truth[key] = bucket;
+    sketch.Insert(key, bucket);
+  }
+  for (const auto& [key, bucket] : truth) {
+    EXPECT_EQ(sketch.Query(key, sketch.GroupOf(bucket)), bucket);
+  }
+}
+
+TEST(GroupedMinMaxSketchTest, ErrorBoundedByGroupWidth) {
+  // §3.3 Solution 2: grouping caps the decoded-index error at q/r.
+  GroupedMinMaxSketch sketch(256, 8, 2, 100);  // Cramped per group.
+  common::Rng rng(101);
+  std::map<uint64_t, int> truth;
+  for (uint64_t key = 0; key < 5000; ++key) {
+    const int bucket = static_cast<int>(rng.NextBounded(256));
+    truth[key] = bucket;
+    sketch.Insert(key, bucket);
+  }
+  for (const auto& [key, bucket] : truth) {
+    const int decoded = sketch.Query(key, sketch.GroupOf(bucket));
+    EXPECT_LE(decoded, bucket);                          // Never amplified.
+    EXPECT_LT(bucket - decoded, sketch.group_width());   // Error < q/r.
+    EXPECT_EQ(sketch.GroupOf(decoded), sketch.GroupOf(bucket));
+  }
+}
+
+class GroupCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupCountTest, MoreGroupsNeverWorsenMaxError) {
+  const int groups = GetParam();
+  GroupedMinMaxSketch sketch(256, groups, 2, 200);
+  common::Rng rng(103);
+  int max_err = 0;
+  std::vector<std::pair<uint64_t, int>> items;
+  for (uint64_t key = 0; key < 3000; ++key) {
+    const int bucket = static_cast<int>(rng.NextBounded(256));
+    items.emplace_back(key, bucket);
+    sketch.Insert(key, bucket);
+  }
+  for (const auto& [key, bucket] : items) {
+    max_err = std::max(max_err,
+                       bucket - sketch.Query(key, sketch.GroupOf(bucket)));
+  }
+  EXPECT_LT(max_err, sketch.group_width());
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, GroupCountTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(GroupedMinMaxSketchTest, SerializationRoundTrips) {
+  GroupedMinMaxSketch sketch(128, 4, 2, 64, /*seed=*/555);
+  common::Rng rng(107);
+  std::vector<std::pair<uint64_t, int>> items;
+  for (uint64_t key = 0; key < 400; ++key) {
+    const int bucket = static_cast<int>(rng.NextBounded(128));
+    items.emplace_back(key, bucket);
+    sketch.Insert(key, bucket);
+  }
+  common::ByteWriter writer;
+  sketch.Serialize(&writer);
+  common::ByteReader reader(writer.buffer());
+  GroupedMinMaxSketch restored(1, 1, 1, 1);
+  ASSERT_TRUE(GroupedMinMaxSketch::Deserialize(&reader, &restored).ok());
+  EXPECT_EQ(restored.num_buckets(), 128);
+  EXPECT_EQ(restored.num_groups(), 4);
+  for (const auto& [key, bucket] : items) {
+    EXPECT_EQ(restored.Query(key, restored.GroupOf(bucket)),
+              sketch.Query(key, sketch.GroupOf(bucket)));
+  }
+}
+
+TEST(GroupedMinMaxSketchTest, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> junk = {0x00};
+  common::ByteReader reader(junk.data(), junk.size());
+  GroupedMinMaxSketch out(1, 1, 1, 1);
+  EXPECT_FALSE(GroupedMinMaxSketch::Deserialize(&reader, &out).ok());
+}
+
+TEST(GroupedMinMaxSketchTest, RejectsOutOfRangeInsert) {
+  GroupedMinMaxSketch sketch(16, 4, 1, 16);
+  EXPECT_DEATH(sketch.Insert(1, 16), "");
+  EXPECT_DEATH(sketch.Insert(1, -1), "");
+}
+
+TEST(GroupedMinMaxSketchTest, SizeBytesSumsGroups) {
+  GroupedMinMaxSketch sketch(256, 8, 2, 80);
+  // 8 groups x 2 rows x ceil(80/8)=10 cols = 160 bins.
+  EXPECT_EQ(sketch.SizeBytes(), 160u);
+}
+
+}  // namespace
+}  // namespace sketchml::sketch

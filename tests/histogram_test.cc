@@ -1,0 +1,53 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace sketchml::common {
+namespace {
+
+TEST(HistogramTest, BinsValuesByRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);   // bin 0
+  h.Add(9.5);   // bin 9
+  h.Add(5.0);   // bin 5
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(0), -0.5);
+  EXPECT_DOUBLE_EQ(h.BinLow(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinHigh(3), 1.0);
+}
+
+TEST(HistogramTest, AddAllAndAscii) {
+  Histogram h(0.0, 4.0, 4);
+  h.AddAll({0.5, 1.5, 1.6, 2.5, 3.5, 3.6, 3.7});
+  EXPECT_EQ(h.total(), 7u);
+  const std::string art = h.ToAscii(20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  // Four lines, one per bin.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(HistogramTest, ValueOnBoundaryGoesToUpperBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(1.0);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(0), 0u);
+}
+
+}  // namespace
+}  // namespace sketchml::common

@@ -1,0 +1,162 @@
+#include "sketch/kll_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sketchml::sketch {
+namespace {
+
+double TrueRankFraction(const std::vector<double>& sorted, double value) {
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), value);
+  return static_cast<double>(it - sorted.begin()) / sorted.size();
+}
+
+TEST(KllSketchTest, EmptySketchChecksOnQuery) {
+  KllSketch sketch;
+  EXPECT_EQ(sketch.Count(), 0u);
+  EXPECT_DEATH(sketch.Quantile(0.5), "");
+  EXPECT_DEATH(sketch.Min(), "");
+}
+
+TEST(KllSketchTest, SmallStreamIsExact) {
+  KllSketch sketch(256);
+  for (double v : {4.0, 2.0, 1.0, 3.0}) sketch.Update(v);
+  EXPECT_DOUBLE_EQ(sketch.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 4.0);
+  EXPECT_NEAR(sketch.Quantile(0.5), 2.0, 1.0);
+}
+
+class KllErrorTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KllErrorTest, RankErrorSmall) {
+  const int k = std::get<0>(GetParam());
+  const int n = std::get<1>(GetParam());
+  KllSketch sketch(k, /*seed=*/5);
+  common::Rng rng(31);
+  std::vector<double> data;
+  data.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Heavy-tailed mix to mimic gradient value distributions.
+    const double v = rng.NextBernoulli(0.9) ? rng.NextGaussian() * 0.01
+                                            : rng.NextGaussian();
+    data.push_back(v);
+    sketch.Update(v);
+  }
+  std::sort(data.begin(), data.end());
+
+  // Expected rank error ~ O(1/k); allow a safety factor.
+  const double tolerance = k >= 256 ? 0.02 : 0.05;
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double estimate = sketch.Quantile(q);
+    EXPECT_NEAR(TrueRankFraction(data, estimate), q, tolerance)
+        << "k=" << k << " n=" << n << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KllErrorTest,
+                         ::testing::Combine(::testing::Values(128, 256, 512),
+                                            ::testing::Values(10000, 100000)));
+
+TEST(KllSketchTest, SpaceIsBounded) {
+  KllSketch sketch(256);
+  common::Rng rng(37);
+  for (int i = 0; i < 500000; ++i) sketch.Update(rng.NextDouble());
+  // Retained items ~ k * sum(decay^i) = k * 3 = 768; generous bound.
+  EXPECT_LT(sketch.NumRetained(), 4096u);
+  EXPECT_EQ(sketch.Count(), 500000u);
+}
+
+TEST(KllSketchTest, MinMaxAlwaysExact) {
+  KllSketch sketch(64);
+  common::Rng rng(41);
+  double lo = 1e18, hi = -1e18;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.NextGaussian() * 100;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sketch.Update(v);
+  }
+  EXPECT_DOUBLE_EQ(sketch.Min(), lo);
+  EXPECT_DOUBLE_EQ(sketch.Max(), hi);
+}
+
+TEST(KllSketchTest, MergeMatchesCombinedStream) {
+  common::Rng rng(43);
+  KllSketch a(256, 1), b(256, 2);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.NextGaussian();
+    all.push_back(v);
+    (i % 2 == 0 ? a : b).Update(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 50000u);
+  std::sort(all.begin(), all.end());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(TrueRankFraction(all, a.Quantile(q)), q, 0.03);
+  }
+}
+
+TEST(KllSketchTest, MergeEmptySketches) {
+  KllSketch a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 0u);
+  b.Update(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 1.0);
+}
+
+TEST(KllSketchTest, RankIsMonotone) {
+  KllSketch sketch(256);
+  common::Rng rng(47);
+  for (int i = 0; i < 20000; ++i) sketch.Update(rng.NextGaussian());
+  double previous = -1.0;
+  for (double v = -3.0; v <= 3.0; v += 0.25) {
+    const double r = sketch.Rank(v);
+    EXPECT_GE(r, previous);
+    previous = r;
+  }
+  EXPECT_NEAR(sketch.Rank(0.0), 0.5, 0.03);
+}
+
+TEST(KllSketchTest, EqualDepthSplitsAreMonotoneAndCoverRange) {
+  KllSketch sketch(256);
+  common::Rng rng(53);
+  for (int i = 0; i < 30000; ++i) sketch.Update(rng.NextGaussian() * 0.1);
+  const auto splits = sketch.EqualDepthSplits(256);
+  ASSERT_EQ(splits.size(), 257u);
+  EXPECT_DOUBLE_EQ(splits.front(), sketch.Min());
+  EXPECT_DOUBLE_EQ(splits.back(), sketch.Max());
+  EXPECT_TRUE(std::is_sorted(splits.begin(), splits.end()));
+}
+
+TEST(KllSketchTest, EqualDepthSplitsEqualizePopulation) {
+  KllSketch sketch(512);
+  common::Rng rng(59);
+  std::vector<double> data;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = std::exp(rng.NextGaussian());  // Very skewed.
+    data.push_back(v);
+    sketch.Update(v);
+  }
+  const int q = 16;
+  const auto splits = sketch.EqualDepthSplits(q);
+  std::sort(data.begin(), data.end());
+  for (int b = 0; b < q; ++b) {
+    const auto lo = std::lower_bound(data.begin(), data.end(), splits[b]);
+    const auto hi = std::lower_bound(data.begin(), data.end(), splits[b + 1]);
+    const double frac = static_cast<double>(hi - lo) / data.size();
+    EXPECT_NEAR(frac, 1.0 / q, 0.03) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace sketchml::sketch

@@ -1,0 +1,82 @@
+#include "ml/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sketchml::ml {
+namespace {
+
+// Numerical derivative of the point loss w.r.t. the margin.
+double NumericGradient(const Loss& loss, double margin, double label) {
+  const double h = 1e-6;
+  return (loss.PointLoss(margin + h, label) -
+          loss.PointLoss(margin - h, label)) /
+         (2 * h);
+}
+
+class LossGradientTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LossGradientTest, AnalyticMatchesNumeric) {
+  auto loss = MakeLoss(GetParam());
+  ASSERT_NE(loss, nullptr);
+  for (double label : {-1.0, 1.0}) {
+    for (double margin : {-3.0, -0.5, -0.1, 0.1, 0.7, 2.5}) {
+      // Skip the hinge kink at y*m == 1.
+      if (GetParam() == "svm" && std::abs(label * margin - 1.0) < 1e-3) {
+        continue;
+      }
+      EXPECT_NEAR(loss->PointGradientScale(margin, label),
+                  NumericGradient(*loss, margin, label), 1e-4)
+          << GetParam() << " margin=" << margin << " label=" << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, LossGradientTest,
+                         ::testing::Values("lr", "svm", "linear"));
+
+TEST(LogisticLossTest, KnownValues) {
+  LogisticLoss loss;
+  EXPECT_NEAR(loss.PointLoss(0.0, 1.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(loss.PointGradientScale(0.0, 1.0), -0.5, 1e-12);
+  // Confident correct prediction: near-zero loss and gradient.
+  EXPECT_LT(loss.PointLoss(10.0, 1.0), 1e-4);
+  EXPECT_GT(loss.PointGradientScale(-10.0, 1.0), -1.0 - 1e-9);
+}
+
+TEST(LogisticLossTest, NumericallyStableAtExtremeMargins) {
+  LogisticLoss loss;
+  EXPECT_TRUE(std::isfinite(loss.PointLoss(-1000.0, 1.0)));
+  EXPECT_TRUE(std::isfinite(loss.PointGradientScale(-1000.0, 1.0)));
+  EXPECT_NEAR(loss.PointLoss(-1000.0, 1.0), 1000.0, 1e-6);
+}
+
+TEST(HingeLossTest, KnownValues) {
+  HingeLoss loss;
+  EXPECT_DOUBLE_EQ(loss.PointLoss(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(loss.PointLoss(2.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.PointLoss(-1.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(loss.PointGradientScale(0.5, 1.0), -1.0);
+  EXPECT_DOUBLE_EQ(loss.PointGradientScale(1.5, 1.0), 0.0);
+}
+
+TEST(SquaredLossTest, KnownValues) {
+  SquaredLoss loss;
+  EXPECT_DOUBLE_EQ(loss.PointLoss(0.5, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(loss.PointGradientScale(0.5, 1.0), -1.0);
+  EXPECT_DOUBLE_EQ(loss.PointGradientScale(1.0, 1.0), 0.0);
+}
+
+TEST(MakeLossTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeLoss("resnet"), nullptr);
+}
+
+TEST(MakeLossTest, NamesMatchPaper) {
+  EXPECT_EQ(MakeLoss("lr")->Name(), "LR");
+  EXPECT_EQ(MakeLoss("svm")->Name(), "SVM");
+  EXPECT_EQ(MakeLoss("linear")->Name(), "Linear");
+}
+
+}  // namespace
+}  // namespace sketchml::ml

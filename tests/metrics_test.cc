@@ -1,0 +1,96 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/gradient.h"
+#include "ml/optimizer.h"
+#include "ml/synthetic.h"
+
+namespace sketchml::ml {
+namespace {
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(
+      AucFromScores({-2.0, -1.0, 1.0, 2.0}, {-1, -1, 1, 1}), 1.0);
+}
+
+TEST(AucTest, PerfectlyWrongIsZero) {
+  EXPECT_DOUBLE_EQ(
+      AucFromScores({2.0, 1.0, -1.0, -2.0}, {-1, -1, 1, 1}), 0.0);
+}
+
+TEST(AucTest, RandomScoresNearHalf) {
+  common::Rng rng(353);
+  std::vector<double> scores, labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.NextGaussian());
+    labels.push_back(rng.NextBernoulli(0.5) ? 1.0 : -1.0);
+  }
+  EXPECT_NEAR(AucFromScores(scores, labels), 0.5, 0.02);
+}
+
+TEST(AucTest, TiesAveraged) {
+  // Two positives and two negatives all scoring the same: AUC = 0.5.
+  EXPECT_DOUBLE_EQ(AucFromScores({1, 1, 1, 1}, {1, 1, -1, -1}), 0.5);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(AucFromScores({1, 2, 3}, {1, 1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(AucFromScores({}, {}), 0.5);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  const std::vector<double> labels = {1, -1, 1, -1, 1, -1, -1, 1};
+  const std::vector<double> scores = {0.9, 0.2, 0.7, 0.4, 0.6, 0.1, 0.5, 0.8};
+  std::vector<double> scaled;
+  for (double s : scores) scaled.push_back(100 * s - 3);
+  EXPECT_DOUBLE_EQ(AucFromScores(scores, labels),
+                   AucFromScores(scaled, labels));
+}
+
+TEST(AucTest, TrainingImprovesModelAuc) {
+  SyntheticConfig config;
+  config.num_instances = 3000;
+  config.dim = 1 << 13;
+  config.label_noise = 0.05;
+  config.seed = 31;
+  Dataset data = GenerateSynthetic(config);
+  LogisticLoss loss;
+  AdamOptimizer opt(data.dim(), 0.05, 0.9, 0.999, 0.01);
+  const double before = ComputeAuc(opt.weights(), data);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    for (size_t b = 0; b < data.size(); b += 300) {
+      opt.Apply(ComputeBatchGradient(loss, opt.weights(), data, b,
+                                     std::min(data.size(), b + 300), 0.001));
+    }
+  }
+  const double after = ComputeAuc(opt.weights(), data);
+  EXPECT_NEAR(before, 0.5, 0.05);  // Untrained model is uninformed.
+  EXPECT_GT(after, 0.8);
+}
+
+TEST(RmseTest, ZeroForExactPredictions) {
+  std::vector<Instance> instances(2);
+  instances[0].features = {{0, 1.0f}};
+  instances[0].label = 2.0;
+  instances[1].features = {{1, 1.0f}};
+  instances[1].label = -3.0;
+  Dataset data(std::move(instances), 2);
+  DenseVector w = {2.0, -3.0};
+  EXPECT_DOUBLE_EQ(ComputeRmse(w, data), 0.0);
+}
+
+TEST(RmseTest, KnownValue) {
+  std::vector<Instance> instances(2);
+  instances[0].features = {{0, 1.0f}};
+  instances[0].label = 1.0;
+  instances[1].features = {{0, 1.0f}};
+  instances[1].label = 3.0;
+  Dataset data(std::move(instances), 1);
+  DenseVector w = {2.0};  // Errors -1 and +1.
+  EXPECT_DOUBLE_EQ(ComputeRmse(w, data), 1.0);
+}
+
+}  // namespace
+}  // namespace sketchml::ml

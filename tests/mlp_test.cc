@@ -1,0 +1,87 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/synthetic.h"
+
+namespace sketchml::ml {
+namespace {
+
+TEST(MlpTest, ParameterCountMatchesArchitecture) {
+  Mlp mlp({4, 8, 3});
+  EXPECT_EQ(mlp.NumParams(), 4u * 8 + 8 + 8u * 3 + 3);
+}
+
+TEST(MlpTest, ForwardProducesProbabilities) {
+  Mlp mlp({10, 16, 4}, 5);
+  Dataset data = GenerateSyntheticMnist(5, /*side=*/2, /*num_classes=*/4, 7);
+  // side 2 => 4 pixels, but our net expects 10 inputs: indexes < 4 fit.
+  const double loss = mlp.ComputeMeanLoss(data);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(MlpTest, GradientMatchesFiniteDifference) {
+  Mlp mlp({3, 4, 2}, 9);
+  std::vector<Instance> instances(2);
+  instances[0].features = {{0, 1.0f}, {2, -0.5f}};
+  instances[0].label = 0;
+  instances[1].features = {{1, 0.7f}};
+  instances[1].label = 1;
+  Dataset data(std::move(instances), 3);
+
+  common::SparseGradient grad;
+  mlp.ComputeBatchGradient(data, 0, 2, &grad);
+
+  // Spot-check a handful of parameters against central differences.
+  const double h = 1e-5;
+  for (size_t probe : {0u, 5u, 11u, 17u, 20u}) {
+    double analytic = 0.0;
+    for (const auto& p : grad) {
+      if (p.key == probe) analytic = p.value;
+    }
+    auto& params = mlp.mutable_params();
+    const double original = params[probe];
+    params[probe] = original + h;
+    const double up = mlp.ComputeMeanLoss(data);
+    params[probe] = original - h;
+    const double down = mlp.ComputeMeanLoss(data);
+    params[probe] = original;
+    EXPECT_NEAR(analytic, (up - down) / (2 * h), 1e-4) << "param " << probe;
+  }
+}
+
+TEST(MlpTest, TrainsOnSyntheticMnist) {
+  Dataset data = GenerateSyntheticMnist(300, 10, 4, 21);
+  Mlp mlp({100, 32, 4}, 23);
+  const double initial_loss = mlp.ComputeMeanLoss(data);
+  common::SparseGradient grad;
+  for (int step = 0; step < 60; ++step) {
+    const size_t begin = (step * 50) % 300;
+    mlp.ComputeBatchGradient(data, begin, begin + 50, &grad);
+    mlp.ApplySgd(grad, 0.05);
+  }
+  const double trained_loss = mlp.ComputeMeanLoss(data);
+  EXPECT_LT(trained_loss, initial_loss * 0.6);
+  EXPECT_GT(mlp.ComputeAccuracy(data), 0.6);
+}
+
+TEST(MlpTest, GradientKeysAreSortedAndDense) {
+  Mlp mlp({16, 10, 3}, 31);  // Matches the 4x4 images below.
+  Dataset data = GenerateSyntheticMnist(10, 4, 3, 33);
+  common::SparseGradient grad;
+  mlp.ComputeBatchGradient(data, 0, 10, &grad);
+  EXPECT_TRUE(common::IsSortedByKey(grad));
+  // Nearly all parameters receive gradient (dense NN gradients, §B.3);
+  // only dead-ReLU rows can be missing.
+  EXPECT_GT(grad.size(), mlp.NumParams() / 2);
+}
+
+TEST(MlpTest, RejectsTooFewLayers) {
+  EXPECT_DEATH(Mlp({5}), "");
+}
+
+}  // namespace
+}  // namespace sketchml::ml

@@ -1,0 +1,115 @@
+#include "compress/qsgd_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/sparse.h"
+
+namespace sketchml::compress {
+namespace {
+
+common::SparseGradient MakeGradient(size_t count, uint64_t seed) {
+  common::Rng rng(seed);
+  std::set<uint64_t> keys;
+  while (keys.size() < count) keys.insert(rng.NextBounded(1 << 22));
+  common::SparseGradient grad;
+  for (uint64_t k : keys) {
+    grad.push_back({k, rng.NextBernoulli(0.9) ? rng.NextGaussian() * 0.01
+                                              : rng.NextGaussian() * 0.3});
+  }
+  return grad;
+}
+
+TEST(QsgdCodecTest, KeysAndSignsExact) {
+  QsgdCodec codec(255);
+  const auto grad = MakeGradient(3000, 331);
+  EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode(grad, &msg).ok());
+  common::SparseGradient decoded;
+  ASSERT_TRUE(codec.Decode(msg, &decoded).ok());
+  ASSERT_EQ(decoded.size(), grad.size());
+  for (size_t i = 0; i < grad.size(); ++i) {
+    ASSERT_EQ(decoded[i].key, grad[i].key);
+    // Sign flips only possible for level 0 (decoded exactly 0).
+    if (decoded[i].value != 0.0) {
+      EXPECT_EQ(decoded[i].value >= 0, grad[i].value >= 0);
+    }
+  }
+}
+
+TEST(QsgdCodecTest, QuantizationIsUnbiased) {
+  // E[decoded] == original, by stochastic level selection.
+  QsgdCodec codec(8, /*seed=*/5);  // Few levels: visible randomness.
+  common::SparseGradient grad;
+  for (uint64_t i = 0; i < 8192; ++i) grad.push_back({i, 0.3});
+  grad.push_back({100000, 1.0});  // Norm anchor.
+  EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode(grad, &msg).ok());
+  common::SparseGradient decoded;
+  ASSERT_TRUE(codec.Decode(msg, &decoded).ok());
+  double sum = 0.0;
+  for (size_t i = 0; i + 1 < decoded.size(); ++i) sum += decoded[i].value;
+  EXPECT_NEAR(sum / 8192, 0.3, 0.02);
+}
+
+TEST(QsgdCodecTest, VarianceBoundHolds) {
+  // QSGD bound: E||g~ - g||^2 <= min(d/s^2, sqrt(d)/s) ||g||^2.
+  const auto grad = MakeGradient(10000, 337);
+  double norm_sq = 0.0;
+  for (const auto& p : grad) norm_sq += p.value * p.value;
+  for (int levels : {16, 64, 255}) {
+    QsgdCodec codec(levels, 7);
+    EncodedGradient msg;
+    ASSERT_TRUE(codec.Encode(grad, &msg).ok());
+    common::SparseGradient decoded;
+    ASSERT_TRUE(codec.Decode(msg, &decoded).ok());
+    double err = 0.0;
+    for (size_t i = 0; i < grad.size(); ++i) {
+      err += std::pow(grad[i].value - decoded[i].value, 2);
+    }
+    const double d = static_cast<double>(grad.size());
+    const double s = levels;
+    const double bound = std::min(d / (s * s), std::sqrt(d) / s) * norm_sq;
+    EXPECT_LE(err, bound * 1.05) << "levels " << levels;
+  }
+}
+
+TEST(QsgdCodecTest, SmallGradientsYieldShortCodes) {
+  // Near-zero values map to level 0 -> 1-bit Elias codes, so skewed
+  // gradients compress well below the 2-byte-per-value of ZipML-16.
+  const auto grad = MakeGradient(20000, 347);
+  QsgdCodec codec(255);
+  EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode(grad, &msg).ok());
+  // 4 key bytes + sign bit + short level code: comfortably < 6 B/pair.
+  EXPECT_LT(msg.size(), grad.size() * 6);
+}
+
+TEST(QsgdCodecTest, EmptyGradient) {
+  QsgdCodec codec;
+  EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode({}, &msg).ok());
+  common::SparseGradient decoded = {{1, 1.0}};
+  ASSERT_TRUE(codec.Decode(msg, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(QsgdCodecTest, AllZeroValues) {
+  QsgdCodec codec;
+  common::SparseGradient grad = {{1, 0.0}, {5, 0.0}};
+  EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode(grad, &msg).ok());
+  common::SparseGradient decoded;
+  ASSERT_TRUE(codec.Decode(msg, &decoded).ok());
+  for (const auto& p : decoded) EXPECT_EQ(p.value, 0.0);
+}
+
+TEST(QsgdCodecTest, RejectsBadLevels) {
+  EXPECT_DEATH(QsgdCodec(0), "");
+}
+
+}  // namespace
+}  // namespace sketchml::compress

@@ -1,0 +1,73 @@
+#include "common/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bit_util.h"
+
+namespace sketchml::common {
+namespace {
+
+TEST(SparseGradientTest, SortByKey) {
+  SparseGradient grad = {{5, 1.0}, {1, 2.0}, {3, 3.0}};
+  SortByKey(&grad);
+  EXPECT_EQ(grad[0].key, 1u);
+  EXPECT_EQ(grad[1].key, 3u);
+  EXPECT_EQ(grad[2].key, 5u);
+  EXPECT_DOUBLE_EQ(grad[0].value, 2.0);
+}
+
+TEST(SparseGradientTest, IsSortedByKey) {
+  EXPECT_TRUE(IsSortedByKey({}));
+  EXPECT_TRUE(IsSortedByKey({{1, 0.0}}));
+  EXPECT_TRUE(IsSortedByKey({{1, 0.0}, {2, 0.0}}));
+  EXPECT_FALSE(IsSortedByKey({{2, 0.0}, {1, 0.0}}));
+  EXPECT_FALSE(IsSortedByKey({{1, 0.0}, {1, 0.0}}));  // Duplicates illegal.
+}
+
+TEST(SparseGradientTest, KeysAndValuesExtraction) {
+  SparseGradient grad = {{1, 0.5}, {9, -2.0}};
+  EXPECT_EQ(Keys(grad), (std::vector<uint64_t>{1, 9}));
+  EXPECT_EQ(Values(grad), (std::vector<double>{0.5, -2.0}));
+}
+
+TEST(SparseGradientTest, PairEquality) {
+  EXPECT_EQ((GradientPair{1, 2.0}), (GradientPair{1, 2.0}));
+  EXPECT_FALSE((GradientPair{1, 2.0}) == (GradientPair{1, 2.5}));
+  EXPECT_FALSE((GradientPair{2, 2.0}) == (GradientPair{1, 2.0}));
+}
+
+TEST(BitUtilTest, BytesNeeded) {
+  EXPECT_EQ(BytesNeeded(0), 1);
+  EXPECT_EQ(BytesNeeded(255), 1);
+  EXPECT_EQ(BytesNeeded(256), 2);
+  EXPECT_EQ(BytesNeeded(65535), 2);
+  EXPECT_EQ(BytesNeeded(65536), 3);
+  EXPECT_EQ(BytesNeeded(16777215), 3);
+  EXPECT_EQ(BytesNeeded(16777216), 4);
+  EXPECT_EQ(BytesNeeded(0xFFFFFFFFull), 4);
+  EXPECT_EQ(BytesNeeded(0x100000000ull), 5);
+  EXPECT_EQ(BytesNeeded(~0ull), 8);
+}
+
+TEST(BitUtilTest, BitsForRange) {
+  EXPECT_EQ(BitsForRange(1), 1);
+  EXPECT_EQ(BitsForRange(2), 1);
+  EXPECT_EQ(BitsForRange(3), 2);
+  EXPECT_EQ(BitsForRange(4), 2);
+  EXPECT_EQ(BitsForRange(256), 8);
+  EXPECT_EQ(BitsForRange(257), 9);
+}
+
+TEST(BitUtilTest, RoundUpAndCeilDiv) {
+  EXPECT_EQ(RoundUp(0, 8), 0u);
+  EXPECT_EQ(RoundUp(1, 8), 8u);
+  EXPECT_EQ(RoundUp(8, 8), 8u);
+  EXPECT_EQ(RoundUp(9, 8), 16u);
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+}  // namespace
+}  // namespace sketchml::common

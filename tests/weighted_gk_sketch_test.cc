@@ -1,0 +1,116 @@
+#include "sketch/weighted_gk_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sketchml::sketch {
+namespace {
+
+// Exact weighted quantile by sorting: value whose cumulative weight
+// first reaches q * total.
+double ExactWeightedQuantile(std::vector<std::pair<double, double>> items,
+                             double q) {
+  std::sort(items.begin(), items.end());
+  double total = 0.0;
+  for (const auto& [v, w] : items) total += w;
+  const double target = q * total;
+  double cumulative = 0.0;
+  for (const auto& [v, w] : items) {
+    cumulative += w;
+    if (cumulative >= target) return v;
+  }
+  return items.back().first;
+}
+
+// Weighted rank fraction of `value`.
+double WeightedRank(const std::vector<std::pair<double, double>>& items,
+                    double value) {
+  double below = 0.0, total = 0.0;
+  for (const auto& [v, w] : items) {
+    total += w;
+    if (v <= value) below += w;
+  }
+  return below / total;
+}
+
+TEST(WeightedGkSketchTest, UnitWeightsActLikePlainQuantiles) {
+  WeightedGkSketch sketch(0.01);
+  for (int i = 1; i <= 10000; ++i) sketch.Update(i);
+  EXPECT_DOUBLE_EQ(sketch.TotalWeight(), 10000.0);
+  EXPECT_NEAR(sketch.Quantile(0.5), 5000.0, 300.0);
+  EXPECT_NEAR(sketch.Quantile(0.9), 9000.0, 300.0);
+  EXPECT_DOUBLE_EQ(sketch.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Max(), 10000.0);
+}
+
+TEST(WeightedGkSketchTest, HeavyItemDominatesQuantiles) {
+  WeightedGkSketch sketch(0.01);
+  // 1000 light items spread over [0, 1], one item at 5 carrying half the
+  // total weight: every quantile above ~0.5 must answer 5.
+  common::Rng rng(431);
+  for (int i = 0; i < 1000; ++i) sketch.Update(rng.NextDouble(), 1.0);
+  sketch.Update(5.0, 1000.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.75), 5.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.99), 5.0);
+  EXPECT_LT(sketch.Quantile(0.25), 1.0);
+}
+
+class WeightedGkErrorTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeightedGkErrorTest, WeightedRankErrorBounded) {
+  const double epsilon = GetParam();
+  WeightedGkSketch sketch(epsilon);
+  common::Rng rng(433);
+  std::vector<std::pair<double, double>> items;
+  for (int i = 0; i < 30000; ++i) {
+    const double v = rng.NextGaussian();
+    const double w = 0.1 + rng.NextDouble() * 4.0;  // Weights in [0.1, 4.1].
+    items.emplace_back(v, w);
+    sketch.Update(v, w);
+  }
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double estimate = sketch.Quantile(q);
+    EXPECT_NEAR(WeightedRank(items, estimate), q, 4.0 * epsilon + 1e-3)
+        << "q=" << q << " eps=" << epsilon;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, WeightedGkErrorTest,
+                         ::testing::Values(0.005, 0.01, 0.05));
+
+TEST(WeightedGkSketchTest, MatchesExactOnSmallWeightedSet) {
+  WeightedGkSketch sketch(0.001);
+  std::vector<std::pair<double, double>> items = {
+      {1.0, 1.0}, {2.0, 3.0}, {3.0, 1.0}, {4.0, 5.0}};
+  for (const auto& [v, w] : items) sketch.Update(v, w);
+  for (double q : {0.1, 0.4, 0.5, 0.95}) {
+    EXPECT_DOUBLE_EQ(sketch.Quantile(q), ExactWeightedQuantile(items, q))
+        << "q=" << q;
+  }
+}
+
+TEST(WeightedGkSketchTest, SpaceStaysSublinear) {
+  WeightedGkSketch sketch(0.01);
+  common::Rng rng(439);
+  for (int i = 0; i < 200000; ++i) {
+    sketch.Update(rng.NextDouble(), 0.5 + rng.NextDouble());
+  }
+  EXPECT_LT(sketch.NumTuples(), 6000u);
+  EXPECT_EQ(sketch.Count(), 200000u);
+}
+
+TEST(WeightedGkSketchTest, RejectsBadArguments) {
+  EXPECT_DEATH(WeightedGkSketch(0.0), "");
+  WeightedGkSketch sketch(0.01);
+  EXPECT_DEATH(sketch.Update(1.0, 0.0), "");
+  EXPECT_DEATH(sketch.Update(1.0, -1.0), "");
+  EXPECT_DEATH(sketch.Quantile(0.5), "");  // Empty sketch.
+}
+
+}  // namespace
+}  // namespace sketchml::sketch

@@ -1,0 +1,70 @@
+// Wire-format regression tests: golden CRCs of encoded messages for
+// fixed inputs and seeds. If any of these change, the wire format has
+// changed — bump `kWireVersion` (or the codec's framing) and regenerate
+// the constants, because old messages will no longer decode.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/crc32.h"
+#include "core/sketchml.h"
+
+namespace sketchml {
+namespace {
+
+common::SparseGradient GoldenGradient() {
+  common::SparseGradient grad;
+  for (uint64_t i = 0; i < 64; ++i) {
+    const double v =
+        (i % 3 == 0 ? -1.0 : 1.0) * (0.001 * static_cast<double>(i + 1));
+    grad.push_back({i * 37 + 5, v});
+  }
+  return grad;
+}
+
+TEST(WireFormatTest, SketchMlGolden) {
+  core::SketchMlConfig config;
+  config.seed = 7;
+  core::SketchMlCodec codec(config);
+  compress::EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode(GoldenGradient(), &msg).ok());
+  EXPECT_EQ(msg.size(), 479u);
+  EXPECT_EQ(common::Crc32(msg.bytes), 0xDB74F99Du);
+}
+
+TEST(WireFormatTest, DeltaBinaryKeysGolden) {
+  common::ByteWriter writer;
+  ASSERT_TRUE(compress::DeltaBinaryKeyCodec::Encode(
+                  common::Keys(GoldenGradient()), &writer)
+                  .ok());
+  EXPECT_EQ(writer.size(), 81u);
+  EXPECT_EQ(common::Crc32(writer.buffer()), 0x9957ECE3u);
+}
+
+TEST(WireFormatTest, ZipMlGolden) {
+  compress::ZipMlCodec codec(16, /*seed=*/24);
+  compress::EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode(GoldenGradient(), &msg).ok());
+  EXPECT_EQ(msg.size(), 402u);
+  EXPECT_EQ(common::Crc32(msg.bytes), 0x3AF041E3u);
+}
+
+TEST(WireFormatTest, GoldenMessagesStillDecode) {
+  // Beyond byte identity: the golden messages decode to the golden keys.
+  core::SketchMlConfig config;
+  config.seed = 7;
+  core::SketchMlCodec codec(config);
+  compress::EncodedGradient msg;
+  const auto grad = GoldenGradient();
+  ASSERT_TRUE(codec.Encode(grad, &msg).ok());
+  common::SparseGradient decoded;
+  ASSERT_TRUE(core::SketchMlCodec().Decode(msg, &decoded).ok());
+  ASSERT_EQ(decoded.size(), grad.size());
+  for (size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_EQ(decoded[i].key, grad[i].key);
+  }
+}
+
+}  // namespace
+}  // namespace sketchml
