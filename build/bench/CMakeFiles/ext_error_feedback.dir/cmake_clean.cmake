@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_error_feedback.dir/ext_error_feedback.cc.o"
+  "CMakeFiles/ext_error_feedback.dir/ext_error_feedback.cc.o.d"
+  "ext_error_feedback"
+  "ext_error_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_error_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

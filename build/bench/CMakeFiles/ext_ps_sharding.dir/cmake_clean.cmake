@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ps_sharding.dir/ext_ps_sharding.cc.o"
+  "CMakeFiles/ext_ps_sharding.dir/ext_ps_sharding.cc.o.d"
+  "ext_ps_sharding"
+  "ext_ps_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ps_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

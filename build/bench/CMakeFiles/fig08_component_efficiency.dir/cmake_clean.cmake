@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_component_efficiency.dir/fig08_component_efficiency.cc.o"
+  "CMakeFiles/fig08_component_efficiency.dir/fig08_component_efficiency.cc.o.d"
+  "fig08_component_efficiency"
+  "fig08_component_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_component_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_end_to_end_runtime.dir/fig09_end_to_end_runtime.cc.o"
+  "CMakeFiles/fig09_end_to_end_runtime.dir/fig09_end_to_end_runtime.cc.o.d"
+  "fig09_end_to_end_runtime"
+  "fig09_end_to_end_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_end_to_end_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_single_node.dir/fig12_single_node.cc.o"
+  "CMakeFiles/fig12_single_node.dir/fig12_single_node.cc.o.d"
+  "fig12_single_node"
+  "fig12_single_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_single_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_neural_nets.dir/fig14_neural_nets.cc.o"
+  "CMakeFiles/fig14_neural_nets.dir/fig14_neural_nets.cc.o.d"
+  "fig14_neural_nets"
+  "fig14_neural_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_neural_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/geo_distributed.cpp" "examples/CMakeFiles/geo_distributed.dir/geo_distributed.cpp.o" "gcc" "examples/CMakeFiles/geo_distributed.dir/geo_distributed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/sketchml_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sketchml_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sketchml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sketchml_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/sketchml_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sketchml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

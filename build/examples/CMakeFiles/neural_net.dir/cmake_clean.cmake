@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_net.dir/neural_net.cpp.o"
+  "CMakeFiles/neural_net.dir/neural_net.cpp.o.d"
+  "neural_net"
+  "neural_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

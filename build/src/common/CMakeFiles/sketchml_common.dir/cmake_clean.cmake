@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchml_common.dir/byte_buffer.cc.o"
+  "CMakeFiles/sketchml_common.dir/byte_buffer.cc.o.d"
+  "CMakeFiles/sketchml_common.dir/crc32.cc.o"
+  "CMakeFiles/sketchml_common.dir/crc32.cc.o.d"
+  "CMakeFiles/sketchml_common.dir/flags.cc.o"
+  "CMakeFiles/sketchml_common.dir/flags.cc.o.d"
+  "CMakeFiles/sketchml_common.dir/histogram.cc.o"
+  "CMakeFiles/sketchml_common.dir/histogram.cc.o.d"
+  "CMakeFiles/sketchml_common.dir/logging.cc.o"
+  "CMakeFiles/sketchml_common.dir/logging.cc.o.d"
+  "CMakeFiles/sketchml_common.dir/murmur_hash.cc.o"
+  "CMakeFiles/sketchml_common.dir/murmur_hash.cc.o.d"
+  "CMakeFiles/sketchml_common.dir/random.cc.o"
+  "CMakeFiles/sketchml_common.dir/random.cc.o.d"
+  "CMakeFiles/sketchml_common.dir/status.cc.o"
+  "CMakeFiles/sketchml_common.dir/status.cc.o.d"
+  "CMakeFiles/sketchml_common.dir/stopwatch.cc.o"
+  "CMakeFiles/sketchml_common.dir/stopwatch.cc.o.d"
+  "libsketchml_common.a"
+  "libsketchml_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchml_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/checksummed_codec.cc" "src/compress/CMakeFiles/sketchml_compress.dir/checksummed_codec.cc.o" "gcc" "src/compress/CMakeFiles/sketchml_compress.dir/checksummed_codec.cc.o.d"
+  "/root/repo/src/compress/codec.cc" "src/compress/CMakeFiles/sketchml_compress.dir/codec.cc.o" "gcc" "src/compress/CMakeFiles/sketchml_compress.dir/codec.cc.o.d"
+  "/root/repo/src/compress/delta_binary_key_codec.cc" "src/compress/CMakeFiles/sketchml_compress.dir/delta_binary_key_codec.cc.o" "gcc" "src/compress/CMakeFiles/sketchml_compress.dir/delta_binary_key_codec.cc.o.d"
+  "/root/repo/src/compress/error_feedback_codec.cc" "src/compress/CMakeFiles/sketchml_compress.dir/error_feedback_codec.cc.o" "gcc" "src/compress/CMakeFiles/sketchml_compress.dir/error_feedback_codec.cc.o.d"
+  "/root/repo/src/compress/lossless.cc" "src/compress/CMakeFiles/sketchml_compress.dir/lossless.cc.o" "gcc" "src/compress/CMakeFiles/sketchml_compress.dir/lossless.cc.o.d"
+  "/root/repo/src/compress/one_bit_codec.cc" "src/compress/CMakeFiles/sketchml_compress.dir/one_bit_codec.cc.o" "gcc" "src/compress/CMakeFiles/sketchml_compress.dir/one_bit_codec.cc.o.d"
+  "/root/repo/src/compress/qsgd_codec.cc" "src/compress/CMakeFiles/sketchml_compress.dir/qsgd_codec.cc.o" "gcc" "src/compress/CMakeFiles/sketchml_compress.dir/qsgd_codec.cc.o.d"
+  "/root/repo/src/compress/quantile_bucket_quantizer.cc" "src/compress/CMakeFiles/sketchml_compress.dir/quantile_bucket_quantizer.cc.o" "gcc" "src/compress/CMakeFiles/sketchml_compress.dir/quantile_bucket_quantizer.cc.o.d"
+  "/root/repo/src/compress/raw_codec.cc" "src/compress/CMakeFiles/sketchml_compress.dir/raw_codec.cc.o" "gcc" "src/compress/CMakeFiles/sketchml_compress.dir/raw_codec.cc.o.d"
+  "/root/repo/src/compress/zipml_codec.cc" "src/compress/CMakeFiles/sketchml_compress.dir/zipml_codec.cc.o" "gcc" "src/compress/CMakeFiles/sketchml_compress.dir/zipml_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketchml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/sketchml_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchml_compress.dir/checksummed_codec.cc.o"
+  "CMakeFiles/sketchml_compress.dir/checksummed_codec.cc.o.d"
+  "CMakeFiles/sketchml_compress.dir/codec.cc.o"
+  "CMakeFiles/sketchml_compress.dir/codec.cc.o.d"
+  "CMakeFiles/sketchml_compress.dir/delta_binary_key_codec.cc.o"
+  "CMakeFiles/sketchml_compress.dir/delta_binary_key_codec.cc.o.d"
+  "CMakeFiles/sketchml_compress.dir/error_feedback_codec.cc.o"
+  "CMakeFiles/sketchml_compress.dir/error_feedback_codec.cc.o.d"
+  "CMakeFiles/sketchml_compress.dir/lossless.cc.o"
+  "CMakeFiles/sketchml_compress.dir/lossless.cc.o.d"
+  "CMakeFiles/sketchml_compress.dir/one_bit_codec.cc.o"
+  "CMakeFiles/sketchml_compress.dir/one_bit_codec.cc.o.d"
+  "CMakeFiles/sketchml_compress.dir/qsgd_codec.cc.o"
+  "CMakeFiles/sketchml_compress.dir/qsgd_codec.cc.o.d"
+  "CMakeFiles/sketchml_compress.dir/quantile_bucket_quantizer.cc.o"
+  "CMakeFiles/sketchml_compress.dir/quantile_bucket_quantizer.cc.o.d"
+  "CMakeFiles/sketchml_compress.dir/raw_codec.cc.o"
+  "CMakeFiles/sketchml_compress.dir/raw_codec.cc.o.d"
+  "CMakeFiles/sketchml_compress.dir/zipml_codec.cc.o"
+  "CMakeFiles/sketchml_compress.dir/zipml_codec.cc.o.d"
+  "libsketchml_compress.a"
+  "libsketchml_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchml_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

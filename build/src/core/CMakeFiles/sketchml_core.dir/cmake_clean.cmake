@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchml_core.dir/codec_factory.cc.o"
+  "CMakeFiles/sketchml_core.dir/codec_factory.cc.o.d"
+  "CMakeFiles/sketchml_core.dir/sketchml_codec.cc.o"
+  "CMakeFiles/sketchml_core.dir/sketchml_codec.cc.o.d"
+  "CMakeFiles/sketchml_core.dir/sketchml_config.cc.o"
+  "CMakeFiles/sketchml_core.dir/sketchml_config.cc.o.d"
+  "libsketchml_core.a"
+  "libsketchml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

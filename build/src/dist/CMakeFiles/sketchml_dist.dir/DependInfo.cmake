@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/stats.cc" "src/dist/CMakeFiles/sketchml_dist.dir/stats.cc.o" "gcc" "src/dist/CMakeFiles/sketchml_dist.dir/stats.cc.o.d"
+  "/root/repo/src/dist/trainer.cc" "src/dist/CMakeFiles/sketchml_dist.dir/trainer.cc.o" "gcc" "src/dist/CMakeFiles/sketchml_dist.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/sketchml_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sketchml_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sketchml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/sketchml_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchml_dist.dir/stats.cc.o"
+  "CMakeFiles/sketchml_dist.dir/stats.cc.o.d"
+  "CMakeFiles/sketchml_dist.dir/trainer.cc.o"
+  "CMakeFiles/sketchml_dist.dir/trainer.cc.o.d"
+  "libsketchml_dist.a"
+  "libsketchml_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchml_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

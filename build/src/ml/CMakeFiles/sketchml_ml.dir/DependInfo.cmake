@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/csr_matrix.cc" "src/ml/CMakeFiles/sketchml_ml.dir/csr_matrix.cc.o" "gcc" "src/ml/CMakeFiles/sketchml_ml.dir/csr_matrix.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/sketchml_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/sketchml_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/gradient.cc" "src/ml/CMakeFiles/sketchml_ml.dir/gradient.cc.o" "gcc" "src/ml/CMakeFiles/sketchml_ml.dir/gradient.cc.o.d"
+  "/root/repo/src/ml/loss.cc" "src/ml/CMakeFiles/sketchml_ml.dir/loss.cc.o" "gcc" "src/ml/CMakeFiles/sketchml_ml.dir/loss.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/sketchml_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/sketchml_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/sketchml_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/sketchml_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/optimizer.cc" "src/ml/CMakeFiles/sketchml_ml.dir/optimizer.cc.o" "gcc" "src/ml/CMakeFiles/sketchml_ml.dir/optimizer.cc.o.d"
+  "/root/repo/src/ml/synthetic.cc" "src/ml/CMakeFiles/sketchml_ml.dir/synthetic.cc.o" "gcc" "src/ml/CMakeFiles/sketchml_ml.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketchml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchml_ml.dir/csr_matrix.cc.o"
+  "CMakeFiles/sketchml_ml.dir/csr_matrix.cc.o.d"
+  "CMakeFiles/sketchml_ml.dir/dataset.cc.o"
+  "CMakeFiles/sketchml_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/sketchml_ml.dir/gradient.cc.o"
+  "CMakeFiles/sketchml_ml.dir/gradient.cc.o.d"
+  "CMakeFiles/sketchml_ml.dir/loss.cc.o"
+  "CMakeFiles/sketchml_ml.dir/loss.cc.o.d"
+  "CMakeFiles/sketchml_ml.dir/metrics.cc.o"
+  "CMakeFiles/sketchml_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/sketchml_ml.dir/mlp.cc.o"
+  "CMakeFiles/sketchml_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/sketchml_ml.dir/optimizer.cc.o"
+  "CMakeFiles/sketchml_ml.dir/optimizer.cc.o.d"
+  "CMakeFiles/sketchml_ml.dir/synthetic.cc.o"
+  "CMakeFiles/sketchml_ml.dir/synthetic.cc.o.d"
+  "libsketchml_ml.a"
+  "libsketchml_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchml_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

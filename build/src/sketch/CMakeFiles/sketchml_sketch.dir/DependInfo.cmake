@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/count_min_sketch.cc" "src/sketch/CMakeFiles/sketchml_sketch.dir/count_min_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/sketchml_sketch.dir/count_min_sketch.cc.o.d"
+  "/root/repo/src/sketch/gk_sketch.cc" "src/sketch/CMakeFiles/sketchml_sketch.dir/gk_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/sketchml_sketch.dir/gk_sketch.cc.o.d"
+  "/root/repo/src/sketch/grouped_min_max_sketch.cc" "src/sketch/CMakeFiles/sketchml_sketch.dir/grouped_min_max_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/sketchml_sketch.dir/grouped_min_max_sketch.cc.o.d"
+  "/root/repo/src/sketch/kll_sketch.cc" "src/sketch/CMakeFiles/sketchml_sketch.dir/kll_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/sketchml_sketch.dir/kll_sketch.cc.o.d"
+  "/root/repo/src/sketch/min_max_sketch.cc" "src/sketch/CMakeFiles/sketchml_sketch.dir/min_max_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/sketchml_sketch.dir/min_max_sketch.cc.o.d"
+  "/root/repo/src/sketch/quantile_sketch.cc" "src/sketch/CMakeFiles/sketchml_sketch.dir/quantile_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/sketchml_sketch.dir/quantile_sketch.cc.o.d"
+  "/root/repo/src/sketch/weighted_gk_sketch.cc" "src/sketch/CMakeFiles/sketchml_sketch.dir/weighted_gk_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/sketchml_sketch.dir/weighted_gk_sketch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketchml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchml_sketch.dir/count_min_sketch.cc.o"
+  "CMakeFiles/sketchml_sketch.dir/count_min_sketch.cc.o.d"
+  "CMakeFiles/sketchml_sketch.dir/gk_sketch.cc.o"
+  "CMakeFiles/sketchml_sketch.dir/gk_sketch.cc.o.d"
+  "CMakeFiles/sketchml_sketch.dir/grouped_min_max_sketch.cc.o"
+  "CMakeFiles/sketchml_sketch.dir/grouped_min_max_sketch.cc.o.d"
+  "CMakeFiles/sketchml_sketch.dir/kll_sketch.cc.o"
+  "CMakeFiles/sketchml_sketch.dir/kll_sketch.cc.o.d"
+  "CMakeFiles/sketchml_sketch.dir/min_max_sketch.cc.o"
+  "CMakeFiles/sketchml_sketch.dir/min_max_sketch.cc.o.d"
+  "CMakeFiles/sketchml_sketch.dir/quantile_sketch.cc.o"
+  "CMakeFiles/sketchml_sketch.dir/quantile_sketch.cc.o.d"
+  "CMakeFiles/sketchml_sketch.dir/weighted_gk_sketch.cc.o"
+  "CMakeFiles/sketchml_sketch.dir/weighted_gk_sketch.cc.o.d"
+  "libsketchml_sketch.a"
+  "libsketchml_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchml_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

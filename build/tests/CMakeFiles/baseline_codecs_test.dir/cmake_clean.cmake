@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_codecs_test.dir/baseline_codecs_test.cc.o"
+  "CMakeFiles/baseline_codecs_test.dir/baseline_codecs_test.cc.o.d"
+  "baseline_codecs_test"
+  "baseline_codecs_test.pdb"
+  "baseline_codecs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_codecs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_binary_key_codec_test.dir/delta_binary_key_codec_test.cc.o"
+  "CMakeFiles/delta_binary_key_codec_test.dir/delta_binary_key_codec_test.cc.o.d"
+  "delta_binary_key_codec_test"
+  "delta_binary_key_codec_test.pdb"
+  "delta_binary_key_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_binary_key_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_feedback_test.dir/error_feedback_test.cc.o"
+  "CMakeFiles/error_feedback_test.dir/error_feedback_test.cc.o.d"
+  "error_feedback_test"
+  "error_feedback_test.pdb"
+  "error_feedback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

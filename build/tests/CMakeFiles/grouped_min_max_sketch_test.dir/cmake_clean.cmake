@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_min_max_sketch_test.dir/grouped_min_max_sketch_test.cc.o"
+  "CMakeFiles/grouped_min_max_sketch_test.dir/grouped_min_max_sketch_test.cc.o.d"
+  "grouped_min_max_sketch_test"
+  "grouped_min_max_sketch_test.pdb"
+  "grouped_min_max_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_min_max_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kll_sketch_test.dir/kll_sketch_test.cc.o"
+  "CMakeFiles/kll_sketch_test.dir/kll_sketch_test.cc.o.d"
+  "kll_sketch_test"
+  "kll_sketch_test.pdb"
+  "kll_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kll_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

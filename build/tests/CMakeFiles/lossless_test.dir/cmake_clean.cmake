@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossless_test.dir/lossless_test.cc.o"
+  "CMakeFiles/lossless_test.dir/lossless_test.cc.o.d"
+  "lossless_test"
+  "lossless_test.pdb"
+  "lossless_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsgd_codec_test.dir/qsgd_codec_test.cc.o"
+  "CMakeFiles/qsgd_codec_test.dir/qsgd_codec_test.cc.o.d"
+  "qsgd_codec_test"
+  "qsgd_codec_test.pdb"
+  "qsgd_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsgd_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantile_bucket_quantizer_test.dir/quantile_bucket_quantizer_test.cc.o"
+  "CMakeFiles/quantile_bucket_quantizer_test.dir/quantile_bucket_quantizer_test.cc.o.d"
+  "quantile_bucket_quantizer_test"
+  "quantile_bucket_quantizer_test.pdb"
+  "quantile_bucket_quantizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantile_bucket_quantizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

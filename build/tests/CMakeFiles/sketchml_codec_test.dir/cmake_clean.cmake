@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchml_codec_test.dir/sketchml_codec_test.cc.o"
+  "CMakeFiles/sketchml_codec_test.dir/sketchml_codec_test.cc.o.d"
+  "sketchml_codec_test"
+  "sketchml_codec_test.pdb"
+  "sketchml_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchml_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

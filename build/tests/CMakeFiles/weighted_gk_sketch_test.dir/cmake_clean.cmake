@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_gk_sketch_test.dir/weighted_gk_sketch_test.cc.o"
+  "CMakeFiles/weighted_gk_sketch_test.dir/weighted_gk_sketch_test.cc.o.d"
+  "weighted_gk_sketch_test"
+  "weighted_gk_sketch_test.pdb"
+  "weighted_gk_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_gk_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchml_train.dir/sketchml_train.cc.o"
+  "CMakeFiles/sketchml_train.dir/sketchml_train.cc.o.d"
+  "sketchml_train"
+  "sketchml_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchml_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
