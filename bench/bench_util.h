@@ -111,6 +111,10 @@ inline dist::TrainerConfig DefaultTrainerConfig() {
   config.learning_rate = 0.05;
   config.lambda = 0.01;
   config.adam_epsilon = 0.01;
+  // All benches run the simulator on every core: the measured phase
+  // seconds and every byte are identical to a serial run (see DESIGN.md
+  // "Threading model & determinism"), only harness wall-clock shrinks.
+  config.num_threads = 0;
   return config;
 }
 

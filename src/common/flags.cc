@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/thread_pool.h"
+
 namespace sketchml::common {
 
 Result<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
@@ -76,6 +78,15 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+Result<int> GetThreadsFlag(const FlagParser& flags) {
+  SKETCHML_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
+  if (threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0 (0 = auto)");
+  }
+  if (threads == 0) return ThreadPool::DefaultThreadCount();
+  return static_cast<int>(threads);
 }
 
 std::vector<std::string> FlagParser::UnusedFlags() const {

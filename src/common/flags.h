@@ -45,6 +45,13 @@ class FlagParser {
   std::vector<std::string> positional_;
 };
 
+/// Reads the conventional `--threads` flag shared by the tools and bench
+/// harnesses: absent or 0 means one thread per hardware core, N >= 1 is
+/// used as-is, and anything else is an InvalidArgument. The resolved
+/// count feeds `dist::TrainerConfig::num_threads` (results are
+/// bit-identical at any value; see DESIGN.md "Threading model").
+Result<int> GetThreadsFlag(const FlagParser& flags);
+
 }  // namespace sketchml::common
 
 #endif  // SKETCHML_COMMON_FLAGS_H_

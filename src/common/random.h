@@ -37,6 +37,20 @@ class Rng {
   uint64_t state_[4];
 };
 
+/// Derives a decorrelated seed for parallel lane `lane` from `base`.
+///
+/// Parallel components (e.g. one gradient codec per simulated worker)
+/// each get their own lane so their per-message seed sequences never
+/// depend on cross-lane execution order — the property that makes
+/// multi-threaded simulation bit-identical to serial. SplitMix64-style
+/// finalizer: every (base, lane) pair maps to a well-mixed 64-bit seed.
+inline uint64_t LaneSeed(uint64_t base, uint64_t lane) {
+  uint64_t z = base + (lane + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Samples from a Zipf distribution over `{0, ..., n-1}` with exponent
 /// `alpha` (> 0). Item 0 is the most popular. Used to synthesize the
 /// power-law feature popularity of KDD-style sparse datasets.

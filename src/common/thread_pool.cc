@@ -1,0 +1,48 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace sketchml::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::shared_ptr<internal::TaskNode> node) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(node));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<internal::TaskNode> node;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      node = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // A submitter may have already reclaimed the task via Get(); only the
+    // winner of the claim runs it.
+    if (node->TryClaim()) node->run();
+  }
+}
+
+}  // namespace sketchml::common

@@ -1,0 +1,126 @@
+#ifndef SKETCHML_COMMON_THREAD_POOL_H_
+#define SKETCHML_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sketchml::common {
+
+namespace internal {
+
+/// One queued unit of work. The `claimed` flag arbitrates between a pool
+/// worker popping the node and the submitter reclaiming it via
+/// `TaskFuture::Get` (help-first scheduling): exactly one side wins, so a
+/// task body runs exactly once and `Get` can never deadlock waiting for a
+/// saturated pool.
+struct TaskNode {
+  std::function<void()> run;
+  std::atomic<bool> claimed{false};
+
+  /// Returns true for exactly one caller.
+  bool TryClaim() { return !claimed.exchange(true, std::memory_order_acq_rel); }
+};
+
+}  // namespace internal
+
+/// Handle to a submitted task. `Get()` returns the task's result,
+/// rethrowing any exception the task body threw.
+///
+/// If no pool worker has started the task yet, `Get()` claims it and runs
+/// it inline on the calling thread. This makes nested submission safe:
+/// a task running on a pool thread may submit subtasks to the same pool
+/// and `Get()` them without risking deadlock, because waiting degrades to
+/// running.
+template <typename T>
+class TaskFuture {
+ public:
+  TaskFuture() = default;
+  TaskFuture(std::shared_ptr<internal::TaskNode> node, std::future<T> future)
+      : node_(std::move(node)), future_(std::move(future)) {}
+
+  bool valid() const { return future_.valid(); }
+
+  /// Blocks until the task completes (running it inline if still queued)
+  /// and returns its result. Call at most once.
+  T Get() {
+    if (node_ != nullptr && node_->TryClaim()) node_->run();
+    return future_.get();
+  }
+
+ private:
+  std::shared_ptr<internal::TaskNode> node_;
+  std::future<T> future_;
+};
+
+/// Fixed-size thread pool with future-returning submission and exception
+/// propagation. Tasks start in FIFO order. Used by the distributed-
+/// training simulator to run simulated executors concurrently and by
+/// `SketchMlCodec` to encode its two sign streams in parallel.
+///
+/// Thread-safe: any thread (including pool workers) may `Submit`.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Outstanding tasks are completed before shutdown;
+  /// callers should `Get()` every future they care about first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// `hardware_concurrency()`, never less than 1.
+  static int DefaultThreadCount() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }
+
+  /// Schedules `fn` and returns a future for its result. `fn` must be
+  /// invocable with no arguments.
+  template <typename F, typename T = std::invoke_result_t<std::decay_t<F>>>
+  TaskFuture<T> Submit(F&& fn) {
+    auto node = std::make_shared<internal::TaskNode>();
+    auto promise = std::make_shared<std::promise<T>>();
+    std::future<T> future = promise->get_future();
+    node->run = [fn = std::forward<F>(fn), promise]() mutable {
+      try {
+        if constexpr (std::is_void_v<T>) {
+          fn();
+          promise->set_value();
+        } else {
+          promise->set_value(fn());
+        }
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    };
+    Enqueue(node);
+    return TaskFuture<T>(std::move(node), std::move(future));
+  }
+
+ private:
+  void Enqueue(std::shared_ptr<internal::TaskNode> node);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<internal::TaskNode>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sketchml::common
+
+#endif  // SKETCHML_COMMON_THREAD_POOL_H_

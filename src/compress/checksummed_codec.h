@@ -27,6 +27,17 @@ class ChecksummedCodec : public GradientCodec {
   common::Status Decode(const EncodedGradient& in,
                         common::SparseGradient* out) override;
 
+  /// Forkable iff the wrapped codec is.
+  std::unique_ptr<GradientCodec> Fork(uint64_t lane) const override {
+    auto inner_fork = inner_->Fork(lane);
+    if (inner_fork == nullptr) return nullptr;
+    return std::make_unique<ChecksummedCodec>(std::move(inner_fork));
+  }
+
+  void SetThreadPool(common::ThreadPool* pool) override {
+    inner_->SetThreadPool(pool);
+  }
+
   const GradientCodec& inner() const { return *inner_; }
 
  private:

@@ -2,11 +2,16 @@
 #define SKETCHML_COMPRESS_CODEC_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/sparse.h"
 #include "common/status.h"
+
+namespace sketchml::common {
+class ThreadPool;
+}  // namespace sketchml::common
 
 namespace sketchml::compress {
 
@@ -42,6 +47,24 @@ class GradientCodec {
   /// iff `IsLossless()`.
   virtual common::Status Decode(const EncodedGradient& in,
                                 common::SparseGradient* out) = 0;
+
+  /// Returns an independent codec instance for seed lane `lane`, suitable
+  /// for concurrent use next to `this` (e.g. one instance per simulated
+  /// worker). Seeded codecs derive the lane's seed with
+  /// `common::LaneSeed`, so a fork's message stream is deterministic and
+  /// never depends on how calls interleave across lanes. Stateless codecs
+  /// return a plain copy. Returns nullptr when the codec cannot be forked;
+  /// callers must then serialize access to the original instance.
+  virtual std::unique_ptr<GradientCodec> Fork(uint64_t lane) const {
+    (void)lane;
+    return nullptr;
+  }
+
+  /// Offers a thread pool for intra-message parallelism (e.g. encoding
+  /// sign streams concurrently). Optional: the default ignores it, and a
+  /// codec must produce byte-identical output with or without a pool.
+  /// The pool must outlive the codec or be cleared with nullptr.
+  virtual void SetThreadPool(common::ThreadPool* pool) { (void)pool; }
 };
 
 /// Validates the shared Encode precondition; used by all implementations.

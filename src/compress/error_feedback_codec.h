@@ -40,6 +40,18 @@ class ErrorFeedbackCodec : public GradientCodec {
   common::Status Decode(const EncodedGradient& in,
                         common::SparseGradient* out) override;
 
+  /// Forks start with an empty residual — exactly the per-sender state a
+  /// fresh worker would hold. Forkable iff the wrapped codec is.
+  std::unique_ptr<GradientCodec> Fork(uint64_t lane) const override {
+    auto inner_fork = inner_->Fork(lane);
+    if (inner_fork == nullptr) return nullptr;
+    return std::make_unique<ErrorFeedbackCodec>(std::move(inner_fork));
+  }
+
+  void SetThreadPool(common::ThreadPool* pool) override {
+    inner_->SetThreadPool(pool);
+  }
+
   /// Current residual L1 mass (diagnostic / tests).
   double ResidualL1() const;
 

@@ -55,6 +55,11 @@ class LosslessGradientCodec : public GradientCodec {
   common::Status Decode(const EncodedGradient& in,
                         common::SparseGradient* out) override;
 
+  /// Stateless: a fork is a plain copy.
+  std::unique_ptr<GradientCodec> Fork(uint64_t /*lane*/) const override {
+    return std::make_unique<LosslessGradientCodec<ByteCoder>>(name_);
+  }
+
  private:
   std::string name_;
 };

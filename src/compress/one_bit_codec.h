@@ -22,6 +22,11 @@ class OneBitCodec : public GradientCodec {
                         EncodedGradient* out) override;
   common::Status Decode(const EncodedGradient& in,
                         common::SparseGradient* out) override;
+
+  /// Stateless: a fork is a plain copy.
+  std::unique_ptr<GradientCodec> Fork(uint64_t /*lane*/) const override {
+    return std::make_unique<OneBitCodec>();
+  }
 };
 
 }  // namespace sketchml::compress

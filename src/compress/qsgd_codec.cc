@@ -72,7 +72,8 @@ class BitReader {
 
 }  // namespace
 
-QsgdCodec::QsgdCodec(int levels, uint64_t seed) : levels_(levels), rng_(seed) {
+QsgdCodec::QsgdCodec(int levels, uint64_t seed)
+    : levels_(levels), seed_(seed), rng_(seed) {
   SKETCHML_CHECK_GT(levels, 0);
 }
 

@@ -32,10 +32,16 @@ class QsgdCodec : public GradientCodec {
   common::Status Decode(const EncodedGradient& in,
                         common::SparseGradient* out) override;
 
+  /// Fresh instance on a decorrelated seed lane (see common::LaneSeed).
+  std::unique_ptr<GradientCodec> Fork(uint64_t lane) const override {
+    return std::make_unique<QsgdCodec>(levels_, common::LaneSeed(seed_, lane));
+  }
+
   int levels() const { return levels_; }
 
  private:
   int levels_;
+  uint64_t seed_;
   common::Rng rng_;
 };
 

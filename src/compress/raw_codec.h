@@ -30,6 +30,11 @@ class RawCodec : public GradientCodec {
   common::Status Decode(const EncodedGradient& in,
                         common::SparseGradient* out) override;
 
+  /// Stateless: a fork is a plain copy.
+  std::unique_ptr<GradientCodec> Fork(uint64_t /*lane*/) const override {
+    return std::make_unique<RawCodec>(value_type_);
+  }
+
  private:
   ValueType value_type_;
 };

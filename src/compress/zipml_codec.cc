@@ -10,7 +10,10 @@
 namespace sketchml::compress {
 
 ZipMlCodec::ZipMlCodec(int bits, uint64_t seed, bool stochastic_rounding)
-    : bits_(bits), rng_(seed), stochastic_rounding_(stochastic_rounding) {
+    : bits_(bits),
+      seed_(seed),
+      rng_(seed),
+      stochastic_rounding_(stochastic_rounding) {
   SKETCHML_CHECK(bits == 8 || bits == 16) << "ZipML supports 8 or 16 bits";
 }
 

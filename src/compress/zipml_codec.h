@@ -37,10 +37,17 @@ class ZipMlCodec : public GradientCodec {
   common::Status Decode(const EncodedGradient& in,
                         common::SparseGradient* out) override;
 
+  /// Fresh instance on a decorrelated seed lane (see common::LaneSeed).
+  std::unique_ptr<GradientCodec> Fork(uint64_t lane) const override {
+    return std::make_unique<ZipMlCodec>(bits_, common::LaneSeed(seed_, lane),
+                                        stochastic_rounding_);
+  }
+
   int bits() const { return bits_; }
 
  private:
   int bits_;
+  uint64_t seed_;
   common::Rng rng_;
   bool stochastic_rounding_;
 };

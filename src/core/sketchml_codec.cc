@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "common/bit_util.h"
 #include "common/byte_buffer.h"
 #include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
 #include "compress/delta_binary_key_codec.h"
 #include "compress/quantile_bucket_quantizer.h"
 #include "sketch/grouped_min_max_sketch.h"
@@ -20,6 +23,10 @@ constexpr uint8_t kWireVersion = 1;
 /// preserving key order within each stream.
 void SplitBySign(const common::SparseGradient& grad,
                  common::SparseGradient* pos, common::SparseGradient* neg) {
+  size_t num_pos = 0;
+  for (const auto& pair : grad) num_pos += pair.value >= 0 ? 1 : 0;
+  pos->reserve(num_pos);
+  neg->reserve(grad.size() - num_pos);
   for (const auto& pair : grad) {
     (pair.value >= 0 ? pos : neg)->push_back(pair);
   }
@@ -51,13 +58,17 @@ int EffectiveBuckets(const SketchMlConfig& config, size_t stream_size) {
 /// Encodes one sign stream. When `negate` is set the stream holds
 /// negative values and is quantized on magnitude, so bucket index 0 is
 /// the bucket nearest zero and MinMax decay always shrinks magnitudes.
+/// `scratch` is caller-owned value storage, reused across streams and
+/// Encode calls so the hot path stays allocation-free.
 common::Status EncodeStream(const common::SparseGradient& stream, bool negate,
                             const SketchMlConfig& config, uint64_t seed,
+                            std::vector<double>* scratch,
                             common::ByteWriter* writer, SpaceCost* cost) {
   writer->WriteVarint(stream.size());
   if (stream.empty()) return common::Status::Ok();
 
-  std::vector<double> values;
+  std::vector<double>& values = *scratch;
+  values.clear();
   values.reserve(stream.size());
   for (const auto& pair : stream) {
     values.push_back(negate ? -pair.value : pair.value);
@@ -163,12 +174,50 @@ common::Status SketchMlCodec::Encode(const common::SparseGradient& grad,
   const uint64_t seed = config_.seed + 0x9E3779B97F4A7C15ULL * encode_calls_;
   ++encode_calls_;
 
-  SKETCHML_RETURN_IF_ERROR(EncodeStream(pos, /*negate=*/false, config_, seed,
-                                        &writer, &last_space_cost_));
-  SKETCHML_RETURN_IF_ERROR(EncodeStream(neg, /*negate=*/true, config_,
-                                        seed + 1, &writer, &last_space_cost_));
+  if (pool_ != nullptr && !pos.empty() && !neg.empty()) {
+    // Each stream is a self-contained byte span, so the positive stream
+    // can build in a side buffer on the pool while this thread encodes
+    // the negative stream; concatenation reproduces the serial layout
+    // byte for byte. TaskFuture::Get runs the task inline if no pool
+    // thread has picked it up, so this nests safely inside pool tasks
+    // (the trainer's simulated workers).
+    common::ByteWriter pos_writer(pos.size() * 2 + 64);
+    SpaceCost pos_cost;
+    auto pos_task = pool_->Submit([&pos, this, seed, &pos_writer, &pos_cost] {
+      std::vector<double> scratch;
+      return EncodeStream(pos, /*negate=*/false, config_, seed, &scratch,
+                          &pos_writer, &pos_cost);
+    });
+    common::ByteWriter neg_writer(neg.size() * 2 + 64);
+    SpaceCost neg_cost;
+    const common::Status neg_status =
+        EncodeStream(neg, /*negate=*/true, config_, seed + 1, &values_scratch_,
+                     &neg_writer, &neg_cost);
+    SKETCHML_RETURN_IF_ERROR(pos_task.Get());
+    SKETCHML_RETURN_IF_ERROR(neg_status);
+    writer.WriteBytes(pos_writer.buffer());
+    writer.WriteBytes(neg_writer.buffer());
+    last_space_cost_.bucket_mean_bytes =
+        pos_cost.bucket_mean_bytes + neg_cost.bucket_mean_bytes;
+    last_space_cost_.sketch_bytes = pos_cost.sketch_bytes + neg_cost.sketch_bytes;
+    last_space_cost_.key_bytes = pos_cost.key_bytes + neg_cost.key_bytes;
+  } else {
+    SKETCHML_RETURN_IF_ERROR(EncodeStream(pos, /*negate=*/false, config_, seed,
+                                          &values_scratch_, &writer,
+                                          &last_space_cost_));
+    SKETCHML_RETURN_IF_ERROR(EncodeStream(neg, /*negate=*/true, config_,
+                                          seed + 1, &values_scratch_, &writer,
+                                          &last_space_cost_));
+  }
   out->bytes = writer.TakeBuffer();
   return common::Status::Ok();
+}
+
+std::unique_ptr<compress::GradientCodec> SketchMlCodec::Fork(
+    uint64_t lane) const {
+  SketchMlConfig fork_config = config_;
+  fork_config.seed = common::LaneSeed(config_.seed, lane);
+  return std::make_unique<SketchMlCodec>(fork_config);
 }
 
 common::Status SketchMlCodec::Decode(const compress::EncodedGradient& in,
@@ -223,12 +272,15 @@ common::Status KeyOnlyCodec::Decode(const compress::EncodedGradient& in,
 }
 
 QuantileOnlyCodec::QuantileOnlyCodec(const SketchMlConfig& config)
-    : config_(config) {
-  SKETCHML_CHECK(config.Validate().ok()) << config.Validate().ToString();
-}
+    : config_(config) {}
 
 common::Status QuantileOnlyCodec::Encode(const common::SparseGradient& grad,
                                          compress::EncodedGradient* out) {
+  // Validated here rather than CHECK-ed at construction so a bad config
+  // surfaces as a recoverable status instead of silent corruption: the
+  // wire format stores bucket indexes as one byte, so any configuration
+  // that could yield more than 256 buckets must be rejected up front.
+  SKETCHML_RETURN_IF_ERROR(config_.Validate());
   SKETCHML_RETURN_IF_ERROR(compress::ValidateEncodable(grad));
   common::ByteWriter writer(grad.size() * 3 + 64);
   writer.WriteU8(kWireVersion);
@@ -249,9 +301,15 @@ common::Status QuantileOnlyCodec::Encode(const common::SparseGradient& grad,
     for (const auto& pair : stream) {
       values.push_back(negate ? -pair.value : pair.value);
     }
+    const int buckets = EffectiveBuckets(config_, stream.size());
     auto quantizer = compress::QuantileBucketQuantizer::Build(
-        values, EffectiveBuckets(config_, stream.size()),
-        config_.quantile_sketch_k, seed + s, BackendOf(config_));
+        values, buckets, config_.quantile_sketch_k, seed + s,
+        BackendOf(config_));
+    if (quantizer.num_buckets() > 256) {
+      return common::Status::InvalidArgument(
+          "bucket index would not fit one byte: " +
+          std::to_string(quantizer.num_buckets()) + " buckets");
+    }
     quantizer.SerializeMeans(&writer);
     SKETCHML_RETURN_IF_ERROR(compress::DeltaBinaryKeyCodec::Encode(
         common::Keys(stream), &writer));
@@ -261,6 +319,13 @@ common::Status QuantileOnlyCodec::Encode(const common::SparseGradient& grad,
   }
   out->bytes = writer.TakeBuffer();
   return common::Status::Ok();
+}
+
+std::unique_ptr<compress::GradientCodec> QuantileOnlyCodec::Fork(
+    uint64_t lane) const {
+  SketchMlConfig fork_config = config_;
+  fork_config.seed = common::LaneSeed(config_.seed, lane);
+  return std::make_unique<QuantileOnlyCodec>(fork_config);
 }
 
 common::Status QuantileOnlyCodec::Decode(const compress::EncodedGradient& in,

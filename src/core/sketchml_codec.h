@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "compress/codec.h"
 #include "core/sketchml_config.h"
@@ -60,6 +61,15 @@ class SketchMlCodec : public compress::GradientCodec {
   common::Status Decode(const compress::EncodedGradient& in,
                         common::SparseGradient* out) override;
 
+  /// Fresh instance on a decorrelated seed lane with its own message
+  /// counter (see common::LaneSeed).
+  std::unique_ptr<compress::GradientCodec> Fork(uint64_t lane) const override;
+
+  /// With a pool, Encode runs its two sign streams as parallel tasks.
+  /// Output bytes are identical with or without a pool: each stream is a
+  /// self-contained byte span, so only wall-clock changes.
+  void SetThreadPool(common::ThreadPool* pool) override { pool_ = pool; }
+
   /// Byte breakdown of the most recent Encode call.
   const SpaceCost& last_space_cost() const { return last_space_cost_; }
 
@@ -69,6 +79,8 @@ class SketchMlCodec : public compress::GradientCodec {
   SketchMlConfig config_;
   SpaceCost last_space_cost_;
   uint64_t encode_calls_ = 0;
+  common::ThreadPool* pool_ = nullptr;
+  std::vector<double> values_scratch_;  // Reused across streams and calls.
 };
 
 /// "Adam+Key" ablation stage of Figure 8: delta-binary keys, raw double
@@ -82,6 +94,12 @@ class KeyOnlyCodec : public compress::GradientCodec {
                         compress::EncodedGradient* out) override;
   common::Status Decode(const compress::EncodedGradient& in,
                         common::SparseGradient* out) override;
+
+  /// Stateless: a fork is a plain copy.
+  std::unique_ptr<compress::GradientCodec> Fork(
+      uint64_t /*lane*/) const override {
+    return std::make_unique<KeyOnlyCodec>();
+  }
 };
 
 /// "Adam+Key+Quan" ablation stage of Figure 8: delta-binary keys plus
@@ -99,6 +117,10 @@ class QuantileOnlyCodec : public compress::GradientCodec {
                         compress::EncodedGradient* out) override;
   common::Status Decode(const compress::EncodedGradient& in,
                         common::SparseGradient* out) override;
+
+  /// Fresh instance on a decorrelated seed lane with its own message
+  /// counter (see common::LaneSeed).
+  std::unique_ptr<compress::GradientCodec> Fork(uint64_t lane) const override;
 
  private:
   SketchMlConfig config_;

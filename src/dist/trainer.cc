@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -36,6 +37,30 @@ DistributedTrainer::DistributedTrainer(
     optimizer_ = std::make_unique<ml::SgdOptimizer>(train->dim(),
                                                     config_.learning_rate);
   }
+
+  // One forked codec per worker lane. Forking is independent of the
+  // thread count so that every thread count replays the same byte
+  // streams (worker w always encodes with lane w).
+  num_threads_ = config_.num_threads == 0
+                     ? common::ThreadPool::DefaultThreadCount()
+                     : std::max(1, config_.num_threads);
+  worker_codecs_.reserve(cluster_.num_workers);
+  for (int w = 0; w < cluster_.num_workers; ++w) {
+    auto fork = codec_->Fork(static_cast<uint64_t>(w));
+    if (fork == nullptr) {
+      // Unforkable codec: all workers must share the one instance, which
+      // is only safe serially.
+      worker_codecs_.clear();
+      num_threads_ = 1;
+      break;
+    }
+    worker_codecs_.push_back(std::move(fork));
+  }
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<common::ThreadPool>(num_threads_);
+    for (auto& codec : worker_codecs_) codec->SetThreadPool(pool_.get());
+    codec_->SetThreadPool(pool_.get());
+  }
 }
 
 common::Result<EpochStats> DistributedTrainer::RunEpoch() {
@@ -63,23 +88,29 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     const size_t shard =
         std::max<size_t>(1, (batch_count + workers - 1) / workers);
 
-    // Phase 1+2: each executor computes its mini-gradient, splits it by
-    // server shard, and encodes one message per shard.
-    std::unordered_map<uint64_t, double> aggregate;
-    int active_workers = 0;
-    double compute_sum = 0.0, encode_sum = 0.0, decode_sum = 0.0;
-    std::fill(shard_gather_seconds.begin(), shard_gather_seconds.end(), 0.0);
-    for (int w = 0; w < workers; ++w) {
-      const size_t lo = batch_start + static_cast<size_t>(w) * shard;
-      if (lo >= batch_end) break;
-      const size_t hi = std::min(batch_end, lo + shard);
-      ++active_workers;
-
-      watch.Restart();
+    // Phase 1+2: each executor is an independent task — it computes its
+    // mini-gradient, splits it by server shard, encodes one message per
+    // shard, and (standing in for the owning server, phase 3a) decodes
+    // it. Tasks share no mutable state: worker w's codec is its own
+    // forked seed lane, so results are bit-identical at any thread count.
+    struct WorkerResult {
+      common::Status status;
+      common::SparseGradient decoded;   // Decoded pairs, in shard order.
+      std::vector<size_t> shard_bytes;  // Message bytes per server shard.
+      uint64_t messages = 0;
+      size_t nnz = 0;
+      double compute_seconds = 0.0;
+      double encode_seconds = 0.0;
+      double decode_seconds = 0.0;
+    };
+    const auto run_worker = [&, this](int w, size_t lo, size_t hi) {
+      WorkerResult r;
+      compress::GradientCodec* codec = WorkerCodec(w);
+      common::Stopwatch task_watch;
       common::SparseGradient grad = ml::ComputeBatchGradient(
           *loss_, optimizer_->weights(), *train_, lo, hi, config_.lambda);
-      compute_sum += watch.ElapsedSeconds();
-      total_nnz += static_cast<double>(grad.size());
+      r.compute_seconds = task_watch.ElapsedSeconds();
+      r.nnz = grad.size();
 
       // Partition by server shard (a single pass: keys are sorted and
       // shard ranges are contiguous).
@@ -87,48 +118,130 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       if (servers == 1) {
         per_shard[0] = std::move(grad);
       } else {
+        const size_t hint = grad.size() / static_cast<size_t>(servers) + 1;
+        for (auto& piece : per_shard) piece.reserve(hint);
         for (const auto& pair : grad) {
           per_shard[shard_of(pair.key)].push_back(pair);
         }
       }
 
+      r.shard_bytes.assign(servers, 0);
       for (int s = 0; s < servers; ++s) {
         if (per_shard[s].empty()) continue;
-        watch.Restart();
+        task_watch.Restart();
         compress::EncodedGradient msg;
-        SKETCHML_RETURN_IF_ERROR(codec_->Encode(per_shard[s], &msg));
-        encode_sum += watch.ElapsedSeconds();
-
-        stats.bytes_up += msg.size();
-        ++stats.messages;
-        shard_gather_seconds[s] +=
-            cluster_.network.TransferSeconds(msg.size());
+        r.status = codec->Encode(per_shard[s], &msg);
+        if (!r.status.ok()) return r;
+        r.encode_seconds += task_watch.ElapsedSeconds();
+        r.shard_bytes[s] = msg.size();
+        ++r.messages;
 
         // Phase 3a: the owning server decodes (serial per server, but
         // servers run in parallel — approximate with the sum / servers).
-        watch.Restart();
+        task_watch.Restart();
         common::SparseGradient decoded;
-        SKETCHML_RETURN_IF_ERROR(codec_->Decode(msg, &decoded));
-        decode_sum += watch.ElapsedSeconds() / servers;
+        r.status = codec->Decode(msg, &decoded);
+        if (!r.status.ok()) return r;
+        r.decode_seconds += task_watch.ElapsedSeconds() / servers;
+        r.decoded.insert(r.decoded.end(), decoded.begin(), decoded.end());
+      }
+      return r;
+    };
 
-        for (const auto& pair : decoded) aggregate[pair.key] += pair.value;
+    std::vector<std::pair<size_t, size_t>> ranges;
+    for (int w = 0; w < workers; ++w) {
+      const size_t lo = batch_start + static_cast<size_t>(w) * shard;
+      if (lo >= batch_end) break;
+      ranges.emplace_back(lo, std::min(batch_end, lo + shard));
+    }
+    const int active_workers = static_cast<int>(ranges.size());
+    if (active_workers == 0) continue;
+
+    std::vector<WorkerResult> results(active_workers);
+    if (pool_ != nullptr && active_workers > 1) {
+      std::vector<common::TaskFuture<WorkerResult>> futures(active_workers);
+      for (int w = 0; w < active_workers; ++w) {
+        futures[w] = pool_->Submit([&run_worker, &ranges, w] {
+          return run_worker(w, ranges[w].first, ranges[w].second);
+        });
+      }
+      for (int w = 0; w < active_workers; ++w) results[w] = futures[w].Get();
+    } else {
+      for (int w = 0; w < active_workers; ++w) {
+        results[w] = run_worker(w, ranges[w].first, ranges[w].second);
       }
     }
-    if (active_workers == 0) continue;
+
+    // Reduce in fixed worker order so every accumulated stat is
+    // independent of execution interleaving.
+    double compute_sum = 0.0, encode_sum = 0.0, decode_sum = 0.0;
+    std::fill(shard_gather_seconds.begin(), shard_gather_seconds.end(), 0.0);
+    for (int w = 0; w < active_workers; ++w) {
+      WorkerResult& r = results[w];
+      SKETCHML_RETURN_IF_ERROR(r.status);
+      total_nnz += static_cast<double>(r.nnz);
+      compute_sum += r.compute_seconds;
+      encode_sum += r.encode_seconds;
+      decode_sum += r.decode_seconds;
+      stats.messages += r.messages;
+      for (int s = 0; s < servers; ++s) {
+        if (r.shard_bytes[s] == 0) continue;
+        stats.bytes_up += r.shard_bytes[s];
+        shard_gather_seconds[s] +=
+            cluster_.network.TransferSeconds(r.shard_bytes[s]);
+      }
+    }
     // Gather happens in parallel across server links: the slowest shard
     // bounds the phase.
     stats.network_seconds += *std::max_element(shard_gather_seconds.begin(),
                                                shard_gather_seconds.end());
 
-    // Phase 3b: average and apply the optimizer step.
+    // Phase 3b: average and apply the optimizer step. Aggregation is
+    // range-partitioned into key slices so it can run on the pool: a key
+    // belongs to exactly one slice and its additions always happen in
+    // fixed worker order inside that slice, so every float — and the
+    // sorted concatenation of the ascending slices — is bit-identical
+    // at any slice or thread count.
     watch.Restart();
-    common::SparseGradient mean_grad;
-    mean_grad.reserve(aggregate.size());
     const double inv_workers = 1.0 / static_cast<double>(active_workers);
-    for (const auto& [key, value] : aggregate) {
-      mean_grad.push_back({key, value * inv_workers});
+    const auto aggregate_slice = [&](uint64_t lo, uint64_t hi) {
+      std::unordered_map<uint64_t, double> sums;
+      for (int w = 0; w < active_workers; ++w) {
+        for (const auto& pair : results[w].decoded) {
+          if (pair.key >= lo && pair.key < hi) sums[pair.key] += pair.value;
+        }
+      }
+      common::SparseGradient slice;
+      slice.reserve(sums.size());
+      for (const auto& [key, value] : sums) {
+        slice.push_back({key, value * inv_workers});
+      }
+      common::SortByKey(&slice);
+      return slice;
+    };
+    common::SparseGradient mean_grad;
+    if (pool_ != nullptr) {
+      const uint64_t slices =
+          std::min(dim, static_cast<uint64_t>(4 * num_threads_));
+      std::vector<common::TaskFuture<common::SparseGradient>> slice_tasks;
+      slice_tasks.reserve(slices);
+      for (uint64_t s = 0; s < slices; ++s) {
+        const uint64_t lo = dim * s / slices;
+        // The last slice absorbs any stray out-of-range key, exactly as
+        // the single-map path would.
+        const uint64_t hi = s + 1 == slices
+                                ? std::numeric_limits<uint64_t>::max()
+                                : dim * (s + 1) / slices;
+        slice_tasks.push_back(pool_->Submit(
+            [&aggregate_slice, lo, hi] { return aggregate_slice(lo, hi); }));
+      }
+      for (auto& task : slice_tasks) {
+        const common::SparseGradient slice = task.Get();
+        mean_grad.insert(mean_grad.end(), slice.begin(), slice.end());
+      }
+    } else {
+      mean_grad = aggregate_slice(0, std::numeric_limits<uint64_t>::max());
     }
-    common::SortByKey(&mean_grad);
     optimizer_->Apply(mean_grad);
     stats.update_seconds += watch.ElapsedSeconds() * cluster_.codec_scale;
 

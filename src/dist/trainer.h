@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "compress/codec.h"
 #include "dist/network_model.h"
 #include "dist/stats.h"
@@ -53,6 +54,14 @@ struct TrainerConfig {
   double adam_epsilon = 1e-8;
 
   bool evaluate_test_loss = true;
+
+  /// Threads executing the simulated workers (and, inside SketchML's
+  /// encoder, the two sign streams). 1 = serial on the calling thread
+  /// (default); 0 = one thread per hardware core; N > 1 = a fixed pool of
+  /// N. All values produce bit-identical messages, stats, and losses:
+  /// every worker owns a forked codec on its own seed lane and the driver
+  /// reduces gradients in fixed worker order, so only wall-clock changes.
+  int num_threads = 1;
 };
 
 /// Data-parallel mini-batch SGD with a pluggable gradient codec — the
@@ -93,11 +102,27 @@ class DistributedTrainer {
   /// Simulated wall-clock seconds so far (sum over epochs).
   double simulated_seconds() const { return simulated_seconds_; }
 
+  /// Resolved execution threads (config value with 0 mapped to the core
+  /// count, and clamped to 1 when the codec cannot be forked per worker).
+  int num_threads() const { return num_threads_; }
+
  private:
+  /// Codec simulated worker `w` encodes/decodes with.
+  compress::GradientCodec* WorkerCodec(int w) {
+    return worker_codecs_.empty() ? codec_.get() : worker_codecs_[w].get();
+  }
+
   const ml::Dataset* train_;
   const ml::Dataset* test_;
   const ml::Loss* loss_;
-  std::unique_ptr<compress::GradientCodec> codec_;
+  std::unique_ptr<compress::GradientCodec> codec_;  // Server/broadcast lane.
+  // One forked codec per simulated worker (its seed lane), so concurrent
+  // executors never share mutable codec state. Empty when the codec does
+  // not support forking; execution then falls back to one shared codec on
+  // a single thread.
+  std::vector<std::unique_ptr<compress::GradientCodec>> worker_codecs_;
+  std::unique_ptr<common::ThreadPool> pool_;  // Null when num_threads_ == 1.
+  int num_threads_ = 1;
   ClusterConfig cluster_;
   TrainerConfig config_;
   std::unique_ptr<ml::Optimizer> optimizer_;

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "core/sketchml.h"
 #include "dist/trainer.h"
 #include "ml/synthetic.h"
@@ -86,6 +89,110 @@ TEST(DeterminismTest, TrainerBytesAndLossesReplay) {
     EXPECT_EQ(a[e].bytes_down, b[e].bytes_down);
     EXPECT_DOUBLE_EQ(a[e].train_loss, b[e].train_loss);
     EXPECT_DOUBLE_EQ(a[e].test_loss, b[e].test_loss);
+  }
+}
+
+TEST(DeterminismTest, SerialAndParallelEpochsAreBitIdentical) {
+  // The same config run with threads=1 and threads=8 must produce
+  // byte-identical messages and identical modeled costs and losses:
+  // every worker owns a forked codec seed lane and the driver reduces in
+  // fixed worker order, so thread count can only change wall-clock.
+  ml::SyntheticConfig config;
+  config.num_instances = 1500;
+  config.dim = 1 << 13;
+  config.seed = 461;
+  ml::Dataset all = ml::GenerateSynthetic(config);
+  auto [train, test] = all.Split(0.25);
+  auto loss = ml::MakeLoss("lr");
+
+  auto run = [&](const std::string& codec, int threads, int servers) {
+    dist::ClusterConfig cluster;
+    cluster.num_workers = 5;
+    cluster.num_servers = servers;
+    dist::TrainerConfig trainer_config;
+    trainer_config.learning_rate = 0.05;
+    trainer_config.adam_epsilon = 0.01;
+    trainer_config.num_threads = threads;
+    dist::DistributedTrainer trainer(&train, &test, loss.get(),
+                                     std::move(core::MakeCodec(codec)).value(),
+                                     cluster, trainer_config);
+    auto stats = trainer.Run(3);
+    EXPECT_TRUE(stats.ok());
+    return std::move(stats).value();
+  };
+
+  for (const char* codec : {"sketchml", "adam+key+quan", "zipml-16bit"}) {
+    for (int servers : {1, 3}) {
+      const auto serial = run(codec, 1, servers);
+      const auto parallel = run(codec, 8, servers);
+      ASSERT_EQ(serial.size(), parallel.size());
+      for (size_t e = 0; e < serial.size(); ++e) {
+        // Bytes, message counts, modeled network/update costs, and losses
+        // are exact; only measured CPU seconds may differ between runs.
+        EXPECT_EQ(serial[e].bytes_up, parallel[e].bytes_up)
+            << codec << " S=" << servers;
+        EXPECT_EQ(serial[e].bytes_down, parallel[e].bytes_down)
+            << codec << " S=" << servers;
+        EXPECT_EQ(serial[e].messages, parallel[e].messages)
+            << codec << " S=" << servers;
+        EXPECT_DOUBLE_EQ(serial[e].network_seconds, parallel[e].network_seconds)
+            << codec << " S=" << servers;
+        EXPECT_DOUBLE_EQ(serial[e].train_loss, parallel[e].train_loss)
+            << codec << " S=" << servers;
+        EXPECT_DOUBLE_EQ(serial[e].test_loss, parallel[e].test_loss)
+            << codec << " S=" << servers;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, PooledSignStreamEncodeMatchesSerialBytes) {
+  // SketchMlCodec with a thread pool encodes its two sign streams as
+  // parallel tasks into side buffers; the concatenated message must be
+  // byte-identical to the single-threaded layout.
+  common::SparseGradient grad;
+  common::Rng rng(467);
+  uint64_t key = 0;
+  for (int i = 0; i < 3000; ++i) {
+    key += 1 + rng.NextBounded(20);
+    grad.push_back({key, rng.NextGaussian() * 0.05});
+  }
+  common::ThreadPool pool(4);
+  for (int round = 0; round < 4; ++round) {
+    core::SketchMlCodec serial, pooled;
+    pooled.SetThreadPool(&pool);
+    compress::EncodedGradient serial_msg, pooled_msg;
+    ASSERT_TRUE(serial.Encode(grad, &serial_msg).ok());
+    ASSERT_TRUE(pooled.Encode(grad, &pooled_msg).ok());
+    EXPECT_EQ(serial_msg.bytes, pooled_msg.bytes);
+    EXPECT_EQ(serial.last_space_cost().Total(),
+              pooled.last_space_cost().Total());
+  }
+}
+
+TEST(DeterminismTest, CodecBankLanesAreIndependentAndReplayable) {
+  common::SparseGradient grad;
+  common::Rng rng(479);
+  uint64_t key = 0;
+  for (int i = 0; i < 500; ++i) {
+    key += 1 + rng.NextBounded(30);
+    grad.push_back({key, rng.NextGaussian() * 0.05});
+  }
+  auto bank_a = std::move(core::MakeCodecBank("sketchml", 4)).value();
+  auto bank_b = std::move(core::MakeCodecBank("sketchml", 4)).value();
+  ASSERT_EQ(bank_a.size(), 4u);
+  std::vector<std::vector<uint8_t>> lane_bytes;
+  for (size_t lane = 0; lane < bank_a.size(); ++lane) {
+    compress::EncodedGradient msg_a, msg_b;
+    ASSERT_TRUE(bank_a[lane]->Encode(grad, &msg_a).ok());
+    ASSERT_TRUE(bank_b[lane]->Encode(grad, &msg_b).ok());
+    EXPECT_EQ(msg_a.bytes, msg_b.bytes);  // Same lane replays.
+    lane_bytes.push_back(msg_a.bytes);
+  }
+  for (size_t i = 0; i < lane_bytes.size(); ++i) {
+    for (size_t j = i + 1; j < lane_bytes.size(); ++j) {
+      EXPECT_NE(lane_bytes[i], lane_bytes[j]);  // Lanes are decorrelated.
+    }
   }
 }
 

@@ -408,5 +408,37 @@ TEST(QuantileOnlyCodecTest, SmallerThanKeyOnlyLargerThanFull) {
   EXPECT_GT(m_quan.size(), m_full.size());
 }
 
+TEST(QuantileOnlyCodecTest, RejectsConfigsWhoseBucketsOverflowOneByte) {
+  // Regression: the wire format stores each bucket index as a uint8_t.
+  // A config that could produce more than 256 buckets used to truncate
+  // indexes silently; Encode must reject it instead.
+  SketchMlConfig config;
+  config.num_buckets = 512;
+  QuantileOnlyCodec codec(config);
+  const auto grad = MakeGradient(4000, 1 << 24, 263);
+  compress::EncodedGradient msg;
+  const common::Status status = codec.Encode(grad, &msg);
+  EXPECT_EQ(status.code(), common::StatusCode::kInvalidArgument)
+      << status.ToString();
+  EXPECT_TRUE(msg.bytes.empty());  // Nothing partially written.
+}
+
+TEST(QuantileOnlyCodecTest, ValidBoundaryBucketCountStillRoundTrips) {
+  // 256 buckets is the largest count that fits one byte — must still
+  // encode, decode, and reproduce every key.
+  SketchMlConfig config;
+  config.num_buckets = 256;
+  QuantileOnlyCodec codec(config);
+  const auto grad = MakeGradient(4000, 1 << 24, 269);
+  compress::EncodedGradient msg;
+  ASSERT_TRUE(codec.Encode(grad, &msg).ok());
+  common::SparseGradient decoded;
+  ASSERT_TRUE(codec.Decode(msg, &decoded).ok());
+  ASSERT_EQ(decoded.size(), grad.size());
+  for (size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_EQ(decoded[i].key, grad[i].key);
+  }
+}
+
 }  // namespace
 }  // namespace sketchml::core

@@ -36,6 +36,9 @@ constexpr char kUsage[] = R"(sketchml_train [flags]
   --lr=X                learning rate (default 0.05)
   --adam-eps=X          Adam epsilon (default 0.01)
   --seed=N              dataset/codec seed (default 1)
+  --threads=N           execution threads for the simulated workers
+                        (default 0 = one per hardware core; results are
+                        bit-identical at any thread count)
   --crc                 wrap the codec in a CRC-32 frame
 )";
 
@@ -73,6 +76,8 @@ int main(int argc, char** argv) {
   auto lr = flags.GetDouble("lr", 0.05);
   auto adam_eps = flags.GetDouble("adam-eps", 0.01);
   auto net_scale = flags.GetDouble("net-scale", 840.0);
+  auto threads = common::GetThreadsFlag(flags);
+  if (!threads.ok()) return Fail(threads.status());
   const std::string network_name = flags.GetString("network", "lab");
   const bool use_crc = flags.GetBool("crc", false);
   for (const auto* result :
@@ -132,14 +137,15 @@ int main(int argc, char** argv) {
   config.batch_ratio = *batch_ratio;
   config.learning_rate = *lr;
   config.adam_epsilon = *adam_eps;
+  config.num_threads = *threads;
 
   std::printf("dataset=%s (%zu train / %zu test, D=%llu, ~%.0f nnz) "
-              "model=%s codec=%s W=%lld S=%lld\n",
+              "model=%s codec=%s W=%lld S=%lld threads=%d\n",
               dataset_name.c_str(), train.size(), test.size(),
               static_cast<unsigned long long>(train.dim()), train.AvgNnz(),
               model.c_str(), codec->Name().c_str(),
               static_cast<long long>(*workers),
-              static_cast<long long>(*servers));
+              static_cast<long long>(*servers), *threads);
 
   dist::DistributedTrainer trainer(&train, &test, loss.get(),
                                    std::move(codec), cluster, config);
