@@ -1,0 +1,373 @@
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace sketchml::obs {
+namespace {
+
+// Fixed shard capacities: per-thread slots are allocated once, so the
+// hot path never resizes (and never takes a lock). Exhausting a table
+// logs once and hands back an inert handle instead of aborting.
+constexpr int kMaxCounters = 512;
+constexpr int kMaxGauges = 128;
+constexpr int kMaxHistograms = 128;
+
+int BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // Also catches NaN.
+  if (value >= 9.2e18) return kHistogramBuckets - 1;
+  const uint64_t v = static_cast<uint64_t>(value);
+  int width = 0;
+  for (uint64_t x = v; x != 0; x >>= 1) ++width;  // bit_width.
+  return std::min(width, kHistogramBuckets - 1);
+}
+
+struct HistogramShard {
+  std::atomic<uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<uint32_t>, kHistogramBuckets> buckets{};
+};
+
+/// One thread's private slots. The owning thread is the only writer and
+/// uses relaxed atomics so the snapshot reader can load concurrently
+/// without locks or torn values.
+struct Shard {
+  std::array<std::atomic<double>, kMaxCounters> counters{};
+  std::array<HistogramShard, kMaxHistograms> histograms{};
+};
+
+/// Totals carried over from threads that have exited.
+struct RetiredTotals {
+  std::array<double, kMaxCounters> counters{};
+  struct Hist {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::array<uint64_t, kHistogramBuckets> buckets{};
+  };
+  std::array<Hist, kMaxHistograms> histograms{};
+};
+
+struct Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, int, std::less<>> counter_ids;
+  std::map<std::string, int, std::less<>> gauge_ids;
+  std::map<std::string, int, std::less<>> histogram_ids;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+  std::array<std::atomic<double>, kMaxGauges> gauges{};
+  std::vector<Shard*> live_shards;
+  RetiredTotals retired;
+};
+
+Impl& GetImpl() {
+  static Impl* impl = new Impl;  // Leaked: outlives thread-local dtors.
+  return *impl;
+}
+
+void RetireShard(Shard* shard) {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  for (int i = 0; i < kMaxCounters; ++i) {
+    impl.retired.counters[i] +=
+        shard->counters[i].load(std::memory_order_relaxed);
+  }
+  for (int i = 0; i < kMaxHistograms; ++i) {
+    const HistogramShard& h = shard->histograms[i];
+    RetiredTotals::Hist& r = impl.retired.histograms[i];
+    r.count += h.count.load(std::memory_order_relaxed);
+    r.sum += h.sum.load(std::memory_order_relaxed);
+    r.min = std::min(r.min, h.min.load(std::memory_order_relaxed));
+    r.max = std::max(r.max, h.max.load(std::memory_order_relaxed));
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      r.buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  impl.live_shards.erase(
+      std::find(impl.live_shards.begin(), impl.live_shards.end(), shard));
+  delete shard;
+}
+
+struct TlsShard {
+  Shard* shard = nullptr;
+  ~TlsShard() {
+    if (shard != nullptr) RetireShard(shard);
+  }
+};
+
+Shard* ThisShard() {
+  thread_local TlsShard tls;
+  if (tls.shard == nullptr) {
+    auto* shard = new Shard;
+    Impl& impl = GetImpl();
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    impl.live_shards.push_back(shard);
+    tls.shard = shard;
+  }
+  return tls.shard;
+}
+
+/// Single-writer relaxed accumulate: the owning thread is the only
+/// mutator, so load+store (no CAS) is race-free yet never torn for the
+/// concurrent snapshot reader.
+void RelaxedAdd(std::atomic<double>* slot, double delta) {
+  slot->store(slot->load(std::memory_order_relaxed) + delta,
+              std::memory_order_relaxed);
+}
+
+int Register(std::map<std::string, int, std::less<>>* ids,
+             std::vector<std::string>* names, int capacity,
+             std::string_view name) {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  const auto it = ids->find(name);
+  if (it != ids->end()) return it->second;
+  if (static_cast<int>(names->size()) >= capacity) {
+    SKETCHML_LOG(Warning) << "metrics registry full; dropping metric "
+                          << std::string(name);
+    return -1;
+  }
+  const int id = static_cast<int>(names->size());
+  names->emplace_back(name);
+  ids->emplace(std::string(name), id);
+  return id;
+}
+
+void AppendJsonString(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+void AppendJsonNumber(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  // Integers (the common case: counts, bytes) print without exponent.
+  if (v == std::floor(v) && std::abs(v) < 9e15) {
+    out << static_cast<long long>(v);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf;
+  }
+}
+
+}  // namespace
+
+void Counter::Add(double value) const {
+  if (id_ < 0 || !MetricsEnabled()) return;
+  RelaxedAdd(&ThisShard()->counters[id_], value);
+}
+
+void Gauge::Set(double value) const {
+  if (id_ < 0 || !MetricsEnabled()) return;
+  GetImpl().gauges[id_].store(value, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) const {
+  if (id_ < 0 || !MetricsEnabled()) return;
+  std::atomic<double>& slot = GetImpl().gauges[id_];
+  double current = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(current, current + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(double value) const {
+  if (id_ < 0 || !MetricsEnabled()) return;
+  HistogramShard& h = ThisShard()->histograms[id_];
+  h.count.store(h.count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  RelaxedAdd(&h.sum, value);
+  if (value < h.min.load(std::memory_order_relaxed)) {
+    h.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > h.max.load(std::memory_order_relaxed)) {
+    h.max.store(value, std::memory_order_relaxed);
+  }
+  std::atomic<uint32_t>& bucket = h.buckets[BucketIndex(value)];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter MetricsRegistry::GetCounter(std::string_view name) {
+  Impl& impl = GetImpl();
+  return Counter(
+      Register(&impl.counter_ids, &impl.counter_names, kMaxCounters, name));
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  Impl& impl = GetImpl();
+  return Gauge(
+      Register(&impl.gauge_ids, &impl.gauge_names, kMaxGauges, name));
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view name) {
+  Impl& impl = GetImpl();
+  return Histogram(Register(&impl.histogram_ids, &impl.histogram_names,
+                            kMaxHistograms, name));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  MetricsSnapshot snap;
+
+  snap.counters.resize(impl.counter_names.size());
+  for (size_t i = 0; i < impl.counter_names.size(); ++i) {
+    snap.counters[i].name = impl.counter_names[i];
+    double total = impl.retired.counters[i];
+    for (const Shard* shard : impl.live_shards) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters[i].value = total;
+  }
+
+  snap.gauges.resize(impl.gauge_names.size());
+  for (size_t i = 0; i < impl.gauge_names.size(); ++i) {
+    snap.gauges[i].name = impl.gauge_names[i];
+    snap.gauges[i].value = impl.gauges[i].load(std::memory_order_relaxed);
+  }
+
+  snap.histograms.resize(impl.histogram_names.size());
+  for (size_t i = 0; i < impl.histogram_names.size(); ++i) {
+    MetricsSnapshot::HistogramValue& out = snap.histograms[i];
+    out.name = impl.histogram_names[i];
+    const RetiredTotals::Hist& r = impl.retired.histograms[i];
+    out.count = r.count;
+    out.sum = r.sum;
+    double min = r.min;
+    double max = r.max;
+    out.buckets = r.buckets;
+    for (const Shard* shard : impl.live_shards) {
+      const HistogramShard& h = shard->histograms[i];
+      out.count += h.count.load(std::memory_order_relaxed);
+      out.sum += h.sum.load(std::memory_order_relaxed);
+      min = std::min(min, h.min.load(std::memory_order_relaxed));
+      max = std::max(max, h.max.load(std::memory_order_relaxed));
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        out.buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    out.min = out.count > 0 ? min : 0.0;
+    out.max = out.count > 0 ? max : 0.0;
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  impl.retired = RetiredTotals();
+  for (auto& gauge : impl.gauges) {
+    gauge.store(0.0, std::memory_order_relaxed);
+  }
+  for (Shard* shard : impl.live_shards) {
+    for (auto& counter : shard->counters) {
+      counter.store(0.0, std::memory_order_relaxed);
+    }
+    for (HistogramShard& h : shard->histograms) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0.0, std::memory_order_relaxed);
+      h.min.store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+      h.max.store(-std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+      for (auto& bucket : h.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+double MetricsSnapshot::CounterValueOf(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0.0;
+}
+
+double MetricsSnapshot::GaugeValueOf(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::WriteJsonl(std::ostream& out) const {
+  for (const auto& c : counters) {
+    if (c.value == 0.0) continue;
+    out << "{\"type\":\"counter\",\"name\":";
+    AppendJsonString(out, c.name);
+    out << ",\"value\":";
+    AppendJsonNumber(out, c.value);
+    out << "}\n";
+  }
+  for (const auto& g : gauges) {
+    out << "{\"type\":\"gauge\",\"name\":";
+    AppendJsonString(out, g.name);
+    out << ",\"value\":";
+    AppendJsonNumber(out, g.value);
+    out << "}\n";
+  }
+  for (const auto& h : histograms) {
+    if (h.count == 0) continue;
+    out << "{\"type\":\"histogram\",\"name\":";
+    AppendJsonString(out, h.name);
+    out << ",\"count\":" << h.count << ",\"sum\":";
+    AppendJsonNumber(out, h.sum);
+    out << ",\"min\":";
+    AppendJsonNumber(out, h.min);
+    out << ",\"max\":";
+    AppendJsonNumber(out, h.max);
+    out << ",\"buckets\":[";
+    bool first = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) out << ',';
+      first = false;
+      // `le` is the bucket's exclusive upper bound 2^b.
+      out << "{\"le\":";
+      AppendJsonNumber(out, std::ldexp(1.0, b));
+      out << ",\"count\":" << h.buckets[b] << '}';
+    }
+    out << "]}\n";
+  }
+}
+
+}  // namespace sketchml::obs

@@ -1,0 +1,121 @@
+#ifndef SKETCHML_COMMON_METRICS_REGISTRY_H_
+#define SKETCHML_COMMON_METRICS_REGISTRY_H_
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/obs.h"
+
+namespace sketchml::obs {
+
+/// Number of power-of-two histogram buckets. Bucket `i` counts values in
+/// [2^(i-1), 2^i) (bucket 0 holds everything < 1). Nanosecond latencies
+/// and message byte sizes both fit comfortably in 64 buckets.
+inline constexpr int kHistogramBuckets = 64;
+
+/// Handle to a named monotonically increasing sum. Cheap to copy; `Add`
+/// is a no-op until the handle has been obtained from the registry and
+/// while `MetricsEnabled()` is false. Values are doubles so byte counts
+/// and second sums share one type (integers stay exact below 2^53).
+class Counter {
+ public:
+  Counter() = default;
+  void Add(double value) const;
+  void Increment() const { Add(1.0); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Handle to a named last-value metric with atomic add (for level-style
+/// series such as the thread-pool queue depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(double value) const;
+  void Add(double delta) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Handle to a named fixed-bucket (power-of-two) histogram tracking
+/// count/sum/min/max plus the bucket counts.
+class Histogram {
+ public:
+  Histogram() = default;
+  void Record(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Point-in-time aggregation of every registered metric (all thread
+/// shards summed). Plain data: safe to copy, diff, and serialize.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // Meaningful only when count > 0.
+    double max = 0.0;
+    std::array<uint64_t, kHistogramBuckets> buckets{};
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of the named counter/gauge, 0 when absent.
+  double CounterValueOf(std::string_view name) const;
+  double GaugeValueOf(std::string_view name) const;
+  const HistogramValue* FindHistogram(std::string_view name) const;
+
+  /// Writes one JSON object per line ("*.metrics.jsonl"); zero-valued
+  /// counters and empty histograms are skipped to keep dumps short.
+  void WriteJsonl(std::ostream& out) const;
+};
+
+/// Process-wide registry of named counters, gauges, and histograms.
+///
+/// Writes go to per-thread shards (relaxed atomics, no locks on the hot
+/// path); `Snapshot()` locks the registry and sums live shards plus the
+/// retained totals of exited threads. Metric registration is idempotent:
+/// the same name always yields a handle to the same slot.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter GetCounter(std::string_view name);
+  Gauge GetGauge(std::string_view name);
+  Histogram GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (names stay registered). Callers must ensure no
+  /// concurrent recording — intended for test setup and between bench
+  /// repetitions, not for steady-state use.
+  void Reset();
+};
+
+}  // namespace sketchml::obs
+
+#endif  // SKETCHML_COMMON_METRICS_REGISTRY_H_

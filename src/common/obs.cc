@@ -1,0 +1,61 @@
+#include "common/obs.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace sketchml::obs {
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_tracing_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point ProcessEpoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+/// Applies SKETCHML_OBS before main() so test binaries (which never parse
+/// --obs flags) can be driven from ctest presets.
+bool ApplyEnvironment() {
+  ProcessEpoch();  // Pin the trace zero point as early as possible.
+  const char* env = std::getenv("SKETCHML_OBS");
+  if (env == nullptr || std::strcmp(env, "off") == 0 || env[0] == '\0') {
+    return false;
+  }
+  if (std::strcmp(env, "metrics") == 0) {
+    g_metrics_enabled.store(true, std::memory_order_relaxed);
+  } else if (std::strcmp(env, "trace") == 0) {
+    g_metrics_enabled.store(true, std::memory_order_relaxed);
+    g_tracing_enabled.store(true, std::memory_order_relaxed);
+  }
+  // Unknown values are ignored (observability stays off) rather than
+  // aborting a binary that merely inherited a stray environment.
+  return true;
+}
+
+const bool g_env_applied = ApplyEnvironment();
+
+}  // namespace
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          internal::Clock::now() - internal::ProcessEpoch())
+          .count());
+}
+
+}  // namespace sketchml::obs

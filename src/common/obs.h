@@ -1,0 +1,47 @@
+#ifndef SKETCHML_COMMON_OBS_H_
+#define SKETCHML_COMMON_OBS_H_
+
+#include <atomic>
+#include <cstdint>
+
+/// `sketchml::obs` — always-compiled-in observability for the SketchML
+/// reproduction (metrics + phase tracing; see docs/observability.md).
+///
+/// Everything in this namespace is gated on two process-wide switches so
+/// that the instrumented hot paths (codec Encode/Decode, sketch inserts,
+/// thread-pool tasks) pay only one relaxed atomic load and a predictable
+/// branch when observability is off. The switches start from the
+/// `SKETCHML_OBS` environment variable ("off" | "metrics" | "trace",
+/// default off) and can be overridden at runtime (`--obs` in the tools,
+/// Set*Enabled in tests).
+namespace sketchml::obs {
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+/// True when metric recording (counters/gauges/histograms) is on.
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// True when trace-span recording is on.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled);
+
+/// Tracing implies metrics-style clock reads but not metric recording;
+/// the two switches are independent.
+void SetTracingEnabled(bool enabled);
+
+/// Monotonic nanoseconds since process start (steady clock). The zero
+/// point is captured at static-initialization time so every recorded
+/// timestamp is small and positive.
+uint64_t NowNs();
+
+}  // namespace sketchml::obs
+
+#endif  // SKETCHML_COMMON_OBS_H_

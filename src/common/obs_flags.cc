@@ -1,0 +1,68 @@
+#include "common/obs_flags.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/metrics_registry.h"
+#include "common/obs.h"
+#include "common/trace.h"
+
+namespace sketchml::obs {
+
+common::Result<ObsConfig> ConfigureFromFlags(const common::FlagParser& flags) {
+  ObsConfig config;
+  config.trace_out = flags.GetString("trace-out", "");
+  config.metrics_out = flags.GetString("metrics-out", "");
+  const std::string mode = flags.GetString("obs", "auto");
+
+  if (mode == "off") {
+    if (!config.trace_out.empty() || !config.metrics_out.empty()) {
+      std::fprintf(stderr,
+                   "warning: --obs=off; ignoring --trace-out/--metrics-out\n");
+    }
+    config.trace_out.clear();
+    config.metrics_out.clear();
+  } else if (mode == "on") {
+    config.metrics = true;
+    config.tracing = !config.trace_out.empty();
+  } else if (mode == "auto") {
+    // Auto adds to whatever the SKETCHML_OBS environment already enabled
+    // rather than overriding it.
+    config.metrics = !config.trace_out.empty() ||
+                     !config.metrics_out.empty() || MetricsEnabled();
+    config.tracing = !config.trace_out.empty() || TracingEnabled();
+  } else {
+    return common::Status::InvalidArgument(
+        "--obs must be auto, on, or off; got " + mode);
+  }
+
+  SetMetricsEnabled(config.metrics);
+  SetTracingEnabled(config.tracing);
+  return config;
+}
+
+common::Status WriteObsOutputs(const ObsConfig& config) {
+  if (!config.trace_out.empty()) {
+    std::ofstream out(config.trace_out);
+    if (!out) {
+      return common::Status::IoError("cannot open " + config.trace_out);
+    }
+    TraceLog::Global().WriteChromeTrace(out);
+    if (!out) {
+      return common::Status::IoError("failed writing " + config.trace_out);
+    }
+  }
+  if (!config.metrics_out.empty()) {
+    std::ofstream out(config.metrics_out);
+    if (!out) {
+      return common::Status::IoError("cannot open " + config.metrics_out);
+    }
+    MetricsRegistry::Global().Snapshot().WriteJsonl(out);
+    if (!out) {
+      return common::Status::IoError("failed writing " + config.metrics_out);
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace sketchml::obs

@@ -1,0 +1,38 @@
+#ifndef SKETCHML_COMMON_OBS_FLAGS_H_
+#define SKETCHML_COMMON_OBS_FLAGS_H_
+
+#include <string>
+
+#include "common/flags.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sketchml::obs {
+
+/// Resolved observability configuration for a tool run.
+struct ObsConfig {
+  bool metrics = false;
+  bool tracing = false;
+  std::string trace_out;    // Chrome-trace JSON path ("" = no file).
+  std::string metrics_out;  // Metrics JSONL path ("" = no file).
+};
+
+/// Reads the shared observability flags and applies them process-wide:
+///
+///   --obs=auto|on|off  auto (default) enables observability iff an
+///                      output path is given; on forces recording even
+///                      without outputs; off disables everything (output
+///                      flags are then ignored with a warning).
+///   --trace-out=PATH   write a Chrome trace_event JSON (*.trace.json)
+///   --metrics-out=PATH write a metrics dump (*.metrics.jsonl)
+///
+/// Tracing is enabled only when a trace is actually requested; metrics
+/// are enabled for any of the three opt-ins.
+common::Result<ObsConfig> ConfigureFromFlags(const common::FlagParser& flags);
+
+/// Writes the files requested by `config` (no-ops for empty paths).
+common::Status WriteObsOutputs(const ObsConfig& config);
+
+}  // namespace sketchml::obs
+
+#endif  // SKETCHML_COMMON_OBS_FLAGS_H_

@@ -1,6 +1,7 @@
 #ifndef SKETCHML_COMMON_STOPWATCH_H_
 #define SKETCHML_COMMON_STOPWATCH_H_
 
+#include <cassert>
 #include <chrono>
 
 namespace sketchml::common {
@@ -9,14 +10,27 @@ namespace sketchml::common {
 /// phases in the distributed-training simulator.
 class Stopwatch {
  public:
-  Stopwatch() { Restart(); }
+  Stopwatch() { start_ = Clock::now(); }
 
-  /// Resets the start point to now.
-  void Restart() { start_ = Clock::now(); }
+  /// Resets the start point to now and returns the lap — the seconds
+  /// elapsed since construction or the previous Restart(). Timing
+  /// consecutive phases is then one call per boundary:
+  ///   watch.Restart(); DoA(); a += watch.Restart(); DoB(); b += ...
+  double Restart() {
+    const Clock::time_point now = Clock::now();
+    const double lap = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return lap;
+  }
 
   /// Seconds elapsed since construction or the last Restart().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    // steady_clock is monotonic by contract; a negative reading means the
+    // platform clock is broken and every phase stat would be garbage.
+    assert(elapsed >= 0.0);
+    return elapsed;
   }
 
  private:

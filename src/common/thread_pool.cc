@@ -4,6 +4,24 @@
 
 namespace sketchml::common {
 
+namespace internal {
+
+const PoolObs& PoolObs::Get() {
+  // Leaked: task lambdas may outlive static destruction.
+  static const PoolObs* obs = [] {
+    auto* p = new PoolObs;
+    auto& registry = obs::MetricsRegistry::Global();
+    p->tasks = registry.GetCounter("threadpool/tasks");
+    p->task_wait_ns = registry.GetHistogram("threadpool/task_wait_ns");
+    p->task_run_ns = registry.GetHistogram("threadpool/task_run_ns");
+    p->queue_depth = registry.GetGauge("threadpool/queue_depth");
+    return p;
+  }();
+  return *obs;
+}
+
+}  // namespace internal
+
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   workers_.reserve(n);
@@ -25,6 +43,10 @@ void ThreadPool::Enqueue(std::shared_ptr<internal::TaskNode> node) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(node));
+    if (obs::MetricsEnabled()) {
+      internal::PoolObs::Get().queue_depth.Set(
+          static_cast<double>(queue_.size()));
+    }
   }
   cv_.notify_one();
 }
@@ -38,6 +60,10 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained.
       node = std::move(queue_.front());
       queue_.pop_front();
+      if (obs::MetricsEnabled()) {
+        internal::PoolObs::Get().queue_depth.Set(
+            static_cast<double>(queue_.size()));
+      }
     }
     // A submitter may have already reclaimed the task via Get(); only the
     // winner of the claim runs it.

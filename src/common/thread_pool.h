@@ -13,6 +13,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics_registry.h"
+#include "common/obs.h"
+
 namespace sketchml::common {
 
 namespace internal {
@@ -26,8 +29,23 @@ struct TaskNode {
   std::function<void()> run;
   std::atomic<bool> claimed{false};
 
+  /// Submission timestamp, captured only when metrics were enabled at
+  /// submit time (0 otherwise); lets the run wrapper record queue wait.
+  uint64_t enqueue_ns = 0;
+
   /// Returns true for exactly one caller.
   bool TryClaim() { return !claimed.exchange(true, std::memory_order_acq_rel); }
+};
+
+/// Shared metric handles for every pool in the process (tasks are a
+/// process-level resource; per-pool split has not been needed).
+struct PoolObs {
+  obs::Counter tasks;
+  obs::Histogram task_wait_ns;
+  obs::Histogram task_run_ns;
+  obs::Gauge queue_depth;
+
+  static const PoolObs& Get();
 };
 
 }  // namespace internal
@@ -94,7 +112,18 @@ class ThreadPool {
     auto node = std::make_shared<internal::TaskNode>();
     auto promise = std::make_shared<std::promise<T>>();
     std::future<T> future = promise->get_future();
-    node->run = [fn = std::forward<F>(fn), promise]() mutable {
+    if (obs::MetricsEnabled()) node->enqueue_ns = obs::NowNs();
+    // Raw pointer: capturing the shared_ptr would cycle node -> run -> node.
+    internal::TaskNode* raw_node = node.get();
+    node->run = [fn = std::forward<F>(fn), promise, raw_node]() mutable {
+      const bool instrumented = raw_node->enqueue_ns != 0;
+      uint64_t start_ns = 0;
+      if (instrumented) {
+        const auto& pool_obs = internal::PoolObs::Get();
+        start_ns = obs::NowNs();
+        pool_obs.task_wait_ns.Record(
+            static_cast<double>(start_ns - raw_node->enqueue_ns));
+      }
       try {
         if constexpr (std::is_void_v<T>) {
           fn();
@@ -104,6 +133,12 @@ class ThreadPool {
         }
       } catch (...) {
         promise->set_exception(std::current_exception());
+      }
+      if (instrumented) {
+        const auto& pool_obs = internal::PoolObs::Get();
+        pool_obs.task_run_ns.Record(
+            static_cast<double>(obs::NowNs() - start_ns));
+        pool_obs.tasks.Increment();
       }
     };
     Enqueue(node);

@@ -1,0 +1,229 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+
+namespace sketchml::obs {
+namespace {
+
+constexpr size_t kDefaultRingCapacity = 1 << 14;  // Events per thread.
+
+/// One thread's event ring. Only the owning thread appends; the short
+/// per-ring mutex exists so the collector (and TSan) see consistent
+/// events — in steady state it is uncontended and stays in the owner's
+/// cache line.
+struct Ring {
+  explicit Ring(size_t capacity, uint32_t tid_in)
+      : events(capacity), tid(tid_in) {}
+
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  size_t next = 0;       // Append slot.
+  size_t count = 0;      // Valid events (<= capacity).
+  uint64_t dropped = 0;  // Overwritten by wraparound.
+  uint32_t tid;
+
+  void Append(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (count == events.size()) {
+      ++dropped;
+    } else {
+      ++count;
+    }
+    events[next] = event;
+    events[next].tid = tid;
+    next = (next + 1) % events.size();
+  }
+
+  /// Oldest-first copy of the retained events.
+  void CopyTo(std::vector<TraceEvent>* out) const {
+    const size_t start = (next + events.size() - count) % events.size();
+    for (size_t i = 0; i < count; ++i) {
+      out->push_back(events[(start + i) % events.size()]);
+    }
+  }
+};
+
+struct Impl {
+  mutable std::mutex mutex;
+  std::vector<Ring*> live;
+  std::vector<TraceEvent> retired_events;
+  uint64_t retired_dropped = 0;
+  uint32_t next_tid = 1;
+  std::atomic<size_t> ring_capacity{kDefaultRingCapacity};
+};
+
+Impl& GetImpl() {
+  static Impl* impl = new Impl;  // Leaked: outlives thread-local dtors.
+  return *impl;
+}
+
+void RetireRing(Ring* ring) {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->CopyTo(&impl.retired_events);
+    impl.retired_dropped += ring->dropped;
+  }
+  impl.live.erase(std::find(impl.live.begin(), impl.live.end(), ring));
+  delete ring;
+}
+
+struct TlsRing {
+  Ring* ring = nullptr;
+  ~TlsRing() {
+    if (ring != nullptr) RetireRing(ring);
+  }
+};
+
+Ring* ThisRing() {
+  thread_local TlsRing tls;
+  if (tls.ring == nullptr) {
+    Impl& impl = GetImpl();
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    auto* ring = new Ring(impl.ring_capacity.load(std::memory_order_relaxed),
+                          impl.next_tid++);
+    impl.live.push_back(ring);
+    tls.ring = ring;
+  }
+  return tls.ring;
+}
+
+void AppendJsonString(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void TraceSpan::Begin(const char* category, std::string_view name) {
+  active_ = true;
+  event_.category = category;
+  std::memcpy(event_.name, name.data(),
+              std::min<size_t>(name.size(), TraceEvent::kNameCapacity));
+  event_.ts_ns = NowNs();
+}
+
+void TraceSpan::End() {
+  event_.dur_ns = NowNs() - event_.ts_ns;
+  ThisRing()->Append(event_);
+}
+
+void EmitSpan(const char* category, std::string_view name, uint64_t ts_ns,
+              uint64_t dur_ns, std::string_view arg_key, double arg_value) {
+  if (!TracingEnabled()) return;
+  TraceEvent event;
+  event.category = category;
+  std::memcpy(event.name, name.data(),
+              std::min<size_t>(name.size(), TraceEvent::kNameCapacity));
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  if (!arg_key.empty()) {
+    std::memcpy(event.args[0].key, arg_key.data(),
+                std::min<size_t>(arg_key.size(), TraceEvent::kArgKeyCapacity));
+    event.args[0].value = arg_value;
+    event.num_args = 1;
+  }
+  ThisRing()->Append(event);
+}
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* log = new TraceLog;
+  return *log;
+}
+
+void TraceLog::SetRingCapacity(size_t events) {
+  GetImpl().ring_capacity.store(std::max<size_t>(events, 16),
+                                std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceLog::CollectEvents() const {
+  Impl& impl = GetImpl();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    events = impl.retired_events;
+    for (const Ring* ring : impl.live) {
+      std::lock_guard<std::mutex> ring_lock(
+          const_cast<Ring*>(ring)->mutex);
+      ring->CopyTo(&events);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return events;
+}
+
+uint64_t TraceLog::DroppedEvents() const {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  uint64_t dropped = impl.retired_dropped;
+  for (const Ring* ring : impl.live) {
+    std::lock_guard<std::mutex> ring_lock(const_cast<Ring*>(ring)->mutex);
+    dropped += ring->dropped;
+  }
+  return dropped;
+}
+
+void TraceLog::Reset() {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  impl.retired_events.clear();
+  impl.retired_dropped = 0;
+  for (Ring* ring : impl.live) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->next = 0;
+    ring->count = 0;
+    ring->dropped = 0;
+  }
+}
+
+void TraceLog::WriteChromeTrace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = CollectEvents();
+  out << "{\"traceEvents\":[\n";
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"sketchml\"}}";
+  char buf[64];
+  for (const TraceEvent& event : events) {
+    out << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid;
+    // Chrome trace timestamps are microseconds; print with ns precision.
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(event.ts_ns) / 1e3,
+                  static_cast<double>(event.dur_ns) / 1e3);
+    out << buf << ",\"cat\":";
+    AppendJsonString(out, event.category);
+    out << ",\"name\":";
+    AppendJsonString(out, event.name);
+    if (event.num_args > 0) {
+      out << ",\"args\":{";
+      for (int i = 0; i < event.num_args; ++i) {
+        if (i > 0) out << ',';
+        AppendJsonString(out, event.args[i].key);
+        const double v =
+            std::isfinite(event.args[i].value) ? event.args[i].value : 0.0;
+        std::snprintf(buf, sizeof(buf), ":%.17g", v);
+        out << buf;
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace sketchml::obs

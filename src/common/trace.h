@@ -1,0 +1,107 @@
+#ifndef SKETCHML_COMMON_TRACE_H_
+#define SKETCHML_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "common/obs.h"
+
+namespace sketchml::obs {
+
+/// One completed phase, recorded at span end. Fixed-size (no heap) so a
+/// thread's ring buffer is a flat array and appending never allocates.
+struct TraceEvent {
+  static constexpr int kNameCapacity = 47;
+  static constexpr int kArgKeyCapacity = 15;
+  static constexpr int kMaxArgs = 2;
+
+  uint64_t ts_ns = 0;   // Span begin, NowNs() clock.
+  uint64_t dur_ns = 0;  // Span duration (0 for instant/synthetic marks).
+  uint32_t tid = 0;     // Registration-order thread id (main thread = 1).
+  const char* category = "";        // Must point at a string literal.
+  char name[kNameCapacity + 1] = {};
+  struct Arg {
+    char key[kArgKeyCapacity + 1] = {};
+    double value = 0.0;
+  };
+  Arg args[kMaxArgs];
+  uint8_t num_args = 0;
+};
+
+/// RAII phase marker: records begin on construction and appends one
+/// completed event to the calling thread's ring buffer on destruction.
+/// Inactive (and free apart from one branch) when `TracingEnabled()` is
+/// false at construction time. Spans nest naturally — inner spans simply
+/// complete (and are appended) first.
+class TraceSpan {
+ public:
+  /// `category` must be a string literal (stored by pointer); `name` is
+  /// copied (truncated to TraceEvent::kNameCapacity).
+  TraceSpan(const char* category, std::string_view name) {
+    if (!TracingEnabled()) return;
+    Begin(category, name);
+  }
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric argument (shown in the trace viewer). At most
+  /// TraceEvent::kMaxArgs stick; extras are dropped. `key` must be a
+  /// short string literal.
+  void Arg(const char* key, double value) {
+    if (!active_ || event_.num_args >= TraceEvent::kMaxArgs) return;
+    TraceEvent::Arg& arg = event_.args[event_.num_args++];
+    std::strncpy(arg.key, key, TraceEvent::kArgKeyCapacity);
+    arg.value = value;
+  }
+
+ private:
+  void Begin(const char* category, std::string_view name);
+  void End();
+
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+/// Appends an already-timed span (e.g. the trainer's *modeled* network
+/// transfers, whose durations come from NetworkModel rather than a
+/// clock). `ts_ns`/`dur_ns` are on the NowNs() timeline.
+void EmitSpan(const char* category, std::string_view name, uint64_t ts_ns,
+              uint64_t dur_ns, std::string_view arg_key = {},
+              double arg_value = 0.0);
+
+/// Process-wide collector of per-thread trace rings.
+class TraceLog {
+ public:
+  static TraceLog& Global();
+
+  /// Ring capacity (events) for threads that record their first event
+  /// after the call. When a ring is full the oldest events are
+  /// overwritten and `DroppedEvents()` grows.
+  void SetRingCapacity(size_t events);
+
+  /// All retained events (live threads + exited ones), ordered by begin
+  /// timestamp.
+  std::vector<TraceEvent> CollectEvents() const;
+
+  /// Serializes every retained event as Chrome `trace_event` JSON
+  /// (load via chrome://tracing or https://ui.perfetto.dev).
+  void WriteChromeTrace(std::ostream& out) const;
+
+  /// Events lost to ring wraparound since the last Reset.
+  uint64_t DroppedEvents() const;
+
+  /// Discards all retained events. Like MetricsRegistry::Reset, callers
+  /// must ensure no thread is concurrently recording.
+  void Reset();
+};
+
+}  // namespace sketchml::obs
+
+#endif  // SKETCHML_COMMON_TRACE_H_

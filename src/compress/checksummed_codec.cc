@@ -5,7 +5,7 @@
 
 namespace sketchml::compress {
 
-common::Status ChecksummedCodec::Encode(const common::SparseGradient& grad,
+common::Status ChecksummedCodec::EncodeImpl(const common::SparseGradient& grad,
                                         EncodedGradient* out) {
   EncodedGradient inner_msg;
   SKETCHML_RETURN_IF_ERROR(inner_->Encode(grad, &inner_msg));
@@ -19,7 +19,7 @@ common::Status ChecksummedCodec::Encode(const common::SparseGradient& grad,
   return common::Status::Ok();
 }
 
-common::Status ChecksummedCodec::Decode(const EncodedGradient& in,
+common::Status ChecksummedCodec::DecodeImpl(const EncodedGradient& in,
                                         common::SparseGradient* out) {
   if (in.bytes.size() < 8) {
     return common::Status::CorruptedData("message shorter than CRC frame");

@@ -22,11 +22,6 @@ class ChecksummedCodec : public GradientCodec {
   std::string Name() const override { return inner_->Name() + "+crc"; }
   bool IsLossless() const override { return inner_->IsLossless(); }
 
-  common::Status Encode(const common::SparseGradient& grad,
-                        EncodedGradient* out) override;
-  common::Status Decode(const EncodedGradient& in,
-                        common::SparseGradient* out) override;
-
   /// Forkable iff the wrapped codec is.
   std::unique_ptr<GradientCodec> Fork(uint64_t lane) const override {
     auto inner_fork = inner_->Fork(lane);
@@ -39,6 +34,12 @@ class ChecksummedCodec : public GradientCodec {
   }
 
   const GradientCodec& inner() const { return *inner_; }
+
+ protected:
+  common::Status EncodeImpl(const common::SparseGradient& grad,
+                            EncodedGradient* out) override;
+  common::Status DecodeImpl(const EncodedGradient& in,
+                            common::SparseGradient* out) override;
 
  private:
   std::unique_ptr<GradientCodec> inner_;

@@ -1,5 +1,8 @@
 #include "compress/codec.h"
 
+#include "common/obs.h"
+#include "common/trace.h"
+
 namespace sketchml::compress {
 
 common::Status ValidateEncodable(const common::SparseGradient& grad) {
@@ -8,6 +11,87 @@ common::Status ValidateEncodable(const common::SparseGradient& grad) {
         "gradient keys must be strictly increasing; call SortByKey first");
   }
   return common::Status::Ok();
+}
+
+GradientCodec::Instruments& GradientCodec::GetInstruments() {
+  if (!instruments_.initialized) {
+    const std::string name = Name();
+    const std::string prefix = "codec/" + name + "/";
+    auto& registry = obs::MetricsRegistry::Global();
+    instruments_.encode_span_name = "encode/" + name;
+    instruments_.decode_span_name = "decode/" + name;
+    instruments_.encode_calls = registry.GetCounter(prefix + "encode_calls");
+    instruments_.encode_pairs = registry.GetCounter(prefix + "encode_pairs");
+    instruments_.encode_bytes = registry.GetCounter(prefix + "encode_bytes");
+    instruments_.raw_bytes = registry.GetCounter(prefix + "raw_bytes");
+    instruments_.encode_errors = registry.GetCounter(prefix + "encode_errors");
+    instruments_.decode_calls = registry.GetCounter(prefix + "decode_calls");
+    instruments_.decode_pairs = registry.GetCounter(prefix + "decode_pairs");
+    instruments_.decode_bytes = registry.GetCounter(prefix + "decode_bytes");
+    instruments_.decode_errors = registry.GetCounter(prefix + "decode_errors");
+    instruments_.encode_ns = registry.GetHistogram(prefix + "encode_ns");
+    instruments_.decode_ns = registry.GetHistogram(prefix + "decode_ns");
+    instruments_.message_bytes =
+        registry.GetHistogram(prefix + "message_bytes");
+    instruments_.initialized = true;
+  }
+  return instruments_;
+}
+
+common::Status GradientCodec::Encode(const common::SparseGradient& grad,
+                                     EncodedGradient* out) {
+  SKETCHML_RETURN_IF_ERROR(ValidateEncodable(grad));
+  if (!obs::MetricsEnabled() && !obs::TracingEnabled()) {
+    return EncodeImpl(grad, out);
+  }
+
+  Instruments& ins = GetInstruments();
+  obs::TraceSpan span("codec", ins.encode_span_name);
+  const uint64_t start_ns = obs::NowNs();
+  const common::Status status = EncodeImpl(grad, out);
+  const uint64_t elapsed_ns = obs::NowNs() - start_ns;
+
+  span.Arg("pairs", static_cast<double>(grad.size()));
+  if (!status.ok()) {
+    ins.encode_errors.Increment();
+    return status;
+  }
+  span.Arg("bytes", static_cast<double>(out->size()));
+  ins.encode_calls.Increment();
+  ins.encode_pairs.Add(static_cast<double>(grad.size()));
+  ins.encode_bytes.Add(static_cast<double>(out->size()));
+  // Uncompressed size of the same message (16 bytes per key/value pair):
+  // raw_bytes / encode_bytes is the codec's measured compression ratio.
+  ins.raw_bytes.Add(
+      static_cast<double>(grad.size() * sizeof(common::GradientPair)));
+  ins.encode_ns.Record(static_cast<double>(elapsed_ns));
+  ins.message_bytes.Record(static_cast<double>(out->size()));
+  return status;
+}
+
+common::Status GradientCodec::Decode(const EncodedGradient& in,
+                                     common::SparseGradient* out) {
+  if (!obs::MetricsEnabled() && !obs::TracingEnabled()) {
+    return DecodeImpl(in, out);
+  }
+
+  Instruments& ins = GetInstruments();
+  obs::TraceSpan span("codec", ins.decode_span_name);
+  const uint64_t start_ns = obs::NowNs();
+  const common::Status status = DecodeImpl(in, out);
+  const uint64_t elapsed_ns = obs::NowNs() - start_ns;
+
+  span.Arg("bytes", static_cast<double>(in.size()));
+  if (!status.ok()) {
+    ins.decode_errors.Increment();
+    return status;
+  }
+  span.Arg("pairs", static_cast<double>(out->size()));
+  ins.decode_calls.Increment();
+  ins.decode_bytes.Add(static_cast<double>(in.size()));
+  ins.decode_pairs.Add(static_cast<double>(out->size()));
+  ins.decode_ns.Record(static_cast<double>(elapsed_ns));
+  return status;
 }
 
 }  // namespace sketchml::compress

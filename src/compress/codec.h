@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/sparse.h"
 #include "common/status.h"
 
@@ -28,6 +29,12 @@ struct EncodedGradient {
 /// byte message and back. Keys must round-trip exactly — decoding a wrong
 /// dimension corrupts the model (§3.4 Motivation) — while values may be
 /// lossy, trading precision for bytes.
+///
+/// `Encode`/`Decode` are non-virtual wrappers (NVI): they validate the
+/// shared precondition and, when observability is on, record per-codec
+/// metrics ("codec/<name>/...") and trace spans around the virtual
+/// `EncodeImpl`/`DecodeImpl` that implementations provide. With
+/// observability off the wrappers cost one branch.
 class GradientCodec {
  public:
   virtual ~GradientCodec() = default;
@@ -40,13 +47,13 @@ class GradientCodec {
 
   /// Serializes `grad` into `out`. `grad` must be sorted by key with
   /// strictly increasing keys; returns InvalidArgument otherwise.
-  virtual common::Status Encode(const common::SparseGradient& grad,
-                                EncodedGradient* out) = 0;
+  common::Status Encode(const common::SparseGradient& grad,
+                        EncodedGradient* out);
 
   /// Reconstructs a gradient from `in`. Keys are exact; values are exact
   /// iff `IsLossless()`.
-  virtual common::Status Decode(const EncodedGradient& in,
-                                common::SparseGradient* out) = 0;
+  common::Status Decode(const EncodedGradient& in,
+                        common::SparseGradient* out);
 
   /// Returns an independent codec instance for seed lane `lane`, suitable
   /// for concurrent use next to `this` (e.g. one instance per simulated
@@ -65,6 +72,33 @@ class GradientCodec {
   /// codec must produce byte-identical output with or without a pool.
   /// The pool must outlive the codec or be cleared with nullptr.
   virtual void SetThreadPool(common::ThreadPool* pool) { (void)pool; }
+
+ protected:
+  /// The actual codec work. Input is already validated (strictly
+  /// increasing keys); implementations must not re-enter their own
+  /// public Encode/Decode (calling *another* codec's, as the decorator
+  /// codecs do, is fine and yields nested spans).
+  virtual common::Status EncodeImpl(const common::SparseGradient& grad,
+                                    EncodedGradient* out) = 0;
+  virtual common::Status DecodeImpl(const EncodedGradient& in,
+                                    common::SparseGradient* out) = 0;
+
+ private:
+  /// Per-instance cache of the codec's metric handles and span names,
+  /// filled lazily on the first instrumented call (so the Name() virtual
+  /// is safe to use — the object is fully constructed by then).
+  struct Instruments {
+    bool initialized = false;
+    std::string encode_span_name;  // "encode/<name>"
+    std::string decode_span_name;  // "decode/<name>"
+    obs::Counter encode_calls, encode_pairs, encode_bytes, raw_bytes,
+        encode_errors;
+    obs::Counter decode_calls, decode_pairs, decode_bytes, decode_errors;
+    obs::Histogram encode_ns, decode_ns, message_bytes;
+  };
+
+  Instruments& GetInstruments();
+  Instruments instruments_;
 };
 
 /// Validates the shared Encode precondition; used by all implementations.

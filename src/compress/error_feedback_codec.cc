@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/obs.h"
+
 namespace sketchml::compress {
 namespace {
 
@@ -12,9 +14,8 @@ constexpr double kResidualFloor = 1e-12;
 
 }  // namespace
 
-common::Status ErrorFeedbackCodec::Encode(const common::SparseGradient& grad,
+common::Status ErrorFeedbackCodec::EncodeImpl(const common::SparseGradient& grad,
                                           EncodedGradient* out) {
-  SKETCHML_RETURN_IF_ERROR(ValidateEncodable(grad));
 
   // compensated = gradient + residual (union of keys, sorted).
   common::SparseGradient compensated;
@@ -67,10 +68,22 @@ common::Status ErrorFeedbackCodec::Encode(const common::SparseGradient& grad,
       residual_[pair.key] = leftover;
     }
   }
+
+  if (obs::MetricsEnabled()) {
+    if (!obs_init_) {
+      auto& registry = obs::MetricsRegistry::Global();
+      const std::string prefix = "codec/" + Name() + "/";
+      residual_l1_counter_ = registry.GetCounter(prefix + "residual_l1");
+      residual_keys_gauge_ = registry.GetGauge(prefix + "residual_keys");
+      obs_init_ = true;
+    }
+    residual_l1_counter_.Add(ResidualL1());
+    residual_keys_gauge_.Set(static_cast<double>(residual_.size()));
+  }
   return common::Status::Ok();
 }
 
-common::Status ErrorFeedbackCodec::Decode(const EncodedGradient& in,
+common::Status ErrorFeedbackCodec::DecodeImpl(const EncodedGradient& in,
                                           common::SparseGradient* out) {
   return inner_->Decode(in, out);
 }

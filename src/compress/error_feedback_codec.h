@@ -33,13 +33,6 @@ class ErrorFeedbackCodec : public GradientCodec {
   std::string Name() const override { return inner_->Name() + "+ef"; }
   bool IsLossless() const override { return inner_->IsLossless(); }
 
-  common::Status Encode(const common::SparseGradient& grad,
-                        EncodedGradient* out) override;
-
-  /// Decoding is stateless and simply forwards to the inner codec.
-  common::Status Decode(const EncodedGradient& in,
-                        common::SparseGradient* out) override;
-
   /// Forks start with an empty residual — exactly the per-sender state a
   /// fresh worker would hold. Forkable iff the wrapped codec is.
   std::unique_ptr<GradientCodec> Fork(uint64_t lane) const override {
@@ -58,9 +51,23 @@ class ErrorFeedbackCodec : public GradientCodec {
   /// Number of dimensions currently carrying residual.
   size_t ResidualSize() const { return residual_.size(); }
 
+ protected:
+  common::Status EncodeImpl(const common::SparseGradient& grad,
+                            EncodedGradient* out) override;
+
+  /// Decoding is stateless and simply forwards to the inner codec.
+  common::Status DecodeImpl(const EncodedGradient& in,
+                            common::SparseGradient* out) override;
+
  private:
   std::unique_ptr<GradientCodec> inner_;
   std::unordered_map<uint64_t, double> residual_;
+
+  // Lazily bound error-feedback magnitude metrics (registered under the
+  // wrapped codec's name on the first instrumented Encode).
+  bool obs_init_ = false;
+  obs::Counter residual_l1_counter_;
+  obs::Gauge residual_keys_gauge_;
 };
 
 }  // namespace sketchml::compress

@@ -230,7 +230,7 @@ common::Status RunLengthByteCoder::Decode(const std::vector<uint8_t>& input,
 }
 
 template <typename ByteCoder>
-common::Status LosslessGradientCodec<ByteCoder>::Encode(
+common::Status LosslessGradientCodec<ByteCoder>::EncodeImpl(
     const common::SparseGradient& grad, EncodedGradient* out) {
   RawCodec raw(ValueType::kDouble);
   EncodedGradient raw_msg;
@@ -240,7 +240,7 @@ common::Status LosslessGradientCodec<ByteCoder>::Encode(
 }
 
 template <typename ByteCoder>
-common::Status LosslessGradientCodec<ByteCoder>::Decode(
+common::Status LosslessGradientCodec<ByteCoder>::DecodeImpl(
     const EncodedGradient& in, common::SparseGradient* out) {
   EncodedGradient raw_msg;
   SKETCHML_RETURN_IF_ERROR(ByteCoder::Decode(in.bytes, &raw_msg.bytes));

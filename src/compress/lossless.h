@@ -50,15 +50,16 @@ class LosslessGradientCodec : public GradientCodec {
   std::string Name() const override { return name_; }
   bool IsLossless() const override { return true; }
 
-  common::Status Encode(const common::SparseGradient& grad,
-                        EncodedGradient* out) override;
-  common::Status Decode(const EncodedGradient& in,
-                        common::SparseGradient* out) override;
-
   /// Stateless: a fork is a plain copy.
   std::unique_ptr<GradientCodec> Fork(uint64_t /*lane*/) const override {
     return std::make_unique<LosslessGradientCodec<ByteCoder>>(name_);
   }
+
+ protected:
+  common::Status EncodeImpl(const common::SparseGradient& grad,
+                            EncodedGradient* out) override;
+  common::Status DecodeImpl(const EncodedGradient& in,
+                            common::SparseGradient* out) override;
 
  private:
   std::string name_;

@@ -9,9 +9,8 @@
 
 namespace sketchml::compress {
 
-common::Status OneBitCodec::Encode(const common::SparseGradient& grad,
+common::Status OneBitCodec::EncodeImpl(const common::SparseGradient& grad,
                                    EncodedGradient* out) {
-  SKETCHML_RETURN_IF_ERROR(ValidateEncodable(grad));
   common::ByteWriter writer(grad.size() * 5 + 32);
   writer.WriteVarint(grad.size());
 
@@ -44,7 +43,7 @@ common::Status OneBitCodec::Encode(const common::SparseGradient& grad,
   return common::Status::Ok();
 }
 
-common::Status OneBitCodec::Decode(const EncodedGradient& in,
+common::Status OneBitCodec::DecodeImpl(const EncodedGradient& in,
                                    common::SparseGradient* out) {
   common::ByteReader reader(in.bytes);
   uint64_t count = 0;

@@ -18,15 +18,16 @@ class OneBitCodec : public GradientCodec {
   std::string Name() const override { return "onebit"; }
   bool IsLossless() const override { return false; }
 
-  common::Status Encode(const common::SparseGradient& grad,
-                        EncodedGradient* out) override;
-  common::Status Decode(const EncodedGradient& in,
-                        common::SparseGradient* out) override;
-
   /// Stateless: a fork is a plain copy.
   std::unique_ptr<GradientCodec> Fork(uint64_t /*lane*/) const override {
     return std::make_unique<OneBitCodec>();
   }
+
+ protected:
+  common::Status EncodeImpl(const common::SparseGradient& grad,
+                            EncodedGradient* out) override;
+  common::Status DecodeImpl(const EncodedGradient& in,
+                            common::SparseGradient* out) override;
 };
 
 }  // namespace sketchml::compress

@@ -77,9 +77,8 @@ QsgdCodec::QsgdCodec(int levels, uint64_t seed)
   SKETCHML_CHECK_GT(levels, 0);
 }
 
-common::Status QsgdCodec::Encode(const common::SparseGradient& grad,
+common::Status QsgdCodec::EncodeImpl(const common::SparseGradient& grad,
                                  EncodedGradient* out) {
-  SKETCHML_RETURN_IF_ERROR(ValidateEncodable(grad));
   common::ByteWriter writer(grad.size() * 6 + 32);
   writer.WriteVarint(grad.size());
   writer.WriteVarint(static_cast<uint64_t>(levels_));
@@ -121,7 +120,7 @@ common::Status QsgdCodec::Encode(const common::SparseGradient& grad,
   return common::Status::Ok();
 }
 
-common::Status QsgdCodec::Decode(const EncodedGradient& in,
+common::Status QsgdCodec::DecodeImpl(const EncodedGradient& in,
                                  common::SparseGradient* out) {
   common::ByteReader reader(in.bytes);
   uint64_t count = 0, levels = 0;

@@ -27,17 +27,18 @@ class QsgdCodec : public GradientCodec {
   std::string Name() const override { return "qsgd"; }
   bool IsLossless() const override { return false; }
 
-  common::Status Encode(const common::SparseGradient& grad,
-                        EncodedGradient* out) override;
-  common::Status Decode(const EncodedGradient& in,
-                        common::SparseGradient* out) override;
-
   /// Fresh instance on a decorrelated seed lane (see common::LaneSeed).
   std::unique_ptr<GradientCodec> Fork(uint64_t lane) const override {
     return std::make_unique<QsgdCodec>(levels_, common::LaneSeed(seed_, lane));
   }
 
   int levels() const { return levels_; }
+
+ protected:
+  common::Status EncodeImpl(const common::SparseGradient& grad,
+                            EncodedGradient* out) override;
+  common::Status DecodeImpl(const EncodedGradient& in,
+                            common::SparseGradient* out) override;
 
  private:
   int levels_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/obs.h"
 #include "sketch/gk_sketch.h"
 #include "sketch/kll_sketch.h"
 
@@ -40,7 +42,16 @@ int QuantileBucketQuantizer::BucketOf(double value) const {
   // above so the maximum lands in bucket num_buckets-1.
   const auto it = std::upper_bound(splits_.begin(), splits_.end(), value);
   int idx = static_cast<int>(it - splits_.begin()) - 1;
-  return std::clamp(idx, 0, num_buckets() - 1);
+  const int clamped = std::clamp(idx, 0, num_buckets() - 1);
+  if (clamped != idx && obs::MetricsEnabled()) {
+    // A clamp means the value fell outside the sketch's learned range —
+    // the bucket-overflow event the paper's §3.2 error analysis assumes
+    // is rare. Counting it makes that assumption checkable.
+    static const obs::Counter overflow =
+        obs::MetricsRegistry::Global().GetCounter("quantizer/bucket_overflow");
+    overflow.Increment();
+  }
+  return clamped;
 }
 
 void QuantileBucketQuantizer::SerializeMeans(

@@ -6,9 +6,8 @@
 
 namespace sketchml::compress {
 
-common::Status RawCodec::Encode(const common::SparseGradient& grad,
+common::Status RawCodec::EncodeImpl(const common::SparseGradient& grad,
                                 EncodedGradient* out) {
-  SKETCHML_RETURN_IF_ERROR(ValidateEncodable(grad));
   const bool is_double = value_type_ == ValueType::kDouble;
   common::ByteWriter writer(grad.size() * (is_double ? 12 : 8) + 16);
   writer.WriteU8(is_double ? 1 : 0);
@@ -30,7 +29,7 @@ common::Status RawCodec::Encode(const common::SparseGradient& grad,
   return common::Status::Ok();
 }
 
-common::Status RawCodec::Decode(const EncodedGradient& in,
+common::Status RawCodec::DecodeImpl(const EncodedGradient& in,
                                 common::SparseGradient* out) {
   common::ByteReader reader(in.bytes);
   uint8_t is_double = 0;

@@ -25,15 +25,16 @@ class RawCodec : public GradientCodec {
   }
   bool IsLossless() const override { return value_type_ == ValueType::kDouble; }
 
-  common::Status Encode(const common::SparseGradient& grad,
-                        EncodedGradient* out) override;
-  common::Status Decode(const EncodedGradient& in,
-                        common::SparseGradient* out) override;
-
   /// Stateless: a fork is a plain copy.
   std::unique_ptr<GradientCodec> Fork(uint64_t /*lane*/) const override {
     return std::make_unique<RawCodec>(value_type_);
   }
+
+ protected:
+  common::Status EncodeImpl(const common::SparseGradient& grad,
+                            EncodedGradient* out) override;
+  common::Status DecodeImpl(const EncodedGradient& in,
+                            common::SparseGradient* out) override;
 
  private:
   ValueType value_type_;

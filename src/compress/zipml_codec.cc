@@ -17,9 +17,8 @@ ZipMlCodec::ZipMlCodec(int bits, uint64_t seed, bool stochastic_rounding)
   SKETCHML_CHECK(bits == 8 || bits == 16) << "ZipML supports 8 or 16 bits";
 }
 
-common::Status ZipMlCodec::Encode(const common::SparseGradient& grad,
+common::Status ZipMlCodec::EncodeImpl(const common::SparseGradient& grad,
                                   EncodedGradient* out) {
-  SKETCHML_RETURN_IF_ERROR(ValidateEncodable(grad));
   const int value_bytes = bits_ / 8;
   common::ByteWriter writer(grad.size() * (4 + value_bytes) + 32);
   writer.WriteU8(static_cast<uint8_t>(bits_));
@@ -68,7 +67,7 @@ common::Status ZipMlCodec::Encode(const common::SparseGradient& grad,
   return common::Status::Ok();
 }
 
-common::Status ZipMlCodec::Decode(const EncodedGradient& in,
+common::Status ZipMlCodec::DecodeImpl(const EncodedGradient& in,
                                   common::SparseGradient* out) {
   common::ByteReader reader(in.bytes);
   uint8_t bits = 0;

@@ -32,11 +32,6 @@ class ZipMlCodec : public GradientCodec {
   }
   bool IsLossless() const override { return false; }
 
-  common::Status Encode(const common::SparseGradient& grad,
-                        EncodedGradient* out) override;
-  common::Status Decode(const EncodedGradient& in,
-                        common::SparseGradient* out) override;
-
   /// Fresh instance on a decorrelated seed lane (see common::LaneSeed).
   std::unique_ptr<GradientCodec> Fork(uint64_t lane) const override {
     return std::make_unique<ZipMlCodec>(bits_, common::LaneSeed(seed_, lane),
@@ -44,6 +39,12 @@ class ZipMlCodec : public GradientCodec {
   }
 
   int bits() const { return bits_; }
+
+ protected:
+  common::Status EncodeImpl(const common::SparseGradient& grad,
+                            EncodedGradient* out) override;
+  common::Status DecodeImpl(const EncodedGradient& in,
+                            common::SparseGradient* out) override;
 
  private:
   int bits_;

@@ -152,9 +152,8 @@ SketchMlCodec::SketchMlCodec(const SketchMlConfig& config) : config_(config) {
   SKETCHML_CHECK(config.Validate().ok()) << config.Validate().ToString();
 }
 
-common::Status SketchMlCodec::Encode(const common::SparseGradient& grad,
+common::Status SketchMlCodec::EncodeImpl(const common::SparseGradient& grad,
                                      compress::EncodedGradient* out) {
-  SKETCHML_RETURN_IF_ERROR(compress::ValidateEncodable(grad));
   last_space_cost_ = SpaceCost();
   common::ByteWriter writer(grad.size() * 2 + 64);
 
@@ -220,7 +219,7 @@ std::unique_ptr<compress::GradientCodec> SketchMlCodec::Fork(
   return std::make_unique<SketchMlCodec>(fork_config);
 }
 
-common::Status SketchMlCodec::Decode(const compress::EncodedGradient& in,
+common::Status SketchMlCodec::DecodeImpl(const compress::EncodedGradient& in,
                                      common::SparseGradient* out) {
   common::ByteReader reader(in.bytes);
   uint8_t version = 0;
@@ -246,9 +245,8 @@ common::Status SketchMlCodec::Decode(const compress::EncodedGradient& in,
   return common::Status::Ok();
 }
 
-common::Status KeyOnlyCodec::Encode(const common::SparseGradient& grad,
+common::Status KeyOnlyCodec::EncodeImpl(const common::SparseGradient& grad,
                                     compress::EncodedGradient* out) {
-  SKETCHML_RETURN_IF_ERROR(compress::ValidateEncodable(grad));
   common::ByteWriter writer(grad.size() * 10 + 16);
   SKETCHML_RETURN_IF_ERROR(
       compress::DeltaBinaryKeyCodec::Encode(common::Keys(grad), &writer));
@@ -257,7 +255,7 @@ common::Status KeyOnlyCodec::Encode(const common::SparseGradient& grad,
   return common::Status::Ok();
 }
 
-common::Status KeyOnlyCodec::Decode(const compress::EncodedGradient& in,
+common::Status KeyOnlyCodec::DecodeImpl(const compress::EncodedGradient& in,
                                     common::SparseGradient* out) {
   common::ByteReader reader(in.bytes);
   std::vector<uint64_t> keys;
@@ -274,14 +272,13 @@ common::Status KeyOnlyCodec::Decode(const compress::EncodedGradient& in,
 QuantileOnlyCodec::QuantileOnlyCodec(const SketchMlConfig& config)
     : config_(config) {}
 
-common::Status QuantileOnlyCodec::Encode(const common::SparseGradient& grad,
+common::Status QuantileOnlyCodec::EncodeImpl(const common::SparseGradient& grad,
                                          compress::EncodedGradient* out) {
   // Validated here rather than CHECK-ed at construction so a bad config
   // surfaces as a recoverable status instead of silent corruption: the
   // wire format stores bucket indexes as one byte, so any configuration
   // that could yield more than 256 buckets must be rejected up front.
   SKETCHML_RETURN_IF_ERROR(config_.Validate());
-  SKETCHML_RETURN_IF_ERROR(compress::ValidateEncodable(grad));
   common::ByteWriter writer(grad.size() * 3 + 64);
   writer.WriteU8(kWireVersion);
 
@@ -328,7 +325,7 @@ std::unique_ptr<compress::GradientCodec> QuantileOnlyCodec::Fork(
   return std::make_unique<QuantileOnlyCodec>(fork_config);
 }
 
-common::Status QuantileOnlyCodec::Decode(const compress::EncodedGradient& in,
+common::Status QuantileOnlyCodec::DecodeImpl(const compress::EncodedGradient& in,
                                          common::SparseGradient* out) {
   common::ByteReader reader(in.bytes);
   uint8_t version = 0;

@@ -56,11 +56,6 @@ class SketchMlCodec : public compress::GradientCodec {
   std::string Name() const override { return "sketchml"; }
   bool IsLossless() const override { return false; }
 
-  common::Status Encode(const common::SparseGradient& grad,
-                        compress::EncodedGradient* out) override;
-  common::Status Decode(const compress::EncodedGradient& in,
-                        common::SparseGradient* out) override;
-
   /// Fresh instance on a decorrelated seed lane with its own message
   /// counter (see common::LaneSeed).
   std::unique_ptr<compress::GradientCodec> Fork(uint64_t lane) const override;
@@ -74,6 +69,12 @@ class SketchMlCodec : public compress::GradientCodec {
   const SpaceCost& last_space_cost() const { return last_space_cost_; }
 
   const SketchMlConfig& config() const { return config_; }
+
+ protected:
+  common::Status EncodeImpl(const common::SparseGradient& grad,
+                            compress::EncodedGradient* out) override;
+  common::Status DecodeImpl(const compress::EncodedGradient& in,
+                            common::SparseGradient* out) override;
 
  private:
   SketchMlConfig config_;
@@ -90,16 +91,17 @@ class KeyOnlyCodec : public compress::GradientCodec {
   std::string Name() const override { return "adam+key"; }
   bool IsLossless() const override { return true; }
 
-  common::Status Encode(const common::SparseGradient& grad,
-                        compress::EncodedGradient* out) override;
-  common::Status Decode(const compress::EncodedGradient& in,
-                        common::SparseGradient* out) override;
-
   /// Stateless: a fork is a plain copy.
   std::unique_ptr<compress::GradientCodec> Fork(
       uint64_t /*lane*/) const override {
     return std::make_unique<KeyOnlyCodec>();
   }
+
+ protected:
+  common::Status EncodeImpl(const common::SparseGradient& grad,
+                            compress::EncodedGradient* out) override;
+  common::Status DecodeImpl(const compress::EncodedGradient& in,
+                            common::SparseGradient* out) override;
 };
 
 /// "Adam+Key+Quan" ablation stage of Figure 8: delta-binary keys plus
@@ -113,14 +115,15 @@ class QuantileOnlyCodec : public compress::GradientCodec {
   std::string Name() const override { return "adam+key+quan"; }
   bool IsLossless() const override { return false; }
 
-  common::Status Encode(const common::SparseGradient& grad,
-                        compress::EncodedGradient* out) override;
-  common::Status Decode(const compress::EncodedGradient& in,
-                        common::SparseGradient* out) override;
-
   /// Fresh instance on a decorrelated seed lane with its own message
   /// counter (see common::LaneSeed).
   std::unique_ptr<compress::GradientCodec> Fork(uint64_t lane) const override;
+
+ protected:
+  common::Status EncodeImpl(const common::SparseGradient& grad,
+                            compress::EncodedGradient* out) override;
+  common::Status DecodeImpl(const compress::EncodedGradient& in,
+                            common::SparseGradient* out) override;
 
  private:
   SketchMlConfig config_;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/obs.h"
+
 namespace sketchml::dist {
 
 std::string EpochStats::ToString() const {
@@ -39,6 +41,92 @@ EpochStats Aggregate(const std::vector<EpochStats>& stats) {
     total.avg_gradient_nnz = nnz / static_cast<double>(stats.size());
   }
   return total;
+}
+
+namespace {
+
+/// Handles for the trainer's registry slice, bound once per process.
+struct TrainerMetrics {
+  obs::Counter compute_seconds;
+  obs::Counter encode_seconds;
+  obs::Counter decode_seconds;
+  obs::Counter update_seconds;
+  obs::Counter network_seconds;
+  obs::Counter bytes_up;
+  obs::Counter bytes_down;
+  obs::Counter messages;
+  obs::Counter num_batches;
+  obs::Counter epochs;
+  obs::Gauge epoch;
+  obs::Gauge avg_gradient_nnz;
+  obs::Gauge train_loss;
+  obs::Gauge test_loss;
+
+  static const TrainerMetrics& Get() {
+    static const TrainerMetrics* metrics = [] {
+      auto* m = new TrainerMetrics;
+      auto& registry = obs::MetricsRegistry::Global();
+      m->compute_seconds = registry.GetCounter("trainer/compute_seconds");
+      m->encode_seconds = registry.GetCounter("trainer/encode_seconds");
+      m->decode_seconds = registry.GetCounter("trainer/decode_seconds");
+      m->update_seconds = registry.GetCounter("trainer/update_seconds");
+      m->network_seconds = registry.GetCounter("trainer/network_seconds");
+      m->bytes_up = registry.GetCounter("trainer/bytes_up");
+      m->bytes_down = registry.GetCounter("trainer/bytes_down");
+      m->messages = registry.GetCounter("trainer/messages");
+      m->num_batches = registry.GetCounter("trainer/num_batches");
+      m->epochs = registry.GetCounter("trainer/epochs");
+      m->epoch = registry.GetGauge("trainer/epoch");
+      m->avg_gradient_nnz = registry.GetGauge("trainer/avg_gradient_nnz");
+      m->train_loss = registry.GetGauge("trainer/train_loss");
+      m->test_loss = registry.GetGauge("trainer/test_loss");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+void PublishEpochStats(const EpochStats& stats) {
+  if (!obs::MetricsEnabled()) return;
+  const TrainerMetrics& m = TrainerMetrics::Get();
+  m.compute_seconds.Add(stats.compute_seconds);
+  m.encode_seconds.Add(stats.encode_seconds);
+  m.decode_seconds.Add(stats.decode_seconds);
+  m.update_seconds.Add(stats.update_seconds);
+  m.network_seconds.Add(stats.network_seconds);
+  m.bytes_up.Add(static_cast<double>(stats.bytes_up));
+  m.bytes_down.Add(static_cast<double>(stats.bytes_down));
+  m.messages.Add(static_cast<double>(stats.messages));
+  m.num_batches.Add(static_cast<double>(stats.num_batches));
+  m.epochs.Increment();
+  m.epoch.Set(static_cast<double>(stats.epoch));
+  m.avg_gradient_nnz.Set(stats.avg_gradient_nnz);
+  m.train_loss.Set(stats.train_loss);
+  m.test_loss.Set(stats.test_loss);
+}
+
+EpochStats EpochStatsFromMetrics(const obs::MetricsSnapshot& before,
+                                 const obs::MetricsSnapshot& after) {
+  const auto delta = [&](std::string_view name) {
+    return after.CounterValueOf(name) - before.CounterValueOf(name);
+  };
+  EpochStats stats;
+  stats.compute_seconds = delta("trainer/compute_seconds");
+  stats.encode_seconds = delta("trainer/encode_seconds");
+  stats.decode_seconds = delta("trainer/decode_seconds");
+  stats.update_seconds = delta("trainer/update_seconds");
+  stats.network_seconds = delta("trainer/network_seconds");
+  stats.bytes_up = static_cast<uint64_t>(delta("trainer/bytes_up"));
+  stats.bytes_down = static_cast<uint64_t>(delta("trainer/bytes_down"));
+  stats.messages = static_cast<uint64_t>(delta("trainer/messages"));
+  stats.num_batches = static_cast<size_t>(delta("trainer/num_batches"));
+  stats.epoch = static_cast<int>(after.GaugeValueOf("trainer/epoch"));
+  stats.avg_gradient_nnz = after.GaugeValueOf("trainer/avg_gradient_nnz");
+  stats.train_loss = after.GaugeValueOf("trainer/train_loss");
+  stats.test_loss = after.GaugeValueOf("trainer/test_loss");
+  return stats;
 }
 
 }  // namespace sketchml::dist

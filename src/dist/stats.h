@@ -1,10 +1,13 @@
 #ifndef SKETCHML_DIST_STATS_H_
 #define SKETCHML_DIST_STATS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/metrics_registry.h"
 
 namespace sketchml::dist {
 
@@ -45,12 +48,17 @@ struct EpochStats {
   /// CPU busy fraction of the epoch, in percent — the Figure 8(c) metric.
   /// Compressed codecs spend less time idling on the network, so their
   /// average CPU usage is higher.
+  ///
+  /// network_seconds is *modeled*, so a misconfigured NetworkModel can
+  /// hand us a negative value; treat it as zero rather than reporting a
+  /// busy fraction above 100%. The result is always in [0, 100].
   double AvgCpuPercent() const {
-    const double total = TotalSeconds();
+    const double cpu = compute_seconds + encode_seconds + decode_seconds +
+                       update_seconds;
+    const double network = std::max(0.0, network_seconds);
+    const double total = cpu + network;
     if (total <= 0) return 0.0;
-    return (compute_seconds + encode_seconds + decode_seconds +
-            update_seconds) /
-           total * 100.0;
+    return std::clamp(cpu / total * 100.0, 0.0, 100.0);
   }
 
   /// Mean gradient message size in bytes.
@@ -67,6 +75,20 @@ struct EpochStats {
 /// Sums the per-epoch numbers of `stats` (loss fields take the last
 /// epoch's values).
 EpochStats Aggregate(const std::vector<EpochStats>& stats);
+
+/// Publishes `stats` into the global metrics registry under `trainer/`:
+/// additive fields as counters, per-epoch values (epoch number, losses,
+/// mean gradient nnz) as gauges. No-op while `obs::MetricsEnabled()` is
+/// false.
+void PublishEpochStats(const EpochStats& stats);
+
+/// Reconstructs an EpochStats from two registry snapshots bracketing
+/// exactly one PublishEpochStats call: additive fields come from counter
+/// deltas, per-epoch fields from `after`'s gauges. With a freshly reset
+/// registry (`before` all zeros) the result equals the published struct
+/// field for field — EpochStats is then a pure view over the registry.
+EpochStats EpochStatsFromMetrics(const obs::MetricsSnapshot& before,
+                                 const obs::MetricsSnapshot& after);
 
 }  // namespace sketchml::dist
 

@@ -6,7 +6,9 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "compress/raw_codec.h"
 #include "ml/gradient.h"
 
@@ -80,6 +82,9 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
   stats.epoch = ++epochs_run_;
   double total_nnz = 0.0;
 
+  obs::TraceSpan epoch_span("trainer", "epoch");
+  epoch_span.Arg("epoch", static_cast<double>(stats.epoch));
+
   common::Stopwatch watch;
   std::vector<double> shard_gather_seconds(servers);
   for (size_t batch_start = 0; batch_start < n; batch_start += batch_size) {
@@ -107,9 +112,14 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       WorkerResult r;
       compress::GradientCodec* codec = WorkerCodec(w);
       common::Stopwatch task_watch;
-      common::SparseGradient grad = ml::ComputeBatchGradient(
-          *loss_, optimizer_->weights(), *train_, lo, hi, config_.lambda);
-      r.compute_seconds = task_watch.ElapsedSeconds();
+      common::SparseGradient grad;
+      {
+        obs::TraceSpan span("trainer", "compute");
+        span.Arg("worker", static_cast<double>(w));
+        grad = ml::ComputeBatchGradient(*loss_, optimizer_->weights(), *train_,
+                                        lo, hi, config_.lambda);
+      }
+      r.compute_seconds = task_watch.Restart();
       r.nnz = grad.size();
 
       // Partition by server shard (a single pass: keys are sorted and
@@ -132,17 +142,16 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         compress::EncodedGradient msg;
         r.status = codec->Encode(per_shard[s], &msg);
         if (!r.status.ok()) return r;
-        r.encode_seconds += task_watch.ElapsedSeconds();
+        r.encode_seconds += task_watch.Restart();
         r.shard_bytes[s] = msg.size();
         ++r.messages;
 
         // Phase 3a: the owning server decodes (serial per server, but
         // servers run in parallel — approximate with the sum / servers).
-        task_watch.Restart();
         common::SparseGradient decoded;
         r.status = codec->Decode(msg, &decoded);
         if (!r.status.ok()) return r;
-        r.decode_seconds += task_watch.ElapsedSeconds() / servers;
+        r.decode_seconds += task_watch.Restart() / servers;
         r.decoded.insert(r.decoded.end(), decoded.begin(), decoded.end());
       }
       return r;
@@ -193,8 +202,16 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     }
     // Gather happens in parallel across server links: the slowest shard
     // bounds the phase.
-    stats.network_seconds += *std::max_element(shard_gather_seconds.begin(),
-                                               shard_gather_seconds.end());
+    const double gather_seconds = *std::max_element(
+        shard_gather_seconds.begin(), shard_gather_seconds.end());
+    stats.network_seconds += gather_seconds;
+    if (obs::TracingEnabled() && gather_seconds > 0.0) {
+      // Modeled, not measured: the span's duration is what NetworkModel
+      // says the gather would have taken on the simulated links.
+      obs::EmitSpan("network", "gather", obs::NowNs(),
+                    static_cast<uint64_t>(gather_seconds * 1e9), "bytes",
+                    static_cast<double>(stats.bytes_up));
+    }
 
     // Phase 3b: average and apply the optimizer step. Aggregation is
     // range-partitioned into key slices so it can run on the pool: a key
@@ -203,84 +220,100 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     // sorted concatenation of the ascending slices — is bit-identical
     // at any slice or thread count.
     watch.Restart();
-    const double inv_workers = 1.0 / static_cast<double>(active_workers);
-    const auto aggregate_slice = [&](uint64_t lo, uint64_t hi) {
-      std::unordered_map<uint64_t, double> sums;
-      for (int w = 0; w < active_workers; ++w) {
-        for (const auto& pair : results[w].decoded) {
-          if (pair.key >= lo && pair.key < hi) sums[pair.key] += pair.value;
-        }
-      }
-      common::SparseGradient slice;
-      slice.reserve(sums.size());
-      for (const auto& [key, value] : sums) {
-        slice.push_back({key, value * inv_workers});
-      }
-      common::SortByKey(&slice);
-      return slice;
-    };
     common::SparseGradient mean_grad;
-    if (pool_ != nullptr) {
-      const uint64_t slices =
-          std::min(dim, static_cast<uint64_t>(4 * num_threads_));
-      std::vector<common::TaskFuture<common::SparseGradient>> slice_tasks;
-      slice_tasks.reserve(slices);
-      for (uint64_t s = 0; s < slices; ++s) {
-        const uint64_t lo = dim * s / slices;
-        // The last slice absorbs any stray out-of-range key, exactly as
-        // the single-map path would.
-        const uint64_t hi = s + 1 == slices
-                                ? std::numeric_limits<uint64_t>::max()
-                                : dim * (s + 1) / slices;
-        slice_tasks.push_back(pool_->Submit(
-            [&aggregate_slice, lo, hi] { return aggregate_slice(lo, hi); }));
+    {
+      obs::TraceSpan aggregate_span("trainer", "aggregate");
+      const double inv_workers = 1.0 / static_cast<double>(active_workers);
+      const auto aggregate_slice = [&](uint64_t lo, uint64_t hi) {
+        std::unordered_map<uint64_t, double> sums;
+        for (int w = 0; w < active_workers; ++w) {
+          for (const auto& pair : results[w].decoded) {
+            if (pair.key >= lo && pair.key < hi) sums[pair.key] += pair.value;
+          }
+        }
+        common::SparseGradient slice;
+        slice.reserve(sums.size());
+        for (const auto& [key, value] : sums) {
+          slice.push_back({key, value * inv_workers});
+        }
+        common::SortByKey(&slice);
+        return slice;
+      };
+      if (pool_ != nullptr) {
+        const uint64_t slices =
+            std::min(dim, static_cast<uint64_t>(4 * num_threads_));
+        std::vector<common::TaskFuture<common::SparseGradient>> slice_tasks;
+        slice_tasks.reserve(slices);
+        for (uint64_t s = 0; s < slices; ++s) {
+          const uint64_t lo = dim * s / slices;
+          // The last slice absorbs any stray out-of-range key, exactly as
+          // the single-map path would.
+          const uint64_t hi = s + 1 == slices
+                                  ? std::numeric_limits<uint64_t>::max()
+                                  : dim * (s + 1) / slices;
+          slice_tasks.push_back(pool_->Submit(
+              [&aggregate_slice, lo, hi] { return aggregate_slice(lo, hi); }));
+        }
+        for (auto& task : slice_tasks) {
+          const common::SparseGradient slice = task.Get();
+          mean_grad.insert(mean_grad.end(), slice.begin(), slice.end());
+        }
+      } else {
+        mean_grad = aggregate_slice(0, std::numeric_limits<uint64_t>::max());
       }
-      for (auto& task : slice_tasks) {
-        const common::SparseGradient slice = task.Get();
-        mean_grad.insert(mean_grad.end(), slice.begin(), slice.end());
-      }
-    } else {
-      mean_grad = aggregate_slice(0, std::numeric_limits<uint64_t>::max());
     }
-    optimizer_->Apply(mean_grad);
-    stats.update_seconds += watch.ElapsedSeconds() * cluster_.codec_scale;
+    {
+      obs::TraceSpan update_span("trainer", "update");
+      optimizer_->Apply(mean_grad);
+    }
+    stats.update_seconds += watch.Restart() * cluster_.codec_scale;
 
     // Phase 4: broadcast the aggregated update, re-encoded with the same
     // codec. With sharding each server broadcasts its key range; shards
     // broadcast in parallel so the slowest bounds the phase.
     double slowest_broadcast = 0.0;
-    std::vector<common::SparseGradient> update_shards(servers);
-    if (servers == 1) {
-      update_shards[0] = std::move(mean_grad);
-    } else {
-      for (const auto& pair : mean_grad) {
-        update_shards[shard_of(pair.key)].push_back(pair);
+    {
+      obs::TraceSpan broadcast_span("trainer", "broadcast");
+      std::vector<common::SparseGradient> update_shards(servers);
+      if (servers == 1) {
+        update_shards[0] = std::move(mean_grad);
+      } else {
+        for (const auto& pair : mean_grad) {
+          update_shards[shard_of(pair.key)].push_back(pair);
+        }
+      }
+      for (int s = 0; s < servers; ++s) {
+        if (update_shards[s].empty()) continue;
+        watch.Restart();
+        compress::EncodedGradient update_msg;
+        SKETCHML_RETURN_IF_ERROR(
+            codec_->Encode(update_shards[s], &update_msg));
+        encode_sum += watch.Restart() / servers;
+
+        stats.bytes_down +=
+            static_cast<uint64_t>(update_msg.size()) * active_workers;
+        // Spark-style torrent broadcast: the server emits the update once
+        // and executors propagate copies peer-to-peer in parallel, so the
+        // critical path is ~2 link traversals regardless of W (the gather
+        // path above, by contrast, really does serialize W messages
+        // through each server's NIC).
+        slowest_broadcast = std::max(
+            slowest_broadcast,
+            2.0 * cluster_.network.TransferSeconds(update_msg.size()));
+
+        watch.Restart();
+        common::SparseGradient worker_copy;
+        SKETCHML_RETURN_IF_ERROR(codec_->Decode(update_msg, &worker_copy));
+        decode_sum += watch.Restart();  // One decode: workers parallel.
       }
     }
-    for (int s = 0; s < servers; ++s) {
-      if (update_shards[s].empty()) continue;
-      watch.Restart();
-      compress::EncodedGradient update_msg;
-      SKETCHML_RETURN_IF_ERROR(codec_->Encode(update_shards[s], &update_msg));
-      encode_sum += watch.ElapsedSeconds() / servers;
-
-      stats.bytes_down +=
-          static_cast<uint64_t>(update_msg.size()) * active_workers;
-      // Spark-style torrent broadcast: the server emits the update once
-      // and executors propagate copies peer-to-peer in parallel, so the
-      // critical path is ~2 link traversals regardless of W (the gather
-      // path above, by contrast, really does serialize W messages
-      // through each server's NIC).
-      slowest_broadcast = std::max(
-          slowest_broadcast,
-          2.0 * cluster_.network.TransferSeconds(update_msg.size()));
-
-      watch.Restart();
-      common::SparseGradient worker_copy;
-      SKETCHML_RETURN_IF_ERROR(codec_->Decode(update_msg, &worker_copy));
-      decode_sum += watch.ElapsedSeconds();  // One decode: workers parallel.
-    }
     stats.network_seconds += slowest_broadcast;
+    if (obs::TracingEnabled() && slowest_broadcast > 0.0) {
+      // Modeled torrent-broadcast time, same convention as "gather".
+      obs::EmitSpan("network", "broadcast", obs::NowNs(),
+                    static_cast<uint64_t>(slowest_broadcast * 1e9), "bytes",
+                    static_cast<double>(stats.bytes_down));
+    }
 
     // Workers compute/encode in parallel: charge the mean per worker.
     stats.compute_seconds +=
@@ -301,6 +334,7 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         ml::ComputeMeanLoss(*loss_, optimizer_->weights(), *test_, 0.0);
   }
   simulated_seconds_ += stats.TotalSeconds();
+  PublishEpochStats(stats);
   return stats;
 }
 

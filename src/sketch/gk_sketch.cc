@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/obs.h"
 
 namespace sketchml::sketch {
 
@@ -30,6 +32,11 @@ void GkSketch::Update(double value) {
   }
   tuples_.insert(it, Tuple{value, 1, delta});
   ++count_;
+  if (obs::MetricsEnabled()) {
+    static const obs::Counter updates =
+        obs::MetricsRegistry::Global().GetCounter("sketch/gk/updates");
+    updates.Increment();
+  }
 
   if (++since_compress_ >= compress_every_) {
     Compress();
@@ -39,6 +46,11 @@ void GkSketch::Update(double value) {
 
 void GkSketch::Compress() {
   if (tuples_.size() < 3) return;
+  if (obs::MetricsEnabled()) {
+    static const obs::Counter compressions =
+        obs::MetricsRegistry::Global().GetCounter("sketch/gk/compressions");
+    compressions.Increment();
+  }
   const uint64_t threshold =
       static_cast<uint64_t>(std::floor(2.0 * epsilon_ * count_));
   if (threshold == 0) return;

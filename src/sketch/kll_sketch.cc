@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/obs.h"
 
 namespace sketchml::sketch {
 
@@ -37,6 +39,11 @@ void KllSketch::Update(double value) {
     max_ = std::max(max_, value);
   }
   ++count_;
+  if (obs::MetricsEnabled()) {
+    static const obs::Counter updates =
+        obs::MetricsRegistry::Global().GetCounter("sketch/kll/updates");
+    updates.Increment();
+  }
   levels_[0].push_back(value);
   if (levels_[0].size() >= LevelCapacity(0)) {
     // Compact cascading upward while levels overflow.
@@ -50,6 +57,11 @@ void KllSketch::Update(double value) {
 
 void KllSketch::Compact(int level) {
   if (levels_[level].size() < 2) return;
+  if (obs::MetricsEnabled()) {
+    static const obs::Counter compactions =
+        obs::MetricsRegistry::Global().GetCounter("sketch/kll/compactions");
+    compactions.Increment();
+  }
   // Grow the level list *before* taking references: emplace_back can
   // reallocate and would otherwise dangle them.
   if (level + 1 >= static_cast<int>(levels_.size())) {
@@ -126,6 +138,8 @@ double KllSketch::Max() const {
 
 void KllSketch::Merge(const KllSketch& other) {
   if (other.count_ == 0) return;
+  const bool instrumented = obs::MetricsEnabled();
+  const uint64_t start_ns = instrumented ? obs::NowNs() : 0;
   if (count_ == 0) {
     min_ = other.min_;
     max_ = other.max_;
@@ -143,6 +157,14 @@ void KllSketch::Merge(const KllSketch& other) {
   // Restore capacity invariants.
   for (int level = 0; level < static_cast<int>(levels_.size()); ++level) {
     if (levels_[level].size() >= LevelCapacity(level)) Compact(level);
+  }
+  if (instrumented) {
+    auto& registry = obs::MetricsRegistry::Global();
+    static const obs::Counter merges = registry.GetCounter("sketch/kll/merges");
+    static const obs::Histogram merge_ns =
+        registry.GetHistogram("sketch/kll/merge_ns");
+    merges.Increment();
+    merge_ns.Record(static_cast<double>(obs::NowNs() - start_ns));
   }
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/obs.h"
 
 namespace sketchml::sketch {
 
@@ -24,9 +26,19 @@ void MinMaxSketch::Insert(uint64_t key, uint8_t value) {
     cell = std::min(cell, value);
   }
   ++insertions_;
+  if (obs::MetricsEnabled()) {
+    static const obs::Counter inserts =
+        obs::MetricsRegistry::Global().GetCounter("sketch/minmax/inserts");
+    inserts.Increment();
+  }
 }
 
 uint8_t MinMaxSketch::Query(uint64_t key) const {
+  if (obs::MetricsEnabled()) {
+    static const obs::Counter queries =
+        obs::MetricsRegistry::Global().GetCounter("sketch/minmax/queries");
+    queries.Increment();
+  }
   uint8_t best = 0;
   bool any = false;
   for (int row = 0; row < rows_; ++row) {

@@ -1,0 +1,144 @@
+#include "dist/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/obs.h"
+#include "common/trace.h"
+#include "core/codec_factory.h"
+#include "dist/trainer.h"
+#include "ml/loss.h"
+#include "ml/synthetic.h"
+
+namespace sketchml::dist {
+namespace {
+
+TEST(EpochStatsTest, AvgCpuPercentIsBetweenZeroAndHundred) {
+  EpochStats stats;
+  stats.compute_seconds = 3.0;
+  stats.network_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(stats.AvgCpuPercent(), 75.0);
+}
+
+TEST(EpochStatsTest, AvgCpuPercentGuardsNegativeModeledNetwork) {
+  // network_seconds is modeled; a broken NetworkModel configuration can
+  // produce a negative value. That must not yield > 100% CPU.
+  EpochStats stats;
+  stats.compute_seconds = 2.0;
+  stats.network_seconds = -1.0;
+  EXPECT_DOUBLE_EQ(stats.AvgCpuPercent(), 100.0);
+}
+
+TEST(EpochStatsTest, AvgCpuPercentZeroWhenNothingMeasured) {
+  EpochStats stats;
+  EXPECT_DOUBLE_EQ(stats.AvgCpuPercent(), 0.0);
+  stats.network_seconds = -5.0;  // Only a bogus negative: still 0, not NaN.
+  EXPECT_DOUBLE_EQ(stats.AvgCpuPercent(), 0.0);
+}
+
+TEST(EpochStatsTest, PublishIsNoOpWhileMetricsDisabled) {
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(false);
+  EpochStats stats;
+  stats.compute_seconds = 1.0;
+  PublishEpochStats(stats);
+  obs::SetMetricsEnabled(true);
+  const auto snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_DOUBLE_EQ(snap.CounterValueOf("trainer/compute_seconds"), 0.0);
+  obs::SetMetricsEnabled(was_enabled);
+}
+
+/// The tentpole's backward-compat contract: EpochStats derived from
+/// registry snapshots around one trainer epoch equals the struct the
+/// trainer returned, field for field (exact doubles — publication stores
+/// and the delta against a reset registry subtracts zero).
+TEST(EpochStatsTest, StatsAreAViewOverTheMetricsRegistry) {
+  ml::SyntheticConfig data_config;
+  data_config.num_instances = 1200;
+  data_config.dim = 1 << 12;
+  data_config.avg_nnz = 20;
+  data_config.seed = 23;
+  ml::Dataset all = ml::GenerateSynthetic(data_config);
+  auto [train, test] = all.Split(0.25);
+  auto loss = ml::MakeLoss("lr");
+
+  ClusterConfig cluster;
+  cluster.num_workers = 3;
+  TrainerConfig config;
+  config.num_threads = 2;
+  DistributedTrainer trainer(&train, &test, loss.get(),
+                             std::move(core::MakeCodec("sketchml")).value(),
+                             cluster, config);
+
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  const auto before = obs::MetricsRegistry::Global().Snapshot();
+
+  auto result = trainer.RunEpoch();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const EpochStats& direct = *result;
+
+  const auto after = obs::MetricsRegistry::Global().Snapshot();
+  const EpochStats view = EpochStatsFromMetrics(before, after);
+
+  EXPECT_EQ(view.epoch, direct.epoch);
+  EXPECT_DOUBLE_EQ(view.compute_seconds, direct.compute_seconds);
+  EXPECT_DOUBLE_EQ(view.encode_seconds, direct.encode_seconds);
+  EXPECT_DOUBLE_EQ(view.decode_seconds, direct.decode_seconds);
+  EXPECT_DOUBLE_EQ(view.update_seconds, direct.update_seconds);
+  EXPECT_DOUBLE_EQ(view.network_seconds, direct.network_seconds);
+  EXPECT_EQ(view.bytes_up, direct.bytes_up);
+  EXPECT_EQ(view.bytes_down, direct.bytes_down);
+  EXPECT_EQ(view.messages, direct.messages);
+  EXPECT_EQ(view.num_batches, direct.num_batches);
+  EXPECT_DOUBLE_EQ(view.avg_gradient_nnz, direct.avg_gradient_nnz);
+  EXPECT_DOUBLE_EQ(view.train_loss, direct.train_loss);
+  EXPECT_DOUBLE_EQ(view.test_loss, direct.test_loss);
+  EXPECT_DOUBLE_EQ(view.TotalSeconds(), direct.TotalSeconds());
+
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetMetricsEnabled(was_enabled);
+}
+
+TEST(EpochStatsTest, InstrumentationDoesNotPerturbResults) {
+  // Same trainer config run twice, once with metrics+tracing and once
+  // fully disabled: losses and byte counts must match bit for bit.
+  const auto run = [](bool enabled) {
+    ml::SyntheticConfig data_config;
+    data_config.num_instances = 800;
+    data_config.dim = 1 << 12;
+    data_config.avg_nnz = 20;
+    data_config.seed = 7;
+    ml::Dataset all = ml::GenerateSynthetic(data_config);
+    auto [train, test] = all.Split(0.25);
+    auto loss = ml::MakeLoss("lr");
+    ClusterConfig cluster;
+    cluster.num_workers = 2;
+    TrainerConfig config;
+    DistributedTrainer trainer(&train, &test, loss.get(),
+                               std::move(core::MakeCodec("sketchml")).value(),
+                               cluster, config);
+    const bool was_metrics = obs::MetricsEnabled();
+    const bool was_tracing = obs::TracingEnabled();
+    obs::SetMetricsEnabled(enabled);
+    obs::SetTracingEnabled(enabled);
+    auto result = trainer.RunEpoch();
+    obs::SetMetricsEnabled(was_metrics);
+    obs::SetTracingEnabled(was_tracing);
+    return std::move(result).value();
+  };
+  const EpochStats with_obs = run(true);
+  const EpochStats without_obs = run(false);
+  EXPECT_EQ(with_obs.bytes_up, without_obs.bytes_up);
+  EXPECT_EQ(with_obs.bytes_down, without_obs.bytes_down);
+  EXPECT_EQ(with_obs.messages, without_obs.messages);
+  EXPECT_EQ(with_obs.train_loss, without_obs.train_loss);
+  EXPECT_EQ(with_obs.test_loss, without_obs.test_loss);
+  obs::MetricsRegistry::Global().Reset();
+  obs::TraceLog::Global().Reset();
+}
+
+}  // namespace
+}  // namespace sketchml::dist

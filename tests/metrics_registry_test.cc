@@ -1,0 +1,174 @@
+#include "common/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/obs.h"
+#include "common/thread_pool.h"
+
+namespace sketchml::obs {
+namespace {
+
+/// Enables metrics for the duration of a test and restores the previous
+/// state (tests may run under SKETCHML_OBS presets with either setting).
+class ScopedMetrics {
+ public:
+  ScopedMetrics() : was_enabled_(MetricsEnabled()) {
+    SetMetricsEnabled(true);
+    MetricsRegistry::Global().Reset();
+  }
+  ~ScopedMetrics() {
+    MetricsRegistry::Global().Reset();
+    SetMetricsEnabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+TEST(MetricsRegistryTest, CounterAccumulates) {
+  ScopedMetrics scoped;
+  Counter c = MetricsRegistry::Global().GetCounter("test/counter");
+  c.Add(2.5);
+  c.Increment();
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().Snapshot().CounterValueOf("test/counter"),
+      3.5);
+}
+
+TEST(MetricsRegistryTest, SameNameSameSlot) {
+  ScopedMetrics scoped;
+  Counter a = MetricsRegistry::Global().GetCounter("test/shared");
+  Counter b = MetricsRegistry::Global().GetCounter("test/shared");
+  a.Increment();
+  b.Increment();
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().Snapshot().CounterValueOf("test/shared"),
+      2.0);
+}
+
+TEST(MetricsRegistryTest, DisabledRecordingIsDropped) {
+  ScopedMetrics scoped;
+  Counter c = MetricsRegistry::Global().GetCounter("test/gated");
+  SetMetricsEnabled(false);
+  c.Add(100.0);
+  SetMetricsEnabled(true);
+  c.Add(1.0);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().Snapshot().CounterValueOf("test/gated"), 1.0);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  ScopedMetrics scoped;
+  Gauge g = MetricsRegistry::Global().GetGauge("test/gauge");
+  g.Set(7.0);
+  g.Add(-2.0);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().Snapshot().GaugeValueOf("test/gauge"), 5.0);
+}
+
+TEST(MetricsRegistryTest, HistogramStatsAndBuckets) {
+  ScopedMetrics scoped;
+  Histogram h = MetricsRegistry::Global().GetHistogram("test/hist");
+  h.Record(0.5);   // Bucket 0: < 1.
+  h.Record(1.0);   // Bucket 1: [1, 2).
+  h.Record(3.0);   // Bucket 2: [2, 4).
+  h.Record(100.0); // Bucket 7: [64, 128).
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto* hist = snap.FindHistogram("test/hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 4u);
+  EXPECT_DOUBLE_EQ(hist->sum, 104.5);
+  EXPECT_DOUBLE_EQ(hist->min, 0.5);
+  EXPECT_DOUBLE_EQ(hist->max, 100.0);
+  EXPECT_EQ(hist->buckets[0], 1u);
+  EXPECT_EQ(hist->buckets[1], 1u);
+  EXPECT_EQ(hist->buckets[2], 1u);
+  EXPECT_EQ(hist->buckets[7], 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramExtremeValuesLandInEdgeBuckets) {
+  ScopedMetrics scoped;
+  Histogram h = MetricsRegistry::Global().GetHistogram("test/edges");
+  h.Record(-5.0);
+  h.Record(std::nan(""));
+  h.Record(1e19);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto* hist = snap.FindHistogram("test/edges");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->buckets[0], 2u);
+  EXPECT_EQ(hist->buckets[kHistogramBuckets - 1], 1u);
+}
+
+TEST(MetricsRegistryTest, AggregatesAcrossPoolThreads) {
+  ScopedMetrics scoped;
+  Counter c = MetricsRegistry::Global().GetCounter("test/cross_thread");
+  common::ThreadPool pool(4);
+  std::vector<common::TaskFuture<void>> tasks;
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 100;
+  tasks.reserve(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    tasks.push_back(pool.Submit([c] {
+      for (int i = 0; i < kAddsPerTask; ++i) c.Increment();
+    }));
+  }
+  for (auto& task : tasks) task.Get();
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().Snapshot().CounterValueOf("test/cross_thread"),
+      static_cast<double>(kTasks * kAddsPerTask));
+}
+
+TEST(MetricsRegistryTest, ExitedThreadTotalsAreRetained) {
+  ScopedMetrics scoped;
+  Counter c = MetricsRegistry::Global().GetCounter("test/retired");
+  std::thread worker([c] { c.Add(42.0); });
+  worker.join();
+  // The shard died with the thread; its total must survive in the
+  // registry's retired accumulator.
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().Snapshot().CounterValueOf("test/retired"),
+      42.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsNames) {
+  ScopedMetrics scoped;
+  Counter c = MetricsRegistry::Global().GetCounter("test/reset");
+  c.Add(9.0);
+  MetricsRegistry::Global().Reset();
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_DOUBLE_EQ(snap.CounterValueOf("test/reset"), 0.0);
+  c.Add(1.0);  // Handle still valid after Reset.
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().Snapshot().CounterValueOf("test/reset"), 1.0);
+}
+
+TEST(MetricsRegistryTest, JsonlSkipsZeroCountersAndEscapesNames) {
+  ScopedMetrics scoped;
+  MetricsRegistry::Global().GetCounter("test/zero");
+  Counter c = MetricsRegistry::Global().GetCounter("test/\"quoted\"");
+  c.Add(1.0);
+  std::ostringstream out;
+  MetricsRegistry::Global().Snapshot().WriteJsonl(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("test/zero"), std::string::npos);
+  EXPECT_NE(text.find("test/\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DefaultHandleIsInert) {
+  ScopedMetrics scoped;
+  Counter c;  // Never registered.
+  c.Add(5.0);
+  Histogram h;
+  h.Record(1.0);
+  Gauge g;
+  g.Set(3.0);  // Nothing to assert beyond "does not crash".
+}
+
+}  // namespace
+}  // namespace sketchml::obs

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "common/obs_flags.h"
 #include "core/sketchml.h"
 #include "dist/trainer.h"
 #include "ml/synthetic.h"
@@ -40,6 +41,14 @@ constexpr char kUsage[] = R"(sketchml_train [flags]
                         (default 0 = one per hardware core; results are
                         bit-identical at any thread count)
   --crc                 wrap the codec in a CRC-32 frame
+  --obs=MODE            auto | on | off (default auto: record metrics and
+                        traces iff an output flag below is given; off
+                        never perturbs results — losses and bytes are
+                        bit-identical either way)
+  --trace-out=PATH      write a Chrome trace_event JSON of every trainer
+                        phase, codec call, and modeled network transfer
+                        (open in chrome://tracing or ui.perfetto.dev)
+  --metrics-out=PATH    write final counters/histograms as JSON lines
 )";
 
 int Fail(const common::Status& status) {
@@ -80,6 +89,8 @@ int main(int argc, char** argv) {
   if (!threads.ok()) return Fail(threads.status());
   const std::string network_name = flags.GetString("network", "lab");
   const bool use_crc = flags.GetBool("crc", false);
+  auto obs_config = obs::ConfigureFromFlags(flags);
+  if (!obs_config.ok()) return Fail(obs_config.status());
   for (const auto* result :
        {&epochs, &workers, &servers, &seed}) {
     if (!result->ok()) return Fail(result->status());
@@ -158,6 +169,15 @@ int main(int argc, char** argv) {
                 stats->TotalSeconds(), stats->bytes_up / 1e6,
                 stats->AvgMessageBytes() / 1e3, stats->train_loss,
                 stats->test_loss);
+  }
+
+  const common::Status obs_status = obs::WriteObsOutputs(*obs_config);
+  if (!obs_status.ok()) return Fail(obs_status);
+  if (!obs_config->trace_out.empty()) {
+    std::printf("trace written to %s\n", obs_config->trace_out.c_str());
+  }
+  if (!obs_config->metrics_out.empty()) {
+    std::printf("metrics written to %s\n", obs_config->metrics_out.c_str());
   }
   return 0;
 }
