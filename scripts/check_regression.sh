@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Bench-regression gate: replays the pinned training configuration and
+# diffs its metrics time-series against the checked-in golden snapshot
+# with `sketchml_report --baseline`.
+#
+# The gate compares only deterministic metrics (--ignore-times skips
+# wall-clock ones), so it passes on any machine: for a fixed seed the
+# byte counts, message counts, losses, and recovery errors are exact.
+# A failure means an intended behavior change (regenerate the golden,
+# see below) or a real regression.
+#
+# Usage:
+#   scripts/check_regression.sh [TRAIN_BIN] [REPORT_BIN] [GOLDEN]
+# Defaults assume a ./build tree. Regenerate the golden after an
+# intended behavior change with:
+#   scripts/check_regression.sh --regen [TRAIN_BIN]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+# Pinned configuration: keep in sync with the golden snapshot. Results
+# are bit-identical at any --threads, so the thread count is free.
+run_train() {
+  local train_bin="$1" out="$2"
+  "$train_bin" --dataset=synthetic --model=lr --codec=sketchml \
+    --epochs=2 --workers=4 --servers=2 --threads=2 --seed=1 \
+    --obs=on --series-out="$out" >/dev/null
+}
+
+golden_default="$repo_root/bench/golden/regression_gate.series.jsonl"
+
+if [[ "${1:-}" == "--regen" ]]; then
+  train_bin="${2:-$repo_root/build/tools/sketchml_train}"
+  run_train "$train_bin" "$golden_default"
+  echo "regenerated $golden_default"
+  exit 0
+fi
+
+train_bin="${1:-$repo_root/build/tools/sketchml_train}"
+report_bin="${2:-$repo_root/build/tools/sketchml_report}"
+golden="${3:-$golden_default}"
+
+for bin in "$train_bin" "$report_bin"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built" >&2
+    exit 2
+  fi
+done
+if [[ ! -f "$golden" ]]; then
+  echo "error: golden snapshot $golden missing" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+candidate="$workdir/candidate.series.jsonl"
+
+run_train "$train_bin" "$candidate"
+
+# 1% threshold: deterministic metrics should match exactly; the margin
+# only absorbs float formatting.
+if "$report_bin" --baseline="$golden" --candidate="$candidate" \
+    --ignore-times --threshold=0.01; then
+  echo "regression gate: PASS"
+else
+  status=$?
+  echo "regression gate: FAIL (deterministic metrics drifted from" \
+    "bench/golden — run scripts/check_regression.sh --regen if the" \
+    "change is intended)" >&2
+  exit "$status"
+fi

@@ -17,10 +17,12 @@ namespace {
 
 // Fixed shard capacities: per-thread slots are allocated once, so the
 // hot path never resizes (and never takes a lock). Exhausting a table
-// logs once and hands back an inert handle instead of aborting.
-constexpr int kMaxCounters = 512;
-constexpr int kMaxGauges = 128;
-constexpr int kMaxHistograms = 128;
+// logs once and hands back an inert handle instead of aborting. Sized
+// for labeled per-entity metrics: a 100-worker simulated cluster emits
+// a few counters per worker plus per-codec-per-worker families.
+constexpr int kMaxCounters = 4096;
+constexpr int kMaxGauges = 256;
+constexpr int kMaxHistograms = 512;
 
 int BucketIndex(double value) {
   if (!(value >= 1.0)) return 0;  // Also catches NaN.
@@ -176,6 +178,61 @@ void AppendJsonNumber(std::ostream& out, double v) {
 
 }  // namespace
 
+std::string LabeledName(std::string_view base, const MetricLabels& labels) {
+  if (labels.empty()) return std::string(base);
+  std::string out(base);
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += '}';
+  return out;
+}
+
+ParsedMetricName ParseMetricName(std::string_view full_name) {
+  ParsedMetricName parsed;
+  const size_t open = full_name.find('{');
+  if (open == std::string_view::npos || full_name.back() != '}') {
+    parsed.base = std::string(full_name);
+    return parsed;
+  }
+  parsed.base = std::string(full_name.substr(0, open));
+  std::string_view block = full_name.substr(open + 1);
+  block.remove_suffix(1);  // '}'
+  while (!block.empty()) {
+    const size_t comma = block.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? block : block.substr(0, comma);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      parsed.labels.emplace_back(std::string(pair.substr(0, eq)),
+                                 std::string(pair.substr(eq + 1)));
+    }
+    if (comma == std::string_view::npos) break;
+    block.remove_prefix(comma + 1);
+  }
+  return parsed;
+}
+
+std::string_view LabelValue(const MetricLabels& labels, std::string_view key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+bool LabelsMatch(const MetricLabels& have, const MetricLabels& want) {
+  for (const auto& [key, value] : want) {
+    if (LabelValue(have, key) != value) return false;
+  }
+  return true;
+}
+
 void Counter::Add(double value) const {
   if (id_ < 0 || !MetricsEnabled()) return;
   RelaxedAdd(&ThisShard()->counters[id_], value);
@@ -233,6 +290,21 @@ Histogram MetricsRegistry::GetHistogram(std::string_view name) {
   Impl& impl = GetImpl();
   return Histogram(Register(&impl.histogram_ids, &impl.histogram_names,
                             kMaxHistograms, name));
+}
+
+Counter MetricsRegistry::GetCounter(std::string_view base,
+                                    const MetricLabels& labels) {
+  return GetCounter(LabeledName(base, labels));
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view base,
+                                const MetricLabels& labels) {
+  return GetGauge(LabeledName(base, labels));
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view base,
+                                        const MetricLabels& labels) {
+  return GetHistogram(LabeledName(base, labels));
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -321,6 +393,44 @@ double MetricsSnapshot::GaugeValueOf(std::string_view name) const {
   return 0.0;
 }
 
+double MetricsSnapshot::HistogramValue::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (cumulative + in_bucket >= target) {
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      const double hi = std::ldexp(1.0, b);
+      const double frac = (target - cumulative) / in_bucket;
+      return std::clamp(lo + (hi - lo) * frac, min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+double MetricsSnapshot::SumCounters(std::string_view base,
+                                    const MetricLabels& want) const {
+  double total = 0.0;
+  for (const auto& c : counters) {
+    // Cheap pre-filter: a matching name starts with `base` followed by
+    // either end-of-string or a '{' label block.
+    if (c.name.size() < base.size() ||
+        std::string_view(c.name).substr(0, base.size()) != base) {
+      continue;
+    }
+    if (c.name.size() > base.size() && c.name[base.size()] != '{') continue;
+    const ParsedMetricName parsed = ParseMetricName(c.name);
+    if (parsed.base == base && LabelsMatch(parsed.labels, want)) {
+      total += c.value;
+    }
+  }
+  return total;
+}
+
 const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
     std::string_view name) const {
   for (const auto& h : histograms) {
@@ -329,6 +439,27 @@ const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
   return nullptr;
 }
 
+namespace {
+
+/// Emits `,"labels":{...}` for canonical labeled names, nothing for
+/// plain ones.
+void AppendParsedLabels(std::ostream& out, const std::string& name) {
+  const ParsedMetricName parsed = ParseMetricName(name);
+  if (parsed.labels.empty()) return;
+  out << ",\"labels\":{";
+  bool first = true;
+  for (const auto& [key, value] : parsed.labels) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(out, key);
+    out << ':';
+    AppendJsonString(out, value);
+  }
+  out << '}';
+}
+
+}  // namespace
+
 void MetricsSnapshot::WriteJsonl(std::ostream& out) const {
   for (const auto& c : counters) {
     if (c.value == 0.0) continue;
@@ -336,6 +467,7 @@ void MetricsSnapshot::WriteJsonl(std::ostream& out) const {
     AppendJsonString(out, c.name);
     out << ",\"value\":";
     AppendJsonNumber(out, c.value);
+    AppendParsedLabels(out, c.name);
     out << "}\n";
   }
   for (const auto& g : gauges) {
@@ -343,6 +475,7 @@ void MetricsSnapshot::WriteJsonl(std::ostream& out) const {
     AppendJsonString(out, g.name);
     out << ",\"value\":";
     AppendJsonNumber(out, g.value);
+    AppendParsedLabels(out, g.name);
     out << "}\n";
   }
   for (const auto& h : histograms) {
@@ -366,7 +499,9 @@ void MetricsSnapshot::WriteJsonl(std::ostream& out) const {
       AppendJsonNumber(out, std::ldexp(1.0, b));
       out << ",\"count\":" << h.buckets[b] << '}';
     }
-    out << "]}\n";
+    out << "]";
+    AppendParsedLabels(out, h.name);
+    out << "}\n";
   }
 }
 

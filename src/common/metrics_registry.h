@@ -6,6 +6,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/obs.h"
@@ -16,6 +17,33 @@ namespace sketchml::obs {
 /// [2^(i-1), 2^i) (bucket 0 holds everything < 1). Nanosecond latencies
 /// and message byte sizes both fit comfortably in 64 buckets.
 inline constexpr int kHistogramBuckets = 64;
+
+/// Ordered key=value label pairs attributing a metric to an entity
+/// (worker=3, server=0, codec=sketchml, phase=encode). Labels are part
+/// of the metric's identity: each distinct label combination is its own
+/// independently sharded slot, so the cardinality must stay small and
+/// fixed (entities of the simulated cluster, not per-request values).
+/// Keys and values must not contain '{', '}', '=', or ','.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical labeled metric name: "base{k1=v1,k2=v2}" with labels in the
+/// given order (an empty list returns `base` unchanged). This string is
+/// the registry key, what snapshots carry, and what dumps print.
+std::string LabeledName(std::string_view base, const MetricLabels& labels);
+
+/// Splits a canonical labeled name back into its base and labels. Names
+/// without a label block parse as {name, {}}.
+struct ParsedMetricName {
+  std::string base;
+  MetricLabels labels;
+};
+ParsedMetricName ParseMetricName(std::string_view full_name);
+
+/// Value of `key` within `labels`, or "" when absent.
+std::string_view LabelValue(const MetricLabels& labels, std::string_view key);
+
+/// True when every pair of `want` appears in `have` (subset match).
+bool LabelsMatch(const MetricLabels& have, const MetricLabels& want);
 
 /// Handle to a named monotonically increasing sum. Cheap to copy; `Add`
 /// is a no-op until the handle has been obtained from the registry and
@@ -78,19 +106,44 @@ struct MetricsSnapshot {
     double min = 0.0;  // Meaningful only when count > 0.
     double max = 0.0;
     std::array<uint64_t, kHistogramBuckets> buckets{};
+
+    /// Quantile estimate interpolated linearly within the pow2 bucket
+    /// containing rank q*count, clamped to the observed [min, max]
+    /// (q outside [0, 1] is clamped; returns 0 when the histogram is
+    /// empty). Bucket resolution bounds the error: the estimate is
+    /// within a factor of 2 of the true order statistic.
+    double ValueAtQuantile(double q) const;
+    double P50() const { return ValueAtQuantile(0.50); }
+    double P95() const { return ValueAtQuantile(0.95); }
+    double P99() const { return ValueAtQuantile(0.99); }
+
+    /// Mean recorded value (0 when empty).
+    double Mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
   };
 
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
 
-  /// Value of the named counter/gauge, 0 when absent.
+  /// Value of the named counter/gauge, 0 when absent. `name` is the full
+  /// canonical name (use `LabeledName` for labeled metrics).
   double CounterValueOf(std::string_view name) const;
   double GaugeValueOf(std::string_view name) const;
   const HistogramValue* FindHistogram(std::string_view name) const;
 
+  /// Sum of every counter whose base name is `base` and whose labels
+  /// contain all of `want` (subset match; `{}` matches every instance of
+  /// `base`, labeled or not). This is how per-entity slices roll back up:
+  /// SumCounters("trainer/worker_seconds", {{"phase", "compute"}}) is the
+  /// cluster-wide compute total across workers.
+  double SumCounters(std::string_view base, const MetricLabels& want) const;
+
   /// Writes one JSON object per line ("*.metrics.jsonl"); zero-valued
   /// counters and empty histograms are skipped to keep dumps short.
+  /// Labeled metrics keep the canonical "base{k=v}" string in "name" and
+  /// additionally carry a parsed "labels" object.
   void WriteJsonl(std::ostream& out) const;
 };
 
@@ -107,6 +160,14 @@ class MetricsRegistry {
   Counter GetCounter(std::string_view name);
   Gauge GetGauge(std::string_view name);
   Histogram GetHistogram(std::string_view name);
+
+  /// Labeled variants: the handle is bound to the slot named
+  /// `LabeledName(base, labels)`. Same sharded single-writer design and
+  /// identical hot-path cost — the label resolution happens once here,
+  /// never on Add/Set/Record.
+  Counter GetCounter(std::string_view base, const MetricLabels& labels);
+  Gauge GetGauge(std::string_view base, const MetricLabels& labels);
+  Histogram GetHistogram(std::string_view base, const MetricLabels& labels);
 
   MetricsSnapshot Snapshot() const;
 

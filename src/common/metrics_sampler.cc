@@ -1,0 +1,196 @@
+#include "common/metrics_sampler.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/metrics_registry.h"
+#include "common/obs.h"
+#include "common/trace.h"
+
+#ifndef SKETCHML_GIT_SHA
+#define SKETCHML_GIT_SHA "unknown"
+#endif
+
+namespace sketchml::obs {
+
+namespace {
+
+void AppendJsonString(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+void AppendJsonNumber(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9e15) {
+    out << static_cast<long long>(v);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf;
+  }
+}
+
+}  // namespace
+
+void RunMetadata::Add(std::string_view key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  entries.emplace_back(std::string(key), buf);
+}
+
+void RunMetadata::Add(std::string_view key, long long value) {
+  entries.emplace_back(std::string(key), std::to_string(value));
+}
+
+std::string BuildGitSha() { return SKETCHML_GIT_SHA; }
+
+common::Result<std::unique_ptr<MetricsSampler>> MetricsSampler::Start(
+    Options options) {
+  if (options.out_path.empty()) {
+    return common::Status::InvalidArgument("sampler needs an output path");
+  }
+  std::unique_ptr<MetricsSampler> sampler(
+      new MetricsSampler(std::move(options)));
+  if (!sampler->out_) {
+    return common::Status::IoError("cannot open " +
+                                   sampler->options_.out_path);
+  }
+  sampler->WriteHeader();
+  if (sampler->options_.interval_seconds > 0.0) {
+    sampler->periodic_ = std::thread([s = sampler.get()] {
+      s->PeriodicLoop();
+    });
+  }
+  return sampler;
+}
+
+MetricsSampler::MetricsSampler(Options options)
+    : options_(std::move(options)), out_(options_.out_path) {}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::WriteHeader() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << "{\"type\":\"run\",\"schema\":1,\"git_sha\":";
+  AppendJsonString(out_, BuildGitSha());
+  out_ << ",\"start_unix_ms\":"
+       << std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count();
+  out_ << ",\"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : options_.metadata.entries) {
+    if (!first) out_ << ',';
+    first = false;
+    AppendJsonString(out_, key);
+    out_ << ':';
+    AppendJsonString(out_, value);
+  }
+  out_ << "}}\n";
+}
+
+void MetricsSampler::SampleNow(std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopped_) return;
+  WriteSampleLocked(reason);
+}
+
+void MetricsSampler::WriteSampleLocked(std::string_view reason) {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  out_ << "{\"type\":\"sample\",\"t_ns\":" << NowNs() << ",\"reason\":";
+  AppendJsonString(out_, reason);
+  out_ << ",\"dropped_trace_events\":" << TraceLog::Global().DroppedEvents();
+
+  out_ << ",\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (c.value == 0.0) continue;
+    if (!first) out_ << ',';
+    first = false;
+    AppendJsonString(out_, c.name);
+    out_ << ':';
+    AppendJsonNumber(out_, c.value);
+  }
+  out_ << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (g.value == 0.0) continue;
+    if (!first) out_ << ',';
+    first = false;
+    AppendJsonString(out_, g.name);
+    out_ << ':';
+    AppendJsonNumber(out_, g.value);
+  }
+  out_ << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (h.count == 0) continue;
+    if (!first) out_ << ',';
+    first = false;
+    AppendJsonString(out_, h.name);
+    out_ << ":{\"count\":" << h.count << ",\"sum\":";
+    AppendJsonNumber(out_, h.sum);
+    out_ << ",\"min\":";
+    AppendJsonNumber(out_, h.min);
+    out_ << ",\"max\":";
+    AppendJsonNumber(out_, h.max);
+    out_ << ",\"p50\":";
+    AppendJsonNumber(out_, h.P50());
+    out_ << ",\"p95\":";
+    AppendJsonNumber(out_, h.P95());
+    out_ << ",\"p99\":";
+    AppendJsonNumber(out_, h.P99());
+    out_ << '}';
+  }
+  out_ << "}}\n";
+  out_.flush();
+  ++samples_written_;
+}
+
+void MetricsSampler::PeriodicLoop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.interval_seconds);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) return;
+    WriteSampleLocked("interval");
+  }
+}
+
+common::Status MetricsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return common::Status::Ok();
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (periodic_.joinable()) periodic_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+  WriteSampleLocked("final");
+  out_.flush();
+  if (!out_) {
+    return common::Status::IoError("failed writing " + options_.out_path);
+  }
+  return common::Status::Ok();
+}
+
+size_t MetricsSampler::samples_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_written_;
+}
+
+}  // namespace sketchml::obs

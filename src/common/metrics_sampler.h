@@ -1,0 +1,101 @@
+#ifndef SKETCHML_COMMON_METRICS_SAMPLER_H_
+#define SKETCHML_COMMON_METRICS_SAMPLER_H_
+
+#include <condition_variable>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sketchml::obs {
+
+/// Key/value run description written into the time-series header so a
+/// dump is self-describing (flags, seed, cluster shape, git sha). Order
+/// is preserved.
+struct RunMetadata {
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  void Add(std::string_view key, std::string_view value) {
+    entries.emplace_back(std::string(key), std::string(value));
+  }
+  void Add(std::string_view key, double value);
+  void Add(std::string_view key, long long value);
+};
+
+/// Compile-time git revision (CMake bakes it in at configure time;
+/// "unknown" when the source tree had no git metadata).
+std::string BuildGitSha();
+
+/// Background registry sampler: appends point-in-time snapshots of every
+/// metric to a JSONL time-series ("*.series.jsonl").
+///
+/// File layout — line 1 is a run header:
+///   {"type":"run","schema":1,"git_sha":...,"meta":{...}}
+/// followed by one sample object per snapshot:
+///   {"type":"sample","t_ns":...,"reason":"interval"|"epoch"|"final",
+///    "dropped_trace_events":N,
+///    "counters":{name:value,...},"gauges":{...},
+///    "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,
+///                        "p50":..,"p95":..,"p99":..},...}}
+/// Counter values are cumulative-since-start (consumers diff successive
+/// samples for rates); zero counters and empty histograms are skipped.
+///
+/// The sampler only *reads* the registry (snapshot + serialize on its own
+/// thread), so training results are bit-identical with it on or off.
+class MetricsSampler {
+ public:
+  struct Options {
+    std::string out_path;            // Required.
+    double interval_seconds = 0.0;   // <= 0: no periodic thread; samples
+                                     // happen only via SampleNow().
+    RunMetadata metadata;
+  };
+
+  /// Opens the output, writes the header, and (when interval_seconds > 0)
+  /// starts the periodic thread.
+  static common::Result<std::unique_ptr<MetricsSampler>> Start(
+      Options options);
+
+  /// Stops and flushes (same as Stop, ignoring the status).
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Appends one sample immediately, tagged with `reason` (the trainer
+  /// calls this at every epoch boundary with "epoch"). Thread-safe.
+  void SampleNow(std::string_view reason);
+
+  /// Writes a last "final" sample, joins the periodic thread, flushes,
+  /// and reports any write error. Idempotent.
+  common::Status Stop();
+
+  size_t samples_written() const;
+
+ private:
+  explicit MetricsSampler(Options options);
+
+  void WriteHeader();
+  void WriteSampleLocked(std::string_view reason);
+  void PeriodicLoop();
+
+  Options options_;
+  std::ofstream out_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  size_t samples_written_ = 0;
+  std::thread periodic_;
+};
+
+}  // namespace sketchml::obs
+
+#endif  // SKETCHML_COMMON_METRICS_SAMPLER_H_

@@ -13,23 +13,35 @@ common::Result<ObsConfig> ConfigureFromFlags(const common::FlagParser& flags) {
   ObsConfig config;
   config.trace_out = flags.GetString("trace-out", "");
   config.metrics_out = flags.GetString("metrics-out", "");
+  config.series_out = flags.GetString("series-out", "");
+  auto interval = flags.GetDouble("sample-interval", 0.0);
+  if (!interval.ok()) return interval.status();
+  if (*interval < 0.0) {
+    return common::Status::InvalidArgument(
+        "--sample-interval must be >= 0 seconds");
+  }
+  config.sample_interval = *interval;
   const std::string mode = flags.GetString("obs", "auto");
 
+  const bool any_output = !config.trace_out.empty() ||
+                          !config.metrics_out.empty() ||
+                          !config.series_out.empty();
   if (mode == "off") {
-    if (!config.trace_out.empty() || !config.metrics_out.empty()) {
+    if (any_output) {
       std::fprintf(stderr,
-                   "warning: --obs=off; ignoring --trace-out/--metrics-out\n");
+                   "warning: --obs=off; ignoring "
+                   "--trace-out/--metrics-out/--series-out\n");
     }
     config.trace_out.clear();
     config.metrics_out.clear();
+    config.series_out.clear();
   } else if (mode == "on") {
     config.metrics = true;
     config.tracing = !config.trace_out.empty();
   } else if (mode == "auto") {
     // Auto adds to whatever the SKETCHML_OBS environment already enabled
     // rather than overriding it.
-    config.metrics = !config.trace_out.empty() ||
-                     !config.metrics_out.empty() || MetricsEnabled();
+    config.metrics = any_output || MetricsEnabled();
     config.tracing = !config.trace_out.empty() || TracingEnabled();
   } else {
     return common::Status::InvalidArgument(
@@ -41,7 +53,22 @@ common::Result<ObsConfig> ConfigureFromFlags(const common::FlagParser& flags) {
   return config;
 }
 
+common::Result<std::unique_ptr<MetricsSampler>> StartSamplerFromConfig(
+    const ObsConfig& config, RunMetadata metadata) {
+  if (config.series_out.empty()) {
+    return std::unique_ptr<MetricsSampler>();
+  }
+  MetricsSampler::Options options;
+  options.out_path = config.series_out;
+  options.interval_seconds = config.sample_interval;
+  options.metadata = std::move(metadata);
+  return MetricsSampler::Start(std::move(options));
+}
+
 common::Status WriteObsOutputs(const ObsConfig& config) {
+  // Surface trace-ring overflow in the registry before any dump or
+  // snapshot is taken, so truncated timelines are visible in metrics too.
+  TraceLog::Global().PublishDroppedEvents();
   if (!config.trace_out.empty()) {
     std::ofstream out(config.trace_out);
     if (!out) {

@@ -1,9 +1,11 @@
 #ifndef SKETCHML_COMMON_OBS_FLAGS_H_
 #define SKETCHML_COMMON_OBS_FLAGS_H_
 
+#include <memory>
 #include <string>
 
 #include "common/flags.h"
+#include "common/metrics_sampler.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -15,20 +17,33 @@ struct ObsConfig {
   bool tracing = false;
   std::string trace_out;    // Chrome-trace JSON path ("" = no file).
   std::string metrics_out;  // Metrics JSONL path ("" = no file).
+  std::string series_out;   // Time-series JSONL path ("" = no sampler).
+  double sample_interval = 0.0;  // Seconds between periodic samples
+                                 // (0 = epoch-boundary samples only).
 };
 
 /// Reads the shared observability flags and applies them process-wide:
 ///
-///   --obs=auto|on|off  auto (default) enables observability iff an
-///                      output path is given; on forces recording even
-///                      without outputs; off disables everything (output
-///                      flags are then ignored with a warning).
-///   --trace-out=PATH   write a Chrome trace_event JSON (*.trace.json)
-///   --metrics-out=PATH write a metrics dump (*.metrics.jsonl)
+///   --obs=auto|on|off    auto (default) enables observability iff an
+///                        output path is given; on forces recording even
+///                        without outputs; off disables everything
+///                        (output flags are then ignored with a warning).
+///   --trace-out=PATH     write a Chrome trace_event JSON (*.trace.json)
+///   --metrics-out=PATH   write a metrics dump (*.metrics.jsonl)
+///   --series-out=PATH    stream a metrics time-series (*.series.jsonl)
+///                        via MetricsSampler
+///   --sample-interval=S  periodic sample cadence in seconds (default 0:
+///                        only epoch-boundary samples)
 ///
 /// Tracing is enabled only when a trace is actually requested; metrics
-/// are enabled for any of the three opt-ins.
+/// are enabled for any of the opt-ins (including --series-out).
 common::Result<ObsConfig> ConfigureFromFlags(const common::FlagParser& flags);
+
+/// Starts the time-series sampler requested by `config` (null, OK result
+/// when `series_out` is empty). `metadata` is written into the run
+/// header; callers typically record their parsed flags in it.
+common::Result<std::unique_ptr<MetricsSampler>> StartSamplerFromConfig(
+    const ObsConfig& config, RunMetadata metadata);
 
 /// Writes the files requested by `config` (no-ops for empty paths).
 common::Status WriteObsOutputs(const ObsConfig& config);

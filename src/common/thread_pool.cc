@@ -20,9 +20,22 @@ const PoolObs& PoolObs::Get() {
   return *obs;
 }
 
+PoolObs PoolObs::Labeled(std::string_view pool_name) {
+  const obs::MetricLabels labels{{"pool", std::string(pool_name)}};
+  auto& registry = obs::MetricsRegistry::Global();
+  PoolObs p;
+  p.tasks = registry.GetCounter("threadpool/tasks", labels);
+  p.task_wait_ns = registry.GetHistogram("threadpool/task_wait_ns", labels);
+  p.task_run_ns = registry.GetHistogram("threadpool/task_run_ns", labels);
+  p.queue_depth = registry.GetGauge("threadpool/queue_depth", labels);
+  return p;
+}
+
 }  // namespace internal
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, std::string_view obs_pool)
+    : obs_(obs_pool.empty() ? internal::PoolObs::Get()
+                            : internal::PoolObs::Labeled(obs_pool)) {
   const int n = std::max(1, num_threads);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
@@ -44,8 +57,7 @@ void ThreadPool::Enqueue(std::shared_ptr<internal::TaskNode> node) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(node));
     if (obs::MetricsEnabled()) {
-      internal::PoolObs::Get().queue_depth.Set(
-          static_cast<double>(queue_.size()));
+      obs_.queue_depth.Set(static_cast<double>(queue_.size()));
     }
   }
   cv_.notify_one();
@@ -61,8 +73,7 @@ void ThreadPool::WorkerLoop() {
       node = std::move(queue_.front());
       queue_.pop_front();
       if (obs::MetricsEnabled()) {
-        internal::PoolObs::Get().queue_depth.Set(
-            static_cast<double>(queue_.size()));
+        obs_.queue_depth.Set(static_cast<double>(queue_.size()));
       }
     }
     // A submitter may have already reclaimed the task via Get(); only the

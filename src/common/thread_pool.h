@@ -8,6 +8,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -37,15 +38,22 @@ struct TaskNode {
   bool TryClaim() { return !claimed.exchange(true, std::memory_order_acq_rel); }
 };
 
-/// Shared metric handles for every pool in the process (tasks are a
-/// process-level resource; per-pool split has not been needed).
+/// Metric handles for one pool. Unnamed pools share the process-wide
+/// unlabeled `threadpool/*` slots; named pools get their own
+/// `threadpool/*{pool=<name>}` slice so per-executor queue depth and
+/// task latency are attributable (the trainer names its pool "trainer").
 struct PoolObs {
   obs::Counter tasks;
   obs::Histogram task_wait_ns;
   obs::Histogram task_run_ns;
   obs::Gauge queue_depth;
 
+  /// Shared unlabeled handles.
   static const PoolObs& Get();
+
+  /// Handles labeled {pool=<pool_name>} (registration is idempotent, so
+  /// two pools with the same name share a slice).
+  static PoolObs Labeled(std::string_view pool_name);
 };
 
 }  // namespace internal
@@ -87,8 +95,10 @@ class TaskFuture {
 /// Thread-safe: any thread (including pool workers) may `Submit`.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (clamped to >= 1).
-  explicit ThreadPool(int num_threads);
+  /// Spawns `num_threads` workers (clamped to >= 1). A non-empty
+  /// `obs_pool` name labels this pool's metrics {pool=<obs_pool>};
+  /// unnamed pools record into the shared unlabeled slots.
+  explicit ThreadPool(int num_threads, std::string_view obs_pool = {});
 
   /// Joins all workers. Outstanding tasks are completed before shutdown;
   /// callers should `Get()` every future they care about first.
@@ -115,11 +125,13 @@ class ThreadPool {
     if (obs::MetricsEnabled()) node->enqueue_ns = obs::NowNs();
     // Raw pointer: capturing the shared_ptr would cycle node -> run -> node.
     internal::TaskNode* raw_node = node.get();
-    node->run = [fn = std::forward<F>(fn), promise, raw_node]() mutable {
+    // Copy the handles (4 ints) into the task: a claimed task may run
+    // inline via TaskFuture::Get after the pool itself is gone.
+    node->run = [fn = std::forward<F>(fn), promise, raw_node,
+                 pool_obs = obs_]() mutable {
       const bool instrumented = raw_node->enqueue_ns != 0;
       uint64_t start_ns = 0;
       if (instrumented) {
-        const auto& pool_obs = internal::PoolObs::Get();
         start_ns = obs::NowNs();
         pool_obs.task_wait_ns.Record(
             static_cast<double>(start_ns - raw_node->enqueue_ns));
@@ -135,7 +147,6 @@ class ThreadPool {
         promise->set_exception(std::current_exception());
       }
       if (instrumented) {
-        const auto& pool_obs = internal::PoolObs::Get();
         pool_obs.task_run_ns.Record(
             static_cast<double>(obs::NowNs() - start_ns));
         pool_obs.tasks.Increment();
@@ -153,6 +164,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::shared_ptr<internal::TaskNode>> queue_;
   bool stopping_ = false;
+  internal::PoolObs obs_;  // This pool's (possibly labeled) handles.
   std::vector<std::thread> workers_;
 };
 

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <ostream>
 
+#include "common/metrics_registry.h"
+
 namespace sketchml::obs {
 namespace {
 
@@ -180,6 +182,12 @@ uint64_t TraceLog::DroppedEvents() const {
   return dropped;
 }
 
+void TraceLog::PublishDroppedEvents() const {
+  static const Gauge gauge =
+      MetricsRegistry::Global().GetGauge("trace/dropped_events");
+  gauge.Set(static_cast<double>(DroppedEvents()));
+}
+
 void TraceLog::Reset() {
   Impl& impl = GetImpl();
   std::lock_guard<std::mutex> lock(impl.mutex);
@@ -195,6 +203,7 @@ void TraceLog::Reset() {
 
 void TraceLog::WriteChromeTrace(std::ostream& out) const {
   const std::vector<TraceEvent> events = CollectEvents();
+  const uint64_t dropped = DroppedEvents();
   out << "{\"traceEvents\":[\n";
   out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
          "\"args\":{\"name\":\"sketchml\"}}";
@@ -223,7 +232,13 @@ void TraceLog::WriteChromeTrace(std::ostream& out) const {
     }
     out << '}';
   }
-  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  // Footer: how many spans the per-thread rings overwrote. A nonzero
+  // count means the timeline is truncated — raise SetRingCapacity.
+  out << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"dropped_events\","
+         "\"args\":{\"count\":"
+      << dropped << "}}";
+  out << "\n],\"displayTimeUnit\":\"ms\",\"droppedEvents\":" << dropped
+      << "}\n";
 }
 
 }  // namespace sketchml::obs

@@ -97,6 +97,13 @@ class TraceLog {
   /// Events lost to ring wraparound since the last Reset.
   uint64_t DroppedEvents() const;
 
+  /// Publishes `DroppedEvents()` into the metrics registry as the
+  /// `trace/dropped_events` gauge so silent span loss shows up in metric
+  /// dumps and time-series, not just in the trace file footer. Called by
+  /// the obs output writers and the sampler; no-op while metrics are
+  /// disabled.
+  void PublishDroppedEvents() const;
+
   /// Discards all retained events. Like MetricsRegistry::Reset, callers
   /// must ensure no thread is concurrently recording.
   void Reset();

@@ -13,26 +13,46 @@ common::Status ValidateEncodable(const common::SparseGradient& grad) {
   return common::Status::Ok();
 }
 
+void GradientCodec::SetMetricLabel(std::string_view key,
+                                   std::string_view value) {
+  for (auto& [k, v] : metric_labels_) {
+    if (k == key) {
+      v = std::string(value);
+      instruments_.initialized = false;  // Re-resolve on next use.
+      return;
+    }
+  }
+  metric_labels_.emplace_back(std::string(key), std::string(value));
+  instruments_.initialized = false;
+}
+
 GradientCodec::Instruments& GradientCodec::GetInstruments() {
   if (!instruments_.initialized) {
     const std::string name = Name();
-    const std::string prefix = "codec/" + name + "/";
+    // Identity label first, then any caller-attached labels (worker=w).
+    obs::MetricLabels labels{{"codec", name}};
+    labels.insert(labels.end(), metric_labels_.begin(), metric_labels_.end());
     auto& registry = obs::MetricsRegistry::Global();
     instruments_.encode_span_name = "encode/" + name;
     instruments_.decode_span_name = "decode/" + name;
-    instruments_.encode_calls = registry.GetCounter(prefix + "encode_calls");
-    instruments_.encode_pairs = registry.GetCounter(prefix + "encode_pairs");
-    instruments_.encode_bytes = registry.GetCounter(prefix + "encode_bytes");
-    instruments_.raw_bytes = registry.GetCounter(prefix + "raw_bytes");
-    instruments_.encode_errors = registry.GetCounter(prefix + "encode_errors");
-    instruments_.decode_calls = registry.GetCounter(prefix + "decode_calls");
-    instruments_.decode_pairs = registry.GetCounter(prefix + "decode_pairs");
-    instruments_.decode_bytes = registry.GetCounter(prefix + "decode_bytes");
-    instruments_.decode_errors = registry.GetCounter(prefix + "decode_errors");
-    instruments_.encode_ns = registry.GetHistogram(prefix + "encode_ns");
-    instruments_.decode_ns = registry.GetHistogram(prefix + "decode_ns");
-    instruments_.message_bytes =
-        registry.GetHistogram(prefix + "message_bytes");
+    const auto counter = [&](const char* field) {
+      return registry.GetCounter(std::string("codec/") + field, labels);
+    };
+    const auto histogram = [&](const char* field) {
+      return registry.GetHistogram(std::string("codec/") + field, labels);
+    };
+    instruments_.encode_calls = counter("encode_calls");
+    instruments_.encode_pairs = counter("encode_pairs");
+    instruments_.encode_bytes = counter("encode_bytes");
+    instruments_.raw_bytes = counter("raw_bytes");
+    instruments_.encode_errors = counter("encode_errors");
+    instruments_.decode_calls = counter("decode_calls");
+    instruments_.decode_pairs = counter("decode_pairs");
+    instruments_.decode_bytes = counter("decode_bytes");
+    instruments_.decode_errors = counter("decode_errors");
+    instruments_.encode_ns = histogram("encode_ns");
+    instruments_.decode_ns = histogram("decode_ns");
+    instruments_.message_bytes = histogram("message_bytes");
     instruments_.initialized = true;
   }
   return instruments_;

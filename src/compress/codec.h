@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics_registry.h"
@@ -32,9 +33,11 @@ struct EncodedGradient {
 ///
 /// `Encode`/`Decode` are non-virtual wrappers (NVI): they validate the
 /// shared precondition and, when observability is on, record per-codec
-/// metrics ("codec/<name>/...") and trace spans around the virtual
-/// `EncodeImpl`/`DecodeImpl` that implementations provide. With
-/// observability off the wrappers cost one branch.
+/// labeled metrics ("codec/encode_bytes{codec=<name>}", plus any labels
+/// attached with `SetMetricLabel`, e.g. worker=3 on per-worker forks)
+/// and trace spans around the virtual `EncodeImpl`/`DecodeImpl` that
+/// implementations provide. With observability off the wrappers cost one
+/// branch.
 class GradientCodec {
  public:
   virtual ~GradientCodec() = default;
@@ -73,6 +76,17 @@ class GradientCodec {
   /// The pool must outlive the codec or be cleared with nullptr.
   virtual void SetThreadPool(common::ThreadPool* pool) { (void)pool; }
 
+  /// Attaches an extra metric label to this instance's "codec/..."
+  /// metrics and spans (the trainer tags each per-worker fork with
+  /// worker=<w>). Re-setting an existing key overwrites its value.
+  /// Labels affect metric identity only, never the byte stream. Calls
+  /// after the first instrumented Encode/Decode re-resolve the handles.
+  void SetMetricLabel(std::string_view key, std::string_view value);
+
+  /// Labels attached via SetMetricLabel (not including the implicit
+  /// codec=<Name()> label).
+  const obs::MetricLabels& metric_labels() const { return metric_labels_; }
+
  protected:
   /// The actual codec work. Input is already validated (strictly
   /// increasing keys); implementations must not re-enter their own
@@ -99,6 +113,7 @@ class GradientCodec {
 
   Instruments& GetInstruments();
   Instruments instruments_;
+  obs::MetricLabels metric_labels_;
 };
 
 /// Validates the shared Encode precondition; used by all implementations.

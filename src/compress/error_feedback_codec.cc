@@ -72,9 +72,13 @@ common::Status ErrorFeedbackCodec::EncodeImpl(const common::SparseGradient& grad
   if (obs::MetricsEnabled()) {
     if (!obs_init_) {
       auto& registry = obs::MetricsRegistry::Global();
-      const std::string prefix = "codec/" + Name() + "/";
-      residual_l1_counter_ = registry.GetCounter(prefix + "residual_l1");
-      residual_keys_gauge_ = registry.GetGauge(prefix + "residual_keys");
+      obs::MetricLabels labels{{"codec", Name()}};
+      labels.insert(labels.end(), metric_labels().begin(),
+                    metric_labels().end());
+      residual_l1_counter_ =
+          registry.GetCounter("codec/residual_l1", labels);
+      residual_keys_gauge_ =
+          registry.GetGauge("codec/residual_keys", labels);
       obs_init_ = true;
     }
     residual_l1_counter_.Add(ResidualL1());

@@ -44,6 +44,15 @@ struct NetworkModel {
   /// there vs ~42 KB here). Dividing bandwidth by the same factor keeps
   /// the bytes/bandwidth ratio — and therefore every relative result —
   /// intact while letting the simulation run on laptop-scale data.
+  ///
+  /// `latency_seconds` is deliberately NOT scaled: per-message latency is
+  /// a property of the link, not of the message size, so the invariant
+  ///   Scaled(base, s).TransferSeconds(bytes / s)
+  ///       == base.TransferSeconds(bytes)        (exactly, in floating
+  /// point, whenever bytes/s is integral) holds — a scaled-down message
+  /// over the scaled-down link costs the same seconds as the full-size
+  /// message over the real link. Scaling latency too would double-charge
+  /// the fixed per-message cost. Pinned by NetworkModelScaled tests.
   static NetworkModel Scaled(const NetworkModel& base, double data_scale) {
     NetworkModel scaled = base;
     scaled.bandwidth_gbps = base.bandwidth_gbps / data_scale;

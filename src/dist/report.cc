@@ -1,0 +1,678 @@
+#include "dist/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace sketchml::dist {
+namespace {
+
+using common::JsonValue;
+
+std::string Format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+/// "1.234 s" / "12.3 ms" — phase durations span six orders of magnitude.
+std::string FormatSeconds(double seconds) {
+  if (seconds >= 1.0) return Format("%.3f s", seconds);
+  if (seconds >= 1e-3) return Format("%.3f ms", seconds * 1e3);
+  return Format("%.1f us", seconds * 1e6);
+}
+
+std::string FormatBytes(double bytes) {
+  if (bytes >= 1 << 20) {
+    return Format("%.2f MiB", bytes / static_cast<double>(1 << 20));
+  }
+  if (bytes >= 1 << 10) {
+    return Format("%.2f KiB", bytes / static_cast<double>(1 << 10));
+  }
+  return Format("%.0f B", bytes);
+}
+
+/// Reads the integer value of label `key` from a canonical metric name,
+/// -1 when absent or non-numeric.
+int LabelInt(const obs::MetricLabels& labels, std::string_view key) {
+  const std::string_view value = obs::LabelValue(labels, key);
+  if (value.empty()) return -1;
+  int out = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return -1;
+    out = out * 10 + (c - '0');
+  }
+  return out;
+}
+
+void ParseNumberMap(const JsonValue* obj,
+                    std::vector<std::pair<std::string, double>>* out) {
+  if (obj == nullptr || !obj->is_object()) return;
+  out->reserve(obj->object_items().size());
+  for (const auto& [name, value] : obj->object_items()) {
+    if (value.is_number()) out->emplace_back(name, value.number_value());
+  }
+}
+
+SeriesSample ParseSample(const JsonValue& line) {
+  SeriesSample sample;
+  sample.t_ns = line.NumberOr("t_ns", 0.0);
+  sample.reason = line.StringOr("reason", "");
+  sample.dropped_trace_events = line.NumberOr("dropped_trace_events", 0.0);
+  ParseNumberMap(line.Find("counters"), &sample.counters);
+  ParseNumberMap(line.Find("gauges"), &sample.gauges);
+  if (const JsonValue* hists = line.Find("histograms");
+      hists != nullptr && hists->is_object()) {
+    for (const auto& [name, h] : hists->object_items()) {
+      if (!h.is_object()) continue;
+      HistogramSummary summary;
+      summary.name = name;
+      summary.count = h.NumberOr("count", 0.0);
+      summary.sum = h.NumberOr("sum", 0.0);
+      summary.min = h.NumberOr("min", 0.0);
+      summary.max = h.NumberOr("max", 0.0);
+      summary.p50 = h.NumberOr("p50", 0.0);
+      summary.p95 = h.NumberOr("p95", 0.0);
+      summary.p99 = h.NumberOr("p99", 0.0);
+      sample.histograms.push_back(std::move(summary));
+    }
+  }
+  return sample;
+}
+
+/// Counter delta between two cumulative samples (`prev` may be null for
+/// the first epoch).
+double Delta(const SeriesSample& sample, const SeriesSample* prev,
+             std::string_view name) {
+  const double now = sample.CounterOr(name, 0.0);
+  return prev == nullptr ? now : now - prev->CounterOr(name, 0.0);
+}
+
+double SumDelta(const SeriesSample& sample, const SeriesSample* prev,
+                std::string_view base, const obs::MetricLabels& want) {
+  const double now = sample.SumCounters(base, want);
+  return prev == nullptr ? now : now - prev->SumCounters(base, want);
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsTimingMetric(std::string_view base) {
+  return EndsWith(base, "_seconds") || EndsWith(base, "_ns");
+}
+
+/// Metrics where a larger value is unambiguously worse. Everything else
+/// is count-style: deterministic for a fixed seed, so *any* drift there
+/// is a behavior change worth flagging.
+bool IsHigherWorse(std::string_view base) {
+  return IsTimingMetric(base) || EndsWith(base, "_bytes") ||
+         base.find("bytes") != std::string_view::npos ||
+         base.find("error") != std::string_view::npos ||
+         base.find("residual") != std::string_view::npos ||
+         base.find("dropped") != std::string_view::npos ||
+         EndsWith(base, "_loss");
+}
+
+}  // namespace
+
+double SeriesSample::CounterOr(std::string_view name,
+                               double default_value) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return default_value;
+}
+
+double SeriesSample::GaugeOr(std::string_view name,
+                             double default_value) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return default_value;
+}
+
+const HistogramSummary* SeriesSample::FindHistogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+double SeriesSample::SumCounters(std::string_view base,
+                                 const obs::MetricLabels& want) const {
+  double total = 0.0;
+  for (const auto& [name, value] : counters) {
+    if (name.size() < base.size() ||
+        std::string_view(name).substr(0, base.size()) != base) {
+      continue;
+    }
+    if (name.size() > base.size() && name[base.size()] != '{') continue;
+    const obs::ParsedMetricName parsed = obs::ParseMetricName(name);
+    if (parsed.base == base && obs::LabelsMatch(parsed.labels, want)) {
+      total += value;
+    }
+  }
+  return total;
+}
+
+std::string RunSeries::MetaOr(std::string_view key,
+                              std::string_view default_value) const {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return v;
+  }
+  return std::string(default_value);
+}
+
+const SeriesSample* RunSeries::Final() const {
+  return samples.empty() ? nullptr : &samples.back();
+}
+
+std::vector<const SeriesSample*> RunSeries::EpochSamples() const {
+  std::vector<const SeriesSample*> out;
+  for (const SeriesSample& sample : samples) {
+    if (sample.reason == "epoch") out.push_back(&sample);
+  }
+  return out;
+}
+
+common::Result<RunSeries> ParseRunSeries(std::string_view text) {
+  RunSeries series;
+  bool saw_header = false;
+  size_t line_number = 0;
+  while (!text.empty()) {
+    ++line_number;
+    const size_t newline = text.find('\n');
+    const std::string_view line =
+        newline == std::string_view::npos ? text : text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view()
+                                             : text.substr(newline + 1);
+    if (line.empty()) continue;
+    SKETCHML_ASSIGN_OR_RETURN(const JsonValue value, JsonValue::Parse(line));
+    const std::string type = value.StringOr("type", "");
+    if (type == "run") {
+      saw_header = true;
+      series.git_sha = value.StringOr("git_sha", "unknown");
+      if (const JsonValue* meta = value.Find("meta");
+          meta != nullptr && meta->is_object()) {
+        for (const auto& [key, v] : meta->object_items()) {
+          if (v.is_string()) series.meta.emplace_back(key, v.string_value());
+        }
+      }
+    } else if (type == "sample") {
+      series.samples.push_back(ParseSample(value));
+    } else {
+      return common::Status::InvalidArgument(
+          "series line " + std::to_string(line_number) +
+          ": unknown type '" + type + "'");
+    }
+  }
+  if (!saw_header) {
+    return common::Status::InvalidArgument(
+        "not a run series: missing {\"type\":\"run\"} header line");
+  }
+  return series;
+}
+
+common::Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return common::Status::IoError("failed reading " + path);
+  return buffer.str();
+}
+
+common::Result<RunSeries> LoadRunSeries(const std::string& path) {
+  SKETCHML_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  auto parsed = ParseRunSeries(text);
+  if (!parsed.ok()) {
+    return common::Status::InvalidArgument(path + ": " +
+                                           parsed.status().message());
+  }
+  return parsed;
+}
+
+RunReport BuildRunReport(const RunSeries& series) {
+  RunReport report;
+  report.git_sha = series.git_sha;
+  report.meta = series.meta;
+  const SeriesSample* final_sample = series.Final();
+  if (final_sample == nullptr) return report;
+
+  report.compute_seconds =
+      final_sample->CounterOr("trainer/compute_seconds", 0.0);
+  report.encode_seconds =
+      final_sample->CounterOr("trainer/encode_seconds", 0.0);
+  report.decode_seconds =
+      final_sample->CounterOr("trainer/decode_seconds", 0.0);
+  report.update_seconds =
+      final_sample->CounterOr("trainer/update_seconds", 0.0);
+  report.network_seconds =
+      final_sample->CounterOr("trainer/network_seconds", 0.0);
+  report.dropped_trace_events = final_sample->dropped_trace_events;
+
+  // Per-worker and per-server rows: discover the entity ids from the
+  // label values actually present, then read each phase slice.
+  std::set<int> worker_ids, server_ids;
+  std::set<std::string> codec_names;
+  for (const auto& [name, value] : final_sample->counters) {
+    (void)value;
+    const obs::ParsedMetricName parsed = obs::ParseMetricName(name);
+    if (parsed.base == "trainer/worker_seconds" ||
+        parsed.base == "trainer/recovery_error_l1") {
+      const int w = LabelInt(parsed.labels, "worker");
+      if (w >= 0) worker_ids.insert(w);
+    } else if (parsed.base == "trainer/server_seconds" ||
+               parsed.base == "trainer/gather_bytes") {
+      const int s = LabelInt(parsed.labels, "server");
+      if (s >= 0) server_ids.insert(s);
+    } else if (parsed.base.rfind("codec/", 0) == 0) {
+      const std::string_view codec = obs::LabelValue(parsed.labels, "codec");
+      if (!codec.empty()) codec_names.insert(std::string(codec));
+    }
+  }
+
+  for (int w : worker_ids) {
+    WorkerPhaseRow row;
+    row.worker = w;
+    const std::string ws = std::to_string(w);
+    row.compute_seconds = final_sample->SumCounters(
+        "trainer/worker_seconds", {{"worker", ws}, {"phase", "compute"}});
+    row.encode_seconds = final_sample->SumCounters(
+        "trainer/worker_seconds", {{"worker", ws}, {"phase", "encode"}});
+    row.recovery_error_l1 = final_sample->SumCounters(
+        "trainer/recovery_error_l1", {{"worker", ws}});
+    row.recovery_ref_l1 = final_sample->SumCounters(
+        "trainer/recovery_ref_l1", {{"worker", ws}});
+    report.workers.push_back(row);
+  }
+
+  for (int s : server_ids) {
+    ServerPhaseRow row;
+    row.server = s;
+    const std::string ss = std::to_string(s);
+    row.decode_seconds = final_sample->SumCounters(
+        "trainer/server_seconds", {{"server", ss}, {"phase", "decode"}});
+    row.gather_seconds = final_sample->SumCounters(
+        "trainer/server_seconds", {{"server", ss}, {"phase", "gather"}});
+    row.gather_bytes =
+        final_sample->SumCounters("trainer/gather_bytes", {{"server", ss}});
+    report.servers.push_back(row);
+  }
+
+  for (const std::string& codec : codec_names) {
+    CodecRow row;
+    row.codec = codec;
+    const obs::MetricLabels want{{"codec", codec}};
+    row.encode_calls =
+        final_sample->SumCounters("codec/encode_calls", want);
+    row.encode_bytes =
+        final_sample->SumCounters("codec/encode_bytes", want);
+    row.raw_bytes = final_sample->SumCounters("codec/raw_bytes", want);
+    // Latency histograms exist once per codec instance (driver lane plus
+    // per-worker forks). Means merge exactly; quantiles do not, so take
+    // the worst p99 across instances as the codec's tail.
+    double encode_count = 0.0, encode_sum = 0.0;
+    double decode_count = 0.0, decode_sum = 0.0;
+    for (const HistogramSummary& h : final_sample->histograms) {
+      const obs::ParsedMetricName parsed = obs::ParseMetricName(h.name);
+      if (obs::LabelValue(parsed.labels, "codec") != codec) continue;
+      if (parsed.base == "codec/encode_ns") {
+        encode_count += h.count;
+        encode_sum += h.sum;
+        row.p99_encode_ns = std::max(row.p99_encode_ns, h.p99);
+      } else if (parsed.base == "codec/decode_ns") {
+        decode_count += h.count;
+        decode_sum += h.sum;
+        row.p99_decode_ns = std::max(row.p99_decode_ns, h.p99);
+      }
+    }
+    row.mean_encode_ns =
+        encode_count == 0.0 ? 0.0 : encode_sum / encode_count;
+    row.mean_decode_ns =
+        decode_count == 0.0 ? 0.0 : decode_sum / decode_count;
+    report.codecs.push_back(row);
+  }
+
+  // Per-epoch rows from deltas of successive epoch-boundary samples.
+  const std::vector<const SeriesSample*> epoch_samples =
+      series.EpochSamples();
+  const SeriesSample* prev = nullptr;
+  int epoch = 0;
+  for (const SeriesSample* sample : epoch_samples) {
+    EpochRow row;
+    row.epoch = ++epoch;
+    row.compute_seconds = Delta(*sample, prev, "trainer/compute_seconds");
+    row.encode_seconds = Delta(*sample, prev, "trainer/encode_seconds");
+    row.decode_seconds = Delta(*sample, prev, "trainer/decode_seconds");
+    row.update_seconds = Delta(*sample, prev, "trainer/update_seconds");
+    row.network_seconds = Delta(*sample, prev, "trainer/network_seconds");
+    row.train_loss = sample->GaugeOr("trainer/train_loss", 0.0);
+    row.test_loss = sample->GaugeOr("trainer/test_loss", 0.0);
+
+    double total_worker_seconds = 0.0;
+    for (int w : worker_ids) {
+      const double seconds =
+          SumDelta(*sample, prev, "trainer/worker_seconds",
+                   {{"worker", std::to_string(w)}});
+      total_worker_seconds += seconds;
+      if (seconds > row.straggler_seconds) {
+        row.straggler_seconds = seconds;
+        row.straggler_worker = w;
+      }
+    }
+    if (!worker_ids.empty()) {
+      row.mean_worker_seconds =
+          total_worker_seconds / static_cast<double>(worker_ids.size());
+    }
+    report.epochs.push_back(row);
+    prev = sample;
+  }
+  return report;
+}
+
+std::string RenderRunReport(const RunReport& report) {
+  std::ostringstream out;
+  out << "run: git_sha=" << report.git_sha;
+  for (const auto& [key, value] : report.meta) {
+    out << ' ' << key << '=' << value;
+  }
+  out << '\n';
+
+  const double total = report.compute_seconds + report.encode_seconds +
+                       report.decode_seconds + report.update_seconds +
+                       report.network_seconds;
+  out << "\n== phase totals (simulated) ==\n";
+  const auto phase = [&](const char* name, double seconds) {
+    out << "  " << name << ": " << FormatSeconds(seconds);
+    if (total > 0.0) {
+      out << "  (" << Format("%.1f%%", seconds / total * 100.0) << ")";
+    }
+    out << '\n';
+  };
+  phase("compute", report.compute_seconds);
+  phase("encode ", report.encode_seconds);
+  phase("decode ", report.decode_seconds);
+  phase("update ", report.update_seconds);
+  phase("network", report.network_seconds);
+  out << "  total  : " << FormatSeconds(total) << '\n';
+
+  if (!report.workers.empty()) {
+    out << "\n== per-worker breakdown (Fig. 9 view) ==\n";
+    out << "  worker     compute      encode       total   recovery-err\n";
+    for (const WorkerPhaseRow& row : report.workers) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "  %6d  %10s  %10s  %10s  %12s\n", row.worker,
+                    FormatSeconds(row.compute_seconds).c_str(),
+                    FormatSeconds(row.encode_seconds).c_str(),
+                    FormatSeconds(row.TotalSeconds()).c_str(),
+                    Format("%.4g", row.RecoveryErrorRel()).c_str());
+      out << buf;
+    }
+  }
+
+  if (!report.servers.empty()) {
+    out << "\n== per-server breakdown ==\n";
+    out << "  server      decode      gather        bytes\n";
+    for (const ServerPhaseRow& row : report.servers) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "  %6d  %10s  %10s  %11s\n",
+                    row.server, FormatSeconds(row.decode_seconds).c_str(),
+                    FormatSeconds(row.gather_seconds).c_str(),
+                    FormatBytes(row.gather_bytes).c_str());
+      out << buf;
+    }
+  }
+
+  if (!report.codecs.empty()) {
+    out << "\n== codecs ==\n";
+    for (const CodecRow& row : report.codecs) {
+      out << "  " << row.codec << ": ratio "
+          << Format("%.2fx", row.CompressionRatio()) << " ("
+          << FormatBytes(row.raw_bytes) << " -> "
+          << FormatBytes(row.encode_bytes) << ", "
+          << Format("%.0f", row.encode_calls) << " encodes)"
+          << ", encode mean " << Format("%.0f ns", row.mean_encode_ns)
+          << " p99 " << Format("%.0f ns", row.p99_encode_ns)
+          << ", decode mean " << Format("%.0f ns", row.mean_decode_ns)
+          << " p99 " << Format("%.0f ns", row.p99_decode_ns) << '\n';
+    }
+  }
+
+  if (!report.epochs.empty()) {
+    out << "\n== per-epoch summary ==\n";
+    out << "  epoch       total     compute      encode    straggler  "
+           "imbalance  train-loss\n";
+    for (const EpochRow& row : report.epochs) {
+      char buf[200];
+      std::snprintf(
+          buf, sizeof(buf), "  %5d  %10s  %10s  %10s  %9s  %9s  %10s\n",
+          row.epoch, FormatSeconds(row.TotalSeconds()).c_str(),
+          FormatSeconds(row.compute_seconds).c_str(),
+          FormatSeconds(row.encode_seconds).c_str(),
+          row.straggler_worker < 0
+              ? "-"
+              : ("w" + std::to_string(row.straggler_worker)).c_str(),
+          Format("%.2fx", row.Imbalance()).c_str(),
+          Format("%.6g", row.train_loss).c_str());
+      out << buf;
+    }
+  }
+
+  if (report.dropped_trace_events > 0.0) {
+    out << "\nWARNING: " << Format("%.0f", report.dropped_trace_events)
+        << " trace events dropped (ring wrapped) — timeline truncated;"
+           " raise the trace ring capacity.\n";
+  }
+  return out.str();
+}
+
+double MetricDelta::RelChange() const {
+  const double base = std::abs(baseline);
+  if (base == 0.0) return candidate == 0.0 ? 0.0 : HUGE_VAL;
+  return (candidate - baseline) / base;
+}
+
+bool DiffResult::HasRegression() const {
+  return std::any_of(flagged.begin(), flagged.end(),
+                     [](const MetricDelta& d) { return d.regression; });
+}
+
+DiffResult DiffRuns(const RunSeries& baseline, const RunSeries& candidate,
+                    const DiffOptions& options) {
+  DiffResult result;
+  static const SeriesSample kEmpty;
+  const SeriesSample& base =
+      baseline.Final() != nullptr ? *baseline.Final() : kEmpty;
+  const SeriesSample& cand =
+      candidate.Final() != nullptr ? *candidate.Final() : kEmpty;
+
+  // Union of metric names on both sides; gauges are prefixed so a gauge
+  // and a counter with the same name cannot collide.
+  std::map<std::string, std::pair<double, double>> merged;
+  const auto fold = [&merged](
+                        const std::vector<std::pair<std::string, double>>&
+                            metrics,
+                        std::string_view prefix, bool is_baseline) {
+    for (const auto& [name, value] : metrics) {
+      auto& slot = merged[std::string(prefix) + name];
+      (is_baseline ? slot.first : slot.second) = value;
+    }
+  };
+  fold(base.counters, "", true);
+  fold(cand.counters, "", false);
+  fold(base.gauges, "gauge:", true);
+  fold(cand.gauges, "gauge:", false);
+
+  for (const auto& [name, values] : merged) {
+    std::string_view bare = name;
+    const bool is_gauge = bare.rfind("gauge:", 0) == 0;
+    if (is_gauge) bare.remove_prefix(6);
+    const obs::ParsedMetricName parsed = obs::ParseMetricName(bare);
+    // Instantaneous level metrics are transient (whatever the queue depth
+    // happened to be at the final snapshot): not comparable across runs.
+    if (parsed.base == "threadpool/queue_depth") continue;
+    const bool timing = IsTimingMetric(parsed.base);
+    if (timing && options.ignore_times) continue;
+    ++result.metrics_compared;
+
+    MetricDelta delta;
+    delta.name = name;
+    delta.baseline = values.first;
+    delta.candidate = values.second;
+    delta.timing = timing;
+    if (std::abs(delta.RelChange()) <= options.threshold) continue;
+    // Harmful-direction changes regress; for count-style metrics any
+    // drift does (a fixed-seed run reproduces them exactly).
+    delta.regression = IsHigherWorse(parsed.base)
+                           ? delta.candidate > delta.baseline
+                           : true;
+    result.flagged.push_back(std::move(delta));
+  }
+  // Regressions first, then by magnitude.
+  std::stable_sort(result.flagged.begin(), result.flagged.end(),
+                   [](const MetricDelta& a, const MetricDelta& b) {
+                     if (a.regression != b.regression) return a.regression;
+                     return std::abs(a.RelChange()) > std::abs(b.RelChange());
+                   });
+  return result;
+}
+
+std::string RenderDiff(const DiffResult& diff, const DiffOptions& options) {
+  std::ostringstream out;
+  out << "compared " << diff.metrics_compared << " metrics (threshold "
+      << Format("%.0f%%", options.threshold * 100.0)
+      << (options.ignore_times ? ", wall-clock metrics ignored" : "")
+      << ")\n";
+  if (diff.flagged.empty()) {
+    out << "no metric changed beyond the threshold\n";
+    return out.str();
+  }
+  for (const MetricDelta& delta : diff.flagged) {
+    const double rel = delta.RelChange();
+    out << (delta.regression ? "  REGRESSION  " : "  changed     ")
+        << delta.name << ": " << Format("%.6g", delta.baseline) << " -> "
+        << Format("%.6g", delta.candidate) << "  (";
+    if (std::isinf(rel)) {
+      out << "new";
+    } else {
+      out << Format("%+.1f%%", rel * 100.0);
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+common::Result<TraceSummary> SummarizeTrace(std::string_view json_text) {
+  SKETCHML_ASSIGN_OR_RETURN(const JsonValue root,
+                            JsonValue::Parse(json_text));
+  if (!root.is_object()) {
+    return common::Status::InvalidArgument("trace root is not an object");
+  }
+  TraceSummary summary;
+  summary.dropped_events = root.NumberOr("droppedEvents", 0.0);
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return common::Status::InvalidArgument("trace has no traceEvents array");
+  }
+  std::map<std::pair<std::string, std::string>, TraceSummary::Row> rows;
+  for (const JsonValue& event : events->array_items()) {
+    if (event.StringOr("ph", "") != "X") continue;  // Skip metadata.
+    const std::string cat = event.StringOr("cat", "");
+    const std::string name = event.StringOr("name", "");
+    const double dur_us = event.NumberOr("dur", 0.0);
+    TraceSummary::Row& row = rows[{cat, name}];
+    row.category = cat;
+    row.name = name;
+    ++row.count;
+    row.total_us += dur_us;
+    row.max_us = std::max(row.max_us, dur_us);
+  }
+  summary.rows.reserve(rows.size());
+  for (auto& [key, row] : rows) summary.rows.push_back(std::move(row));
+  std::sort(summary.rows.begin(), summary.rows.end(),
+            [](const TraceSummary::Row& a, const TraceSummary::Row& b) {
+              return a.total_us > b.total_us;
+            });
+  return summary;
+}
+
+common::Result<TraceSummary> LoadTraceSummary(const std::string& path) {
+  SKETCHML_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  auto parsed = SummarizeTrace(text);
+  if (!parsed.ok()) {
+    return common::Status::InvalidArgument(path + ": " +
+                                           parsed.status().message());
+  }
+  return parsed;
+}
+
+std::string RenderTraceSummary(const TraceSummary& summary) {
+  std::ostringstream out;
+  out << "== trace span totals ==\n";
+  out << "       count      total         max  span\n";
+  for (const TraceSummary::Row& row : summary.rows) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf), "  %10llu  %9s  %10s  %s/%s\n",
+                  static_cast<unsigned long long>(row.count),
+                  FormatSeconds(row.total_us / 1e6).c_str(),
+                  FormatSeconds(row.max_us / 1e6).c_str(),
+                  row.category.c_str(), row.name.c_str());
+    out << buf;
+  }
+  if (summary.dropped_events > 0.0) {
+    out << "  dropped events: " << Format("%.0f", summary.dropped_events)
+        << " (timeline truncated)\n";
+  }
+  return out.str();
+}
+
+common::Result<std::string> SummarizeMetricsJsonl(std::string_view text) {
+  std::ostringstream out;
+  out << "== metrics dump ==\n";
+  size_t line_number = 0;
+  while (!text.empty()) {
+    ++line_number;
+    const size_t newline = text.find('\n');
+    const std::string_view line =
+        newline == std::string_view::npos ? text : text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view()
+                                             : text.substr(newline + 1);
+    if (line.empty()) continue;
+    auto parsed = JsonValue::Parse(line);
+    if (!parsed.ok()) {
+      return common::Status::InvalidArgument(
+          "metrics line " + std::to_string(line_number) + ": " +
+          parsed.status().message());
+    }
+    const JsonValue& value = parsed.value();
+    const std::string type = value.StringOr("type", "?");
+    const std::string name = value.StringOr("name", "?");
+    if (type == "histogram") {
+      out << "  " << name << ": count "
+          << Format("%.0f", value.NumberOr("count", 0.0)) << ", mean "
+          << Format("%.4g",
+                    value.NumberOr("count", 0.0) == 0.0
+                        ? 0.0
+                        : value.NumberOr("sum", 0.0) /
+                              value.NumberOr("count", 1.0))
+          << ", max " << Format("%.4g", value.NumberOr("max", 0.0)) << '\n';
+    } else {
+      out << "  " << name << ": "
+          << Format("%.10g", value.NumberOr("value", 0.0)) << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace sketchml::dist

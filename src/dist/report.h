@@ -1,0 +1,241 @@
+#ifndef SKETCHML_DIST_REPORT_H_
+#define SKETCHML_DIST_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sketchml::dist {
+
+/// Parsed form of the observability dumps (`*.series.jsonl` from
+/// MetricsSampler, `*.metrics.jsonl` snapshots, `*.trace.json` Chrome
+/// traces) plus the analyses `sketchml_report` runs over them: per-worker
+/// phase breakdown (the paper's Figure 9 view), per-epoch straggler
+/// summary, per-codec compression/recovery summary, and an A/B diff used
+/// as a bench-regression gate.
+
+/// Summary of one histogram inside a time-series sample (the sampler
+/// writes quantiles, not raw buckets).
+struct HistogramSummary {
+  std::string name;  // Canonical, possibly labeled.
+  double count = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  double Mean() const { return count == 0.0 ? 0.0 : sum / count; }
+};
+
+/// One snapshot line of a `*.series.jsonl` file. Counter values are
+/// cumulative since process start; consumers diff successive samples.
+struct SeriesSample {
+  double t_ns = 0.0;
+  std::string reason;  // "interval" | "epoch" | "final".
+  double dropped_trace_events = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSummary> histograms;
+
+  double CounterOr(std::string_view name, double default_value) const;
+  double GaugeOr(std::string_view name, double default_value) const;
+  const HistogramSummary* FindHistogram(std::string_view name) const;
+
+  /// Sum of counters with base name `base` whose labels contain all of
+  /// `want` — same roll-up rule as MetricsSnapshot::SumCounters.
+  double SumCounters(std::string_view base,
+                     const obs::MetricLabels& want) const;
+};
+
+/// A fully parsed run time-series: header metadata plus samples in file
+/// order.
+struct RunSeries {
+  std::string git_sha;
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<SeriesSample> samples;
+
+  std::string MetaOr(std::string_view key,
+                     std::string_view default_value) const;
+
+  /// The last sample (cumulative totals for the whole run); nullptr when
+  /// the series has none.
+  const SeriesSample* Final() const;
+
+  /// Samples written at epoch boundaries, in epoch order.
+  std::vector<const SeriesSample*> EpochSamples() const;
+};
+
+/// Parses the full text of a series file / reads it from disk.
+common::Result<RunSeries> ParseRunSeries(std::string_view text);
+common::Result<RunSeries> LoadRunSeries(const std::string& path);
+
+/// Per-worker phase totals (seconds already charged with the trainer's
+/// mean-per-worker scaling, so rows sum to the aggregate trainer
+/// counters).
+struct WorkerPhaseRow {
+  int worker = 0;
+  double compute_seconds = 0.0;
+  double encode_seconds = 0.0;
+  double recovery_error_l1 = 0.0;
+  double recovery_ref_l1 = 0.0;
+
+  double TotalSeconds() const { return compute_seconds + encode_seconds; }
+  /// Relative L1 recovery error of this worker's decoded gradients.
+  double RecoveryErrorRel() const {
+    return recovery_ref_l1 <= 0.0 ? 0.0
+                                  : recovery_error_l1 / recovery_ref_l1;
+  }
+};
+
+/// Per-server-shard totals.
+struct ServerPhaseRow {
+  int server = 0;
+  double decode_seconds = 0.0;
+  double gather_seconds = 0.0;  // Modeled per-link transfer time.
+  double gather_bytes = 0.0;
+};
+
+/// Per-codec compression and latency summary (aggregated across all
+/// instances of the codec: driver lane plus per-worker forks).
+struct CodecRow {
+  std::string codec;
+  double encode_calls = 0.0;
+  double encode_bytes = 0.0;
+  double raw_bytes = 0.0;
+  double mean_encode_ns = 0.0;
+  double mean_decode_ns = 0.0;
+  double p99_encode_ns = 0.0;  // Max p99 across instances.
+  double p99_decode_ns = 0.0;
+
+  /// raw/encoded — the paper's compression-ratio convention (>1 good).
+  double CompressionRatio() const {
+    return encode_bytes <= 0.0 ? 0.0 : raw_bytes / encode_bytes;
+  }
+};
+
+/// One epoch's phase totals (deltas between successive epoch-boundary
+/// samples) and its straggler summary.
+struct EpochRow {
+  int epoch = 0;
+  double compute_seconds = 0.0;
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double update_seconds = 0.0;
+  double network_seconds = 0.0;
+  double train_loss = 0.0;
+  double test_loss = 0.0;
+
+  /// Worker with the largest compute+encode time this epoch — with
+  /// mean-per-worker charging all workers *should* be equal, so a high
+  /// imbalance marks a straggler on the critical path.
+  int straggler_worker = -1;
+  double straggler_seconds = 0.0;
+  double mean_worker_seconds = 0.0;
+
+  double Imbalance() const {
+    return mean_worker_seconds <= 0.0
+               ? 0.0
+               : straggler_seconds / mean_worker_seconds;
+  }
+  double TotalSeconds() const {
+    return compute_seconds + encode_seconds + decode_seconds +
+           update_seconds + network_seconds;
+  }
+};
+
+/// Everything `sketchml_report` prints for a single run.
+struct RunReport {
+  std::string git_sha;
+  std::vector<std::pair<std::string, std::string>> meta;
+
+  // Aggregate phase totals ("trainer/*_seconds" at the final sample).
+  double compute_seconds = 0.0;
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double update_seconds = 0.0;
+  double network_seconds = 0.0;
+
+  std::vector<WorkerPhaseRow> workers;
+  std::vector<ServerPhaseRow> servers;
+  std::vector<CodecRow> codecs;
+  std::vector<EpochRow> epochs;
+  double dropped_trace_events = 0.0;
+};
+
+/// Builds the report from a parsed series (tolerates missing families —
+/// a run recorded without labels still yields the aggregate section).
+RunReport BuildRunReport(const RunSeries& series);
+
+/// Human-readable rendering (what the CLI prints).
+std::string RenderRunReport(const RunReport& report);
+
+/// A/B comparison of two runs' final samples.
+struct DiffOptions {
+  /// Relative change that flags a metric: |cand-base| / max(|base|,eps).
+  double threshold = 0.25;
+  /// Skip wall-clock metrics ("*_seconds", "*_ns"): they vary run to run
+  /// on real machines, while byte counts, message counts, and losses are
+  /// deterministic for a fixed seed. The golden-snapshot regression gate
+  /// runs with this on.
+  bool ignore_times = false;
+};
+
+struct MetricDelta {
+  std::string name;  // Canonical name, "gauge:"-prefixed for gauges.
+  double baseline = 0.0;
+  double candidate = 0.0;
+  bool timing = false;
+  /// True when the change is in the harmful direction (more seconds,
+  /// more bytes, more error/loss — or *any* change for count-style
+  /// metrics, which a fixed-seed run reproduces exactly).
+  bool regression = false;
+
+  double RelChange() const;
+};
+
+struct DiffResult {
+  size_t metrics_compared = 0;
+  std::vector<MetricDelta> flagged;  // Changes beyond the threshold.
+
+  bool HasRegression() const;
+};
+
+DiffResult DiffRuns(const RunSeries& baseline, const RunSeries& candidate,
+                    const DiffOptions& options);
+std::string RenderDiff(const DiffResult& diff, const DiffOptions& options);
+
+/// Aggregated view of a Chrome trace (`*.trace.json`): total/max span
+/// duration per (category, name), plus the dropped-events footer.
+struct TraceSummary {
+  struct Row {
+    std::string category;
+    std::string name;
+    uint64_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::vector<Row> rows;  // Sorted by descending total_us.
+  double dropped_events = 0.0;
+};
+
+common::Result<TraceSummary> SummarizeTrace(std::string_view json_text);
+common::Result<TraceSummary> LoadTraceSummary(const std::string& path);
+std::string RenderTraceSummary(const TraceSummary& summary);
+
+/// Renders a `*.metrics.jsonl` snapshot dump as a sorted table.
+common::Result<std::string> SummarizeMetricsJsonl(std::string_view text);
+
+/// Reads a whole file into a string.
+common::Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace sketchml::dist
+
+#endif  // SKETCHML_DIST_REPORT_H_

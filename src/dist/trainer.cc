@@ -56,12 +56,46 @@ DistributedTrainer::DistributedTrainer(
       num_threads_ = 1;
       break;
     }
+    fork->SetMetricLabel("worker", std::to_string(w));
     worker_codecs_.push_back(std::move(fork));
   }
   if (num_threads_ > 1) {
-    pool_ = std::make_unique<common::ThreadPool>(num_threads_);
+    pool_ = std::make_unique<common::ThreadPool>(num_threads_, "trainer");
     for (auto& codec : worker_codecs_) codec->SetThreadPool(pool_.get());
     codec_->SetThreadPool(pool_.get());
+  }
+
+  if (obs::MetricsEnabled()) {
+    metrics_.enabled = true;
+    auto& registry = obs::MetricsRegistry::Global();
+    for (int w = 0; w < cluster_.num_workers; ++w) {
+      const std::string ws = std::to_string(w);
+      metrics_.worker_compute.push_back(registry.GetCounter(
+          "trainer/worker_seconds", {{"worker", ws}, {"phase", "compute"}}));
+      metrics_.worker_encode.push_back(registry.GetCounter(
+          "trainer/worker_seconds", {{"worker", ws}, {"phase", "encode"}}));
+      metrics_.worker_recovery_err.push_back(
+          registry.GetCounter("trainer/recovery_error_l1", {{"worker", ws}}));
+      metrics_.worker_recovery_ref.push_back(
+          registry.GetCounter("trainer/recovery_ref_l1", {{"worker", ws}}));
+    }
+    for (int s = 0; s < cluster_.num_servers; ++s) {
+      const std::string ss = std::to_string(s);
+      metrics_.server_decode.push_back(registry.GetCounter(
+          "trainer/server_seconds", {{"server", ss}, {"phase", "decode"}}));
+      metrics_.server_gather.push_back(registry.GetCounter(
+          "trainer/server_seconds", {{"server", ss}, {"phase", "gather"}}));
+      metrics_.server_bytes.push_back(
+          registry.GetCounter("trainer/gather_bytes", {{"server", ss}}));
+    }
+    metrics_.driver_encode =
+        registry.GetCounter("trainer/driver_seconds", {{"phase", "encode"}});
+    metrics_.driver_decode =
+        registry.GetCounter("trainer/driver_seconds", {{"phase", "decode"}});
+    metrics_.driver_update =
+        registry.GetCounter("trainer/driver_seconds", {{"phase", "update"}});
+    metrics_.driver_network =
+        registry.GetCounter("trainer/driver_seconds", {{"phase", "network"}});
   }
 }
 
@@ -102,11 +136,21 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       common::Status status;
       common::SparseGradient decoded;   // Decoded pairs, in shard order.
       std::vector<size_t> shard_bytes;  // Message bytes per server shard.
+      // Decode seconds attributed to each server shard (sums to
+      // decode_seconds); lets the driver publish per-server slices.
+      std::vector<double> shard_decode_seconds;
       uint64_t messages = 0;
       size_t nnz = 0;
       double compute_seconds = 0.0;
       double encode_seconds = 0.0;
       double decode_seconds = 0.0;
+      // L1 distance between this worker's sent gradient and what the
+      // server decoded, plus the sent gradient's own L1 (the denominator
+      // for a relative recovery error). Only filled when metrics are on;
+      // read-only over the same values either way, so the byte stream and
+      // losses are bit-identical with metrics on or off.
+      double recovery_error_l1 = 0.0;
+      double recovery_ref_l1 = 0.0;
     };
     const auto run_worker = [&, this](int w, size_t lo, size_t hi) {
       WorkerResult r;
@@ -136,6 +180,7 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       }
 
       r.shard_bytes.assign(servers, 0);
+      r.shard_decode_seconds.assign(servers, 0.0);
       for (int s = 0; s < servers; ++s) {
         if (per_shard[s].empty()) continue;
         task_watch.Restart();
@@ -151,7 +196,23 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         common::SparseGradient decoded;
         r.status = codec->Decode(msg, &decoded);
         if (!r.status.ok()) return r;
-        r.decode_seconds += task_watch.Restart() / servers;
+        const double decode_elapsed = task_watch.Restart() / servers;
+        r.decode_seconds += decode_elapsed;
+        r.shard_decode_seconds[s] = decode_elapsed;
+        if (metrics_.enabled) {
+          // Recovery error: codecs keep keys exact, so walk the sorted
+          // sent/decoded lists in lockstep and accumulate |sent - got|.
+          size_t j = 0;
+          for (const auto& pair : per_shard[s]) {
+            while (j < decoded.size() && decoded[j].key < pair.key) ++j;
+            const double got =
+                (j < decoded.size() && decoded[j].key == pair.key)
+                    ? decoded[j].value
+                    : 0.0;
+            r.recovery_error_l1 += std::abs(got - pair.value);
+            r.recovery_ref_l1 += std::abs(pair.value);
+          }
+        }
         r.decoded.insert(r.decoded.end(), decoded.begin(), decoded.end());
       }
       return r;
@@ -182,7 +243,10 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     }
 
     // Reduce in fixed worker order so every accumulated stat is
-    // independent of execution interleaving.
+    // independent of execution interleaving. Per-entity counters are
+    // published here (not from worker threads) with the same scale
+    // factors the aggregate stats use, so labeled slices reconcile with
+    // EpochStats exactly (see EntityMetrics in trainer.h).
     double compute_sum = 0.0, encode_sum = 0.0, decode_sum = 0.0;
     std::fill(shard_gather_seconds.begin(), shard_gather_seconds.end(), 0.0);
     for (int w = 0; w < active_workers; ++w) {
@@ -199,12 +263,38 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         shard_gather_seconds[s] +=
             cluster_.network.TransferSeconds(r.shard_bytes[s]);
       }
+      if (metrics_.enabled) {
+        metrics_.worker_compute[w].Add(r.compute_seconds / active_workers *
+                                       cluster_.compute_scale);
+        metrics_.worker_encode[w].Add(r.encode_seconds / active_workers *
+                                      cluster_.codec_scale);
+        metrics_.worker_recovery_err[w].Add(r.recovery_error_l1);
+        metrics_.worker_recovery_ref[w].Add(r.recovery_ref_l1);
+        for (int s = 0; s < servers; ++s) {
+          if (r.shard_decode_seconds[s] > 0.0) {
+            metrics_.server_decode[s].Add(r.shard_decode_seconds[s] *
+                                          cluster_.codec_scale);
+          }
+          if (r.shard_bytes[s] > 0) {
+            metrics_.server_bytes[s].Add(
+                static_cast<double>(r.shard_bytes[s]));
+          }
+        }
+      }
     }
     // Gather happens in parallel across server links: the slowest shard
     // bounds the phase.
     const double gather_seconds = *std::max_element(
         shard_gather_seconds.begin(), shard_gather_seconds.end());
     stats.network_seconds += gather_seconds;
+    if (metrics_.enabled) {
+      for (int s = 0; s < servers; ++s) {
+        if (shard_gather_seconds[s] > 0.0) {
+          metrics_.server_gather[s].Add(shard_gather_seconds[s]);
+        }
+      }
+      if (gather_seconds > 0.0) metrics_.driver_network.Add(gather_seconds);
+    }
     if (obs::TracingEnabled() && gather_seconds > 0.0) {
       // Modeled, not measured: the span's duration is what NetworkModel
       // says the gather would have taken on the simulated links.
@@ -266,12 +356,17 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       obs::TraceSpan update_span("trainer", "update");
       optimizer_->Apply(mean_grad);
     }
-    stats.update_seconds += watch.Restart() * cluster_.codec_scale;
+    const double update_elapsed = watch.Restart() * cluster_.codec_scale;
+    stats.update_seconds += update_elapsed;
+    if (metrics_.enabled && update_elapsed > 0.0) {
+      metrics_.driver_update.Add(update_elapsed);
+    }
 
     // Phase 4: broadcast the aggregated update, re-encoded with the same
     // codec. With sharding each server broadcasts its key range; shards
     // broadcast in parallel so the slowest bounds the phase.
     double slowest_broadcast = 0.0;
+    double driver_encode_seconds = 0.0, driver_decode_seconds = 0.0;
     {
       obs::TraceSpan broadcast_span("trainer", "broadcast");
       std::vector<common::SparseGradient> update_shards(servers);
@@ -288,7 +383,9 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         compress::EncodedGradient update_msg;
         SKETCHML_RETURN_IF_ERROR(
             codec_->Encode(update_shards[s], &update_msg));
-        encode_sum += watch.Restart() / servers;
+        const double broadcast_encode = watch.Restart() / servers;
+        encode_sum += broadcast_encode;
+        driver_encode_seconds += broadcast_encode;
 
         stats.bytes_down +=
             static_cast<uint64_t>(update_msg.size()) * active_workers;
@@ -304,10 +401,29 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         watch.Restart();
         common::SparseGradient worker_copy;
         SKETCHML_RETURN_IF_ERROR(codec_->Decode(update_msg, &worker_copy));
-        decode_sum += watch.Restart();  // One decode: workers parallel.
+        const double broadcast_decode = watch.Restart();
+        decode_sum += broadcast_decode;  // One decode: workers parallel.
+        driver_decode_seconds += broadcast_decode;
       }
     }
     stats.network_seconds += slowest_broadcast;
+    if (metrics_.enabled) {
+      // The broadcast encode/decode run on the driver; charge them with
+      // the same factors the aggregate stats apply below so
+      //   encode = Σ worker{encode} + driver{encode}   (and likewise
+      // decode over server + driver slices) reconciles exactly.
+      if (driver_encode_seconds > 0.0) {
+        metrics_.driver_encode.Add(driver_encode_seconds / active_workers *
+                                   cluster_.codec_scale);
+      }
+      if (driver_decode_seconds > 0.0) {
+        metrics_.driver_decode.Add(driver_decode_seconds *
+                                   cluster_.codec_scale);
+      }
+      if (slowest_broadcast > 0.0) {
+        metrics_.driver_network.Add(slowest_broadcast);
+      }
+    }
     if (obs::TracingEnabled() && slowest_broadcast > 0.0) {
       // Modeled torrent-broadcast time, same convention as "gather".
       obs::EmitSpan("network", "broadcast", obs::NowNs(),

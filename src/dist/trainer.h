@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -112,6 +113,36 @@ class DistributedTrainer {
     return worker_codecs_.empty() ? codec_.get() : worker_codecs_[w].get();
   }
 
+  /// Per-entity labeled counters, resolved once at construction when
+  /// metrics are enabled. Values are published from the driver's
+  /// fixed-order reduce loop with the same scale factors EpochStats uses,
+  /// so the per-entity slices reconcile exactly with the aggregate
+  /// "trainer/*_seconds" counters:
+  ///   compute = Σ_w worker_seconds{worker=w,phase=compute}
+  ///   encode  = Σ_w worker_seconds{worker=w,phase=encode}
+  ///             + driver_seconds{phase=encode}
+  ///   decode  = Σ_s server_seconds{server=s,phase=decode}
+  ///             + driver_seconds{phase=decode}
+  ///   update  = driver_seconds{phase=update}
+  ///   network = driver_seconds{phase=network}
+  /// server_seconds{phase=gather} is the modeled per-link gather time
+  /// (network takes the max of these per batch, so gather slices bound —
+  /// rather than sum to — the network total).
+  struct EntityMetrics {
+    bool enabled = false;
+    std::vector<obs::Counter> worker_compute;       // {worker=w,phase=compute}
+    std::vector<obs::Counter> worker_encode;        // {worker=w,phase=encode}
+    std::vector<obs::Counter> worker_recovery_err;  // recovery_error_l1
+    std::vector<obs::Counter> worker_recovery_ref;  // recovery_ref_l1
+    std::vector<obs::Counter> server_decode;        // {server=s,phase=decode}
+    std::vector<obs::Counter> server_gather;        // {server=s,phase=gather}
+    std::vector<obs::Counter> server_bytes;         // gather_bytes{server=s}
+    obs::Counter driver_encode;
+    obs::Counter driver_decode;
+    obs::Counter driver_update;
+    obs::Counter driver_network;
+  };
+
   const ml::Dataset* train_;
   const ml::Dataset* test_;
   const ml::Loss* loss_;
@@ -126,6 +157,7 @@ class DistributedTrainer {
   ClusterConfig cluster_;
   TrainerConfig config_;
   std::unique_ptr<ml::Optimizer> optimizer_;
+  EntityMetrics metrics_;
   int epochs_run_ = 0;
   double simulated_seconds_ = 0.0;
 };

@@ -2,8 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/metrics_registry.h"
+#include "common/metrics_sampler.h"
 #include "common/obs.h"
 #include "common/trace.h"
 #include "core/codec_factory.h"
@@ -138,6 +146,145 @@ TEST(EpochStatsTest, InstrumentationDoesNotPerturbResults) {
   EXPECT_EQ(with_obs.test_loss, without_obs.test_loss);
   obs::MetricsRegistry::Global().Reset();
   obs::TraceLog::Global().Reset();
+}
+
+/// The per-entity slices must roll back up to the aggregate phase
+/// counters: same doubles, possibly re-added in a different order, so
+/// compare with a tight relative bound instead of bit equality.
+TEST(EpochStatsTest, PerEntitySlicesReconcileWithAggregates) {
+  ml::SyntheticConfig data_config;
+  data_config.num_instances = 1200;
+  data_config.dim = 1 << 12;
+  data_config.avg_nnz = 20;
+  data_config.seed = 31;
+  ml::Dataset all = ml::GenerateSynthetic(data_config);
+  auto [train, test] = all.Split(0.25);
+  auto loss = ml::MakeLoss("lr");
+
+  ClusterConfig cluster;
+  cluster.num_workers = 3;
+  cluster.num_servers = 2;
+  TrainerConfig config;
+  config.num_threads = 2;
+  // Per-entity handles resolve at construction, so metrics must already
+  // be on (the CLI enables them before building the trainer too).
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  DistributedTrainer trainer(&train, &test, loss.get(),
+                             std::move(core::MakeCodec("sketchml")).value(),
+                             cluster, config);
+
+  auto result = trainer.RunEpoch();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const EpochStats& stats = *result;
+  const auto snap = obs::MetricsRegistry::Global().Snapshot();
+
+  const auto near = [](double value, double want) {
+    EXPECT_NEAR(value, want, 1e-9 * std::max(1.0, std::abs(want)));
+  };
+  // compute = sum over workers.
+  near(snap.SumCounters("trainer/worker_seconds", {{"phase", "compute"}}),
+       stats.compute_seconds);
+  // encode = worker encode + driver broadcast encode.
+  near(snap.SumCounters("trainer/worker_seconds", {{"phase", "encode"}}) +
+           snap.SumCounters("trainer/driver_seconds", {{"phase", "encode"}}),
+       stats.encode_seconds);
+  // decode = server-side decode + driver decode of broadcast replies.
+  near(snap.SumCounters("trainer/server_seconds", {{"phase", "decode"}}) +
+           snap.SumCounters("trainer/driver_seconds", {{"phase", "decode"}}),
+       stats.decode_seconds);
+  near(snap.SumCounters("trainer/driver_seconds", {{"phase", "update"}}),
+       stats.update_seconds);
+  near(snap.SumCounters("trainer/driver_seconds", {{"phase", "network"}}),
+       stats.network_seconds);
+
+  // Every configured entity actually published a slice.
+  for (int w = 0; w < cluster.num_workers; ++w) {
+    EXPECT_GT(snap.SumCounters("trainer/worker_seconds",
+                               {{"worker", std::to_string(w)}}),
+              0.0)
+        << "worker " << w;
+  }
+  for (int s = 0; s < cluster.num_servers; ++s) {
+    EXPECT_GT(snap.SumCounters("trainer/server_seconds",
+                               {{"server", std::to_string(s)}}),
+              0.0)
+        << "server " << s;
+  }
+  // SketchML is lossy, so recovery error is nonzero and the reference
+  // magnitude (denominator for the relative error) dominates it.
+  const double err = snap.SumCounters("trainer/recovery_error_l1", {});
+  const double ref = snap.SumCounters("trainer/recovery_ref_l1", {});
+  EXPECT_GT(err, 0.0);
+  EXPECT_GT(ref, err);
+
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetMetricsEnabled(was_enabled);
+}
+
+TEST(EpochStatsTest, SamplerDoesNotPerturbResults) {
+  // A run with the background sampler snapshotting aggressively must be
+  // bit-identical to a run without it: the sampler only reads.
+  const auto run = [](bool with_sampler, std::vector<EpochStats>* out) {
+    ml::SyntheticConfig data_config;
+    data_config.num_instances = 800;
+    data_config.dim = 1 << 12;
+    data_config.avg_nnz = 20;
+    data_config.seed = 11;
+    ml::Dataset all = ml::GenerateSynthetic(data_config);
+    auto [train, test] = all.Split(0.25);
+    auto loss = ml::MakeLoss("lr");
+    ClusterConfig cluster;
+    cluster.num_workers = 2;
+    TrainerConfig config;
+    DistributedTrainer trainer(&train, &test, loss.get(),
+                               std::move(core::MakeCodec("sketchml")).value(),
+                               cluster, config);
+    const bool was_enabled = obs::MetricsEnabled();
+    obs::SetMetricsEnabled(true);
+    obs::MetricsRegistry::Global().Reset();
+
+    std::unique_ptr<obs::MetricsSampler> sampler;
+    const std::string path =
+        ::testing::TempDir() + "/sampler_identity.series.jsonl";
+    if (with_sampler) {
+      obs::MetricsSampler::Options options;
+      options.out_path = path;
+      options.interval_seconds = 1e-3;  // Aggressive: many samples.
+      options.metadata.Add("test", "sampler_identity");
+      auto started = obs::MetricsSampler::Start(std::move(options));
+      ASSERT_TRUE(started.ok()) << started.status().ToString();
+      sampler = std::move(*started);
+    }
+    auto r1 = trainer.RunEpoch();
+    ASSERT_TRUE(r1.ok());
+    if (sampler != nullptr) sampler->SampleNow("epoch");
+    auto r2 = trainer.RunEpoch();
+    ASSERT_TRUE(r2.ok());
+    if (sampler != nullptr) {
+      ASSERT_TRUE(sampler->Stop().ok());
+      EXPECT_GE(sampler->samples_written(), 2u);
+      std::remove(path.c_str());
+    }
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetMetricsEnabled(was_enabled);
+    out->push_back(*r1);
+    out->push_back(*r2);
+  };
+  std::vector<EpochStats> plain;
+  std::vector<EpochStats> sampled;
+  run(false, &plain);
+  run(true, &sampled);
+  ASSERT_EQ(plain.size(), 2u);
+  ASSERT_EQ(sampled.size(), 2u);
+  for (size_t e = 0; e < plain.size(); ++e) {
+    EXPECT_EQ(plain[e].bytes_up, sampled[e].bytes_up) << "epoch " << e;
+    EXPECT_EQ(plain[e].bytes_down, sampled[e].bytes_down) << "epoch " << e;
+    EXPECT_EQ(plain[e].messages, sampled[e].messages) << "epoch " << e;
+    EXPECT_EQ(plain[e].train_loss, sampled[e].train_loss) << "epoch " << e;
+    EXPECT_EQ(plain[e].test_loss, sampled[e].test_loss) << "epoch " << e;
+  }
 }
 
 }  // namespace

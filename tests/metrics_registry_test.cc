@@ -170,5 +170,128 @@ TEST(MetricsRegistryTest, DefaultHandleIsInert) {
   g.Set(3.0);  // Nothing to assert beyond "does not crash".
 }
 
+TEST(MetricLabelsTest, LabeledNameRoundTrips) {
+  const MetricLabels labels{{"worker", "3"}, {"phase", "encode"}};
+  const std::string name = LabeledName("trainer/worker_seconds", labels);
+  EXPECT_EQ(name, "trainer/worker_seconds{worker=3,phase=encode}");
+  const ParsedMetricName parsed = ParseMetricName(name);
+  EXPECT_EQ(parsed.base, "trainer/worker_seconds");
+  EXPECT_EQ(parsed.labels, labels);
+}
+
+TEST(MetricLabelsTest, PlainNameParsesWithoutLabels) {
+  EXPECT_EQ(LabeledName("trainer/epochs", {}), "trainer/epochs");
+  const ParsedMetricName parsed = ParseMetricName("trainer/epochs");
+  EXPECT_EQ(parsed.base, "trainer/epochs");
+  EXPECT_TRUE(parsed.labels.empty());
+}
+
+TEST(MetricLabelsTest, LabelValueAndSubsetMatch) {
+  const MetricLabels have{{"codec", "sketchml"}, {"worker", "1"}};
+  EXPECT_EQ(LabelValue(have, "codec"), "sketchml");
+  EXPECT_EQ(LabelValue(have, "missing"), "");
+  EXPECT_TRUE(LabelsMatch(have, {}));
+  EXPECT_TRUE(LabelsMatch(have, {{"worker", "1"}}));
+  EXPECT_TRUE(LabelsMatch(have, {{"worker", "1"}, {"codec", "sketchml"}}));
+  EXPECT_FALSE(LabelsMatch(have, {{"worker", "2"}}));
+  EXPECT_FALSE(LabelsMatch(have, {{"server", "0"}}));
+}
+
+TEST(MetricsRegistryTest, LabeledCountersAreDistinctSlots) {
+  ScopedMetrics scoped;
+  auto& registry = MetricsRegistry::Global();
+  Counter w0 = registry.GetCounter("test/labeled", {{"worker", "0"}});
+  Counter w1 = registry.GetCounter("test/labeled", {{"worker", "1"}});
+  Counter plain = registry.GetCounter("test/labeled");
+  w0.Add(1.0);
+  w1.Add(2.0);
+  plain.Add(4.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.CounterValueOf("test/labeled{worker=0}"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.CounterValueOf("test/labeled{worker=1}"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.CounterValueOf("test/labeled"), 4.0);
+}
+
+TEST(MetricsRegistryTest, SumCountersRollsUpLabelSubsets) {
+  ScopedMetrics scoped;
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test/roll", {{"worker", "0"}, {"phase", "a"}})
+      .Add(1.0);
+  registry.GetCounter("test/roll", {{"worker", "0"}, {"phase", "b"}})
+      .Add(2.0);
+  registry.GetCounter("test/roll", {{"worker", "1"}, {"phase", "a"}})
+      .Add(4.0);
+  registry.GetCounter("test/roll").Add(8.0);
+  // A name sharing the prefix but with a longer base must not match.
+  registry.GetCounter("test/rollover").Add(100.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.SumCounters("test/roll", {}), 15.0);
+  EXPECT_DOUBLE_EQ(snap.SumCounters("test/roll", {{"phase", "a"}}), 5.0);
+  EXPECT_DOUBLE_EQ(snap.SumCounters("test/roll", {{"worker", "0"}}), 3.0);
+  EXPECT_DOUBLE_EQ(
+      snap.SumCounters("test/roll", {{"worker", "1"}, {"phase", "a"}}), 4.0);
+  EXPECT_DOUBLE_EQ(snap.SumCounters("test/roll", {{"worker", "9"}}), 0.0);
+}
+
+TEST(MetricsRegistryTest, LabeledJsonlCarriesParsedLabels) {
+  ScopedMetrics scoped;
+  MetricsRegistry::Global()
+      .GetCounter("test/jl", {{"codec", "sketchml"}, {"worker", "2"}})
+      .Add(1.0);
+  std::ostringstream out;
+  MetricsRegistry::Global().Snapshot().WriteJsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"name\":\"test/jl{codec=sketchml,worker=2}\""),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("\"labels\":{\"codec\":\"sketchml\",\"worker\":\"2\"}"),
+      std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantilesInterpolateWithinBuckets) {
+  ScopedMetrics scoped;
+  Histogram h = MetricsRegistry::Global().GetHistogram("test/quant");
+  // 100 values spread over [1, 100]: true p50 ~ 50, p99 ~ 99.
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto* hist = snap.FindHistogram("test/quant");
+  ASSERT_NE(hist, nullptr);
+  const double p50 = hist->P50();
+  const double p99 = hist->P99();
+  // Pow2 buckets bound the error to a factor of two.
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_GE(p99, 64.0);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_LE(p50, p99);
+  // Quantiles clamp to the observed range.
+  EXPECT_GE(hist->ValueAtQuantile(0.0), hist->min);
+  EXPECT_DOUBLE_EQ(hist->ValueAtQuantile(1.0), hist->max);
+  EXPECT_DOUBLE_EQ(hist->Mean(), 50.5);
+}
+
+TEST(MetricsRegistryTest, QuantileOfEmptyHistogramIsZero) {
+  ScopedMetrics scoped;
+  MetricsRegistry::Global().GetHistogram("test/empty_quant");
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto* hist = snap.FindHistogram("test/empty_quant");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->P50(), 0.0);
+  EXPECT_DOUBLE_EQ(hist->P99(), 0.0);
+  EXPECT_DOUBLE_EQ(hist->Mean(), 0.0);
+}
+
+TEST(MetricsRegistryTest, SingleValueHistogramQuantilesClampToValue) {
+  ScopedMetrics scoped;
+  Histogram h = MetricsRegistry::Global().GetHistogram("test/single");
+  h.Record(1000.0);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto* hist = snap.FindHistogram("test/single");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->P50(), 1000.0);
+  EXPECT_DOUBLE_EQ(hist->P95(), 1000.0);
+  EXPECT_DOUBLE_EQ(hist->P99(), 1000.0);
+}
+
 }  // namespace
 }  // namespace sketchml::obs

@@ -1,0 +1,67 @@
+#include "dist/network_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sketchml::dist {
+namespace {
+
+TEST(NetworkModelTest, TransferSecondsIsLinearInBytes) {
+  const NetworkModel lab = NetworkModel::Lab1Gbps();
+  // 1 Gbps = 125 MB/s; 125 MB should take 1 s of transfer plus latency.
+  EXPECT_DOUBLE_EQ(lab.TransferSeconds(125'000'000),
+                   lab.latency_seconds + 1.0);
+  EXPECT_DOUBLE_EQ(lab.TransferSeconds(0), lab.latency_seconds);
+}
+
+TEST(NetworkModelTest, CongestionDividesEffectiveBandwidth) {
+  NetworkModel clean{10.0, 0.0, 1.0};
+  NetworkModel congested{10.0, 0.0, 20.0};
+  EXPECT_DOUBLE_EQ(congested.TransferSeconds(1 << 20),
+                   20.0 * clean.TransferSeconds(1 << 20));
+}
+
+TEST(NetworkModelScaled, DividesBandwidthOnly) {
+  const NetworkModel base = NetworkModel::Lab1Gbps();
+  const NetworkModel scaled = NetworkModel::Scaled(base, 840.0);
+  EXPECT_DOUBLE_EQ(scaled.bandwidth_gbps, base.bandwidth_gbps / 840.0);
+  // Per-message latency is a link property, not a message-size property:
+  // scaling it too would double-charge the fixed per-message cost.
+  EXPECT_DOUBLE_EQ(scaled.latency_seconds, base.latency_seconds);
+  EXPECT_DOUBLE_EQ(scaled.congestion_factor, base.congestion_factor);
+}
+
+TEST(NetworkModelScaled, ScaledMessageOverScaledLinkCostsTheSame) {
+  // The invariant the scaling exists for: a message data_scale times
+  // smaller moved over the scaled link takes exactly as long (up to a
+  // few ulps of division rounding) as the original message over the
+  // original link.
+  for (const NetworkModel& base :
+       {NetworkModel::Lab1Gbps(), NetworkModel::Congested10Gbps(),
+        NetworkModel::Wan()}) {
+    for (const double scale : {2.0, 100.0, 840.0}) {
+      const NetworkModel scaled = NetworkModel::Scaled(base, scale);
+      const size_t full_bytes = 35'000'000 * 24;  // Divisible by scales.
+      const size_t scaled_bytes =
+          static_cast<size_t>(static_cast<double>(full_bytes) / scale);
+      const double expected = base.TransferSeconds(full_bytes);
+      EXPECT_NEAR(scaled.TransferSeconds(scaled_bytes), expected,
+                  1e-12 * expected)
+          << "scale=" << scale;
+    }
+  }
+}
+
+TEST(NetworkModelScaled, RelativeOrderingsArePreserved) {
+  // Because only bandwidth scales, the *ratio* between two codecs' times
+  // for large messages is scale-invariant: who wins never changes.
+  const NetworkModel base{1.0, 0.0, 1.0};  // No latency: pure bandwidth.
+  const NetworkModel scaled = NetworkModel::Scaled(base, 840.0);
+  const double base_ratio =
+      base.TransferSeconds(8'400'000) / base.TransferSeconds(840'000);
+  const double scaled_ratio =
+      scaled.TransferSeconds(10'000) / scaled.TransferSeconds(1'000);
+  EXPECT_DOUBLE_EQ(base_ratio, scaled_ratio);
+}
+
+}  // namespace
+}  // namespace sketchml::dist

@@ -1,0 +1,356 @@
+#include "dist/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/metrics_sampler.h"
+#include "common/obs.h"
+#include "common/trace.h"
+#include "core/codec_factory.h"
+#include "dist/stats.h"
+#include "dist/trainer.h"
+#include "ml/loss.h"
+#include "ml/synthetic.h"
+
+namespace sketchml::dist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Series parsing on hand-built text.
+
+const char kHeader[] =
+    R"({"type":"run","schema":1,"git_sha":"cafe01","start_unix_ms":7,)"
+    R"("meta":{"codec":"sketchml","workers":"2","seed":"1"}})";
+
+std::string SampleLine(double t_ns, const std::string& reason,
+                       const std::string& counters,
+                       const std::string& gauges) {
+  std::ostringstream out;
+  out << R"({"type":"sample","t_ns":)" << t_ns << R"(,"reason":")" << reason
+      << R"(","dropped_trace_events":0,"counters":{)" << counters
+      << R"(},"gauges":{)" << gauges << R"(},"histograms":{}})";
+  return out.str();
+}
+
+TEST(RunSeriesTest, ParsesHeaderAndSamples) {
+  std::string text = std::string(kHeader) + "\n" +
+                     SampleLine(1e9, "epoch",
+                                R"("trainer/compute_seconds":1.5,)"
+                                R"("trainer/worker_seconds{worker=0,phase=compute}":0.75,)"
+                                R"("trainer/worker_seconds{worker=1,phase=compute}":0.75)",
+                                R"("trainer/train_loss":0.5)") +
+                     "\n" +
+                     SampleLine(2e9, "epoch",
+                                R"("trainer/compute_seconds":3.0)",
+                                R"("trainer/train_loss":0.25)") +
+                     "\n" +
+                     SampleLine(2.5e9, "final",
+                                R"("trainer/compute_seconds":3.0)", "") +
+                     "\n";
+  auto parsed = ParseRunSeries(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const RunSeries& series = *parsed;
+  EXPECT_EQ(series.git_sha, "cafe01");
+  EXPECT_EQ(series.MetaOr("codec", ""), "sketchml");
+  EXPECT_EQ(series.MetaOr("missing", "dflt"), "dflt");
+  ASSERT_EQ(series.samples.size(), 3u);
+  EXPECT_EQ(series.EpochSamples().size(), 2u);
+  ASSERT_NE(series.Final(), nullptr);
+  EXPECT_EQ(series.Final()->reason, "final");
+  const SeriesSample& first = series.samples[0];
+  EXPECT_DOUBLE_EQ(first.CounterOr("trainer/compute_seconds", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(first.GaugeOr("trainer/train_loss", 0.0), 0.5);
+  // Labeled roll-up matches the registry convention.
+  EXPECT_DOUBLE_EQ(
+      first.SumCounters("trainer/worker_seconds", {{"phase", "compute"}}),
+      1.5);
+  EXPECT_DOUBLE_EQ(
+      first.SumCounters("trainer/worker_seconds", {{"worker", "1"}}), 0.75);
+}
+
+TEST(RunSeriesTest, RejectsMissingHeaderAndBadLines) {
+  EXPECT_FALSE(ParseRunSeries("").ok());
+  // A sample with no preceding run header is rejected.
+  EXPECT_FALSE(ParseRunSeries(SampleLine(1, "epoch", "", "")).ok());
+  // Malformed JSON mid-file is a parse error, not silently skipped.
+  auto bad = ParseRunSeries(std::string(kHeader) + "\n{not json\n");
+  EXPECT_FALSE(bad.ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: trainer -> sampler -> LoadRunSeries -> BuildRunReport.
+
+struct TrainedRun {
+  RunSeries series;
+  EpochStats totals;  // Sum of the trainer's own per-epoch stats.
+};
+
+void RunTrainerWithSampler(const std::string& path, int epochs,
+                           TrainedRun* out) {
+  ml::SyntheticConfig data_config;
+  data_config.num_instances = 1200;
+  data_config.dim = 1 << 12;
+  data_config.avg_nnz = 20;
+  data_config.seed = 5;
+  ml::Dataset all = ml::GenerateSynthetic(data_config);
+  auto [train, test] = all.Split(0.25);
+  auto loss = ml::MakeLoss("lr");
+  ClusterConfig cluster;
+  cluster.num_workers = 2;
+  TrainerConfig config;
+  config.num_threads = 2;
+  // Metrics on before construction: per-entity handles resolve in the
+  // trainer constructor.
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  DistributedTrainer trainer(&train, &test, loss.get(),
+                             std::move(core::MakeCodec("sketchml")).value(),
+                             cluster, config);
+
+  obs::MetricsSampler::Options options;
+  options.out_path = path;
+  options.interval_seconds = 0.0;  // Epoch-boundary samples only.
+  options.metadata.Add("codec", "sketchml");
+  options.metadata.Add("workers", static_cast<long long>(2));
+  auto started = obs::MetricsSampler::Start(std::move(options));
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  auto sampler = std::move(*started);
+
+  for (int e = 0; e < epochs; ++e) {
+    auto result = trainer.RunEpoch();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    out->totals.compute_seconds += result->compute_seconds;
+    out->totals.encode_seconds += result->encode_seconds;
+    out->totals.decode_seconds += result->decode_seconds;
+    out->totals.update_seconds += result->update_seconds;
+    out->totals.network_seconds += result->network_seconds;
+    sampler->SampleNow("epoch");
+  }
+  ASSERT_TRUE(sampler->Stop().ok());
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetMetricsEnabled(was_enabled);
+
+  auto loaded = LoadRunSeries(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  out->series = std::move(*loaded);
+}
+
+TEST(RunReportTest, TrainerSeriesReconcilesWithEpochStats) {
+  const std::string path = ::testing::TempDir() + "/report_e2e.series.jsonl";
+  TrainedRun run;
+  RunTrainerWithSampler(path, /*epochs=*/2, &run);
+  std::remove(path.c_str());
+  if (::testing::Test::HasFatalFailure()) return;
+
+  EXPECT_EQ(run.series.MetaOr("codec", ""), "sketchml");
+  ASSERT_EQ(run.series.EpochSamples().size(), 2u);
+  const RunReport report = BuildRunReport(run.series);
+
+  // Aggregate phase totals equal the sum of the trainer's own EpochStats.
+  const auto near = [](double value, double want) {
+    EXPECT_NEAR(value, want, 1e-9 * std::max(1.0, std::abs(want)));
+  };
+  near(report.compute_seconds, run.totals.compute_seconds);
+  near(report.encode_seconds, run.totals.encode_seconds);
+  near(report.decode_seconds, run.totals.decode_seconds);
+  near(report.update_seconds, run.totals.update_seconds);
+  near(report.network_seconds, run.totals.network_seconds);
+
+  // Per-worker rows sum back to the aggregates (the Fig-9 breakdown is a
+  // partition, not an estimate).
+  ASSERT_EQ(report.workers.size(), 2u);
+  double worker_compute = 0.0;
+  double worker_encode = 0.0;
+  for (const WorkerPhaseRow& row : report.workers) {
+    worker_compute += row.compute_seconds;
+    worker_encode += row.encode_seconds;
+    EXPECT_GT(row.RecoveryErrorRel(), 0.0);   // SketchML is lossy.
+    EXPECT_LT(row.RecoveryErrorRel(), 1.0);   // ...but bounded.
+  }
+  near(worker_compute, report.compute_seconds);
+  double driver_encode = 0.0;
+  if (const SeriesSample* fin = run.series.Final()) {
+    driver_encode =
+        fin->SumCounters("trainer/driver_seconds", {{"phase", "encode"}});
+  }
+  near(worker_encode + driver_encode, report.encode_seconds);
+
+  ASSERT_GE(report.servers.size(), 1u);
+  EXPECT_GT(report.servers[0].gather_bytes, 0.0);
+
+  // Codec table: sketchml compresses (>1 ratio) and recorded latency.
+  ASSERT_GE(report.codecs.size(), 1u);
+  const CodecRow* sketchml_row = nullptr;
+  for (const CodecRow& row : report.codecs) {
+    if (row.codec == "sketchml") sketchml_row = &row;
+  }
+  ASSERT_NE(sketchml_row, nullptr);
+  EXPECT_GT(sketchml_row->encode_calls, 0.0);
+  EXPECT_GT(sketchml_row->CompressionRatio(), 1.0);
+  EXPECT_GT(sketchml_row->mean_encode_ns, 0.0);
+  EXPECT_GE(sketchml_row->p99_encode_ns, sketchml_row->mean_encode_ns);
+
+  // Epoch rows: one per boundary sample, phases partition the epoch and
+  // straggler bookkeeping is populated.
+  ASSERT_EQ(report.epochs.size(), 2u);
+  double epoch_compute = 0.0;
+  for (const EpochRow& row : report.epochs) {
+    epoch_compute += row.compute_seconds;
+    EXPECT_GE(row.straggler_worker, 0);
+    EXPECT_LT(row.straggler_worker, 2);
+    EXPECT_GE(row.Imbalance(), 1.0);
+    EXPECT_GT(row.train_loss, 0.0);
+  }
+  near(epoch_compute, report.compute_seconds);
+
+  // Rendering mentions every section (cheap smoke check for the CLI).
+  const std::string text = RenderRunReport(report);
+  EXPECT_NE(text.find("worker"), std::string::npos);
+  EXPECT_NE(text.find("sketchml"), std::string::npos);
+  EXPECT_NE(text.find("epoch"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// A/B diff: the regression gate.
+
+std::string TwoRunSeries(double encode_seconds, double bytes_up,
+                         double messages = 640.0) {
+  std::ostringstream counters;
+  counters << R"("trainer/compute_seconds":2.0,)"
+           << R"("trainer/encode_seconds":)" << encode_seconds << ','
+           << R"("trainer/bytes_up":)" << bytes_up << ','
+           << R"("trainer/messages":)" << messages;
+  return std::string(kHeader) + "\n" +
+         SampleLine(1e9, "final", counters.str(),
+                    R"("trainer/train_loss":0.5)") +
+         "\n";
+}
+
+TEST(DiffRunsTest, FlagsInjectedEncodeLatencyRegression) {
+  auto baseline = ParseRunSeries(TwoRunSeries(1.0, 1000.0));
+  auto candidate = ParseRunSeries(TwoRunSeries(2.0, 1000.0));  // 2x encode.
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(candidate.ok());
+
+  DiffOptions options;
+  options.threshold = 0.25;
+  const DiffResult diff = DiffRuns(*baseline, *candidate, options);
+  EXPECT_GE(diff.metrics_compared, 3u);
+  ASSERT_FALSE(diff.flagged.empty());
+  EXPECT_TRUE(diff.HasRegression());
+  const MetricDelta* encode_delta = nullptr;
+  for (const MetricDelta& delta : diff.flagged) {
+    if (delta.name == "trainer/encode_seconds") encode_delta = &delta;
+  }
+  ASSERT_NE(encode_delta, nullptr);
+  EXPECT_TRUE(encode_delta->timing);
+  EXPECT_TRUE(encode_delta->regression);
+  EXPECT_DOUBLE_EQ(encode_delta->RelChange(), 1.0);
+
+  const std::string rendered = RenderDiff(diff, options);
+  EXPECT_NE(rendered.find("trainer/encode_seconds"), std::string::npos);
+}
+
+TEST(DiffRunsTest, IgnoreTimesSkipsWallClockMetrics) {
+  auto baseline = ParseRunSeries(TwoRunSeries(1.0, 1000.0));
+  auto candidate = ParseRunSeries(TwoRunSeries(2.0, 1000.0));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(candidate.ok());
+  DiffOptions options;
+  options.ignore_times = true;
+  const DiffResult diff = DiffRuns(*baseline, *candidate, options);
+  EXPECT_TRUE(diff.flagged.empty());
+  EXPECT_FALSE(diff.HasRegression());
+}
+
+TEST(DiffRunsTest, DeterministicCountDriftIsAlwaysARegression) {
+  // trainer/messages is a neutral count: exactly reproducible for a fixed
+  // seed, so drift in *either* direction is a regression — even a drop,
+  // and even under --ignore-times.
+  auto baseline = ParseRunSeries(TwoRunSeries(1.0, 1000.0, 640.0));
+  auto candidate = ParseRunSeries(TwoRunSeries(1.0, 1000.0, 320.0));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(candidate.ok());
+  DiffOptions options;
+  options.ignore_times = true;
+  const DiffResult diff = DiffRuns(*baseline, *candidate, options);
+  ASSERT_EQ(diff.flagged.size(), 1u);
+  EXPECT_EQ(diff.flagged[0].name, "trainer/messages");
+  EXPECT_TRUE(diff.HasRegression());
+}
+
+TEST(DiffRunsTest, FewerBytesIsAChangeButNotARegression) {
+  // bytes_up is higher-is-worse: sending *less* is flagged (it changed
+  // beyond the threshold) but does not fail the gate.
+  auto baseline = ParseRunSeries(TwoRunSeries(1.0, 4000.0));
+  auto candidate = ParseRunSeries(TwoRunSeries(1.0, 1000.0));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(candidate.ok());
+  DiffOptions options;
+  options.ignore_times = true;
+  const DiffResult diff = DiffRuns(*baseline, *candidate, options);
+  ASSERT_EQ(diff.flagged.size(), 1u);
+  EXPECT_EQ(diff.flagged[0].name, "trainer/bytes_up");
+  EXPECT_FALSE(diff.flagged[0].regression);
+  EXPECT_FALSE(diff.HasRegression());
+}
+
+TEST(DiffRunsTest, IdenticalRunsPassClean) {
+  auto baseline = ParseRunSeries(TwoRunSeries(1.0, 1000.0));
+  auto candidate = ParseRunSeries(TwoRunSeries(1.0, 1000.0));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(candidate.ok());
+  const DiffResult diff = DiffRuns(*baseline, *candidate, DiffOptions{});
+  EXPECT_TRUE(diff.flagged.empty());
+  EXPECT_FALSE(diff.HasRegression());
+}
+
+// ---------------------------------------------------------------------------
+// Trace summary.
+
+TEST(TraceSummaryTest, SummarizesChromeTraceWithDroppedFooter) {
+  const bool was_tracing = obs::TracingEnabled();
+  obs::SetTracingEnabled(true);
+  obs::TraceLog::Global().Reset();
+  {
+    obs::TraceSpan outer("trainer", "epoch");
+    obs::TraceSpan inner("codec", "encode/sketchml");
+  }
+  { obs::TraceSpan again("codec", "encode/sketchml"); }
+  std::ostringstream out;
+  obs::TraceLog::Global().WriteChromeTrace(out);
+  obs::TraceLog::Global().Reset();
+  obs::SetTracingEnabled(was_tracing);
+
+  auto summary = SummarizeTrace(out.str());
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_DOUBLE_EQ(summary->dropped_events, 0.0);
+  const TraceSummary::Row* encode_row = nullptr;
+  for (const auto& row : summary->rows) {
+    if (row.name == "encode/sketchml") encode_row = &row;
+  }
+  ASSERT_NE(encode_row, nullptr);
+  EXPECT_EQ(encode_row->category, "codec");
+  EXPECT_EQ(encode_row->count, 2u);
+  EXPECT_GT(encode_row->total_us, 0.0);
+  EXPECT_GE(encode_row->max_us, encode_row->total_us / 2.0);
+  EXPECT_NE(RenderTraceSummary(*summary).find("encode/sketchml"),
+            std::string::npos);
+}
+
+TEST(TraceSummaryTest, RejectsNonTraceJson) {
+  EXPECT_FALSE(SummarizeTrace("{}").ok());
+  EXPECT_FALSE(SummarizeTrace("not json").ok());
+}
+
+}  // namespace
+}  // namespace sketchml::dist

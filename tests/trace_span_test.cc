@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/obs.h"
 
 namespace sketchml::obs {
@@ -247,6 +248,45 @@ TEST(TraceSpanTest, ChromeTraceJsonRoundTrips) {
   EXPECT_NE(json.find("\"name\":\"epoch\""), std::string::npos);
   // Names with JSON metacharacters stay escaped.
   EXPECT_NE(json.find("encode/\\\"quoted\\\\name\\\""), std::string::npos);
+}
+
+TEST(TraceSpanTest, ChromeTraceFooterReportsDroppedEvents) {
+  ScopedTracing scoped;
+  TraceLog::Global().SetRingCapacity(16);  // 16 is the clamp minimum.
+  std::thread worker([] {
+    for (int i = 0; i < 28; ++i) {
+      TraceSpan span("test", "drop" + std::to_string(i));
+    }
+  });
+  worker.join();
+  ASSERT_EQ(TraceLog::Global().DroppedEvents(), 12u);
+
+  std::ostringstream out;
+  TraceLog::Global().WriteChromeTrace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonParser(json).Valid()) << json;
+  // Both the machine-readable top-level field and the metadata event that
+  // surfaces truncation inside the Chrome/Perfetto UI.
+  EXPECT_NE(json.find("\"droppedEvents\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"dropped_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":12"), std::string::npos);
+
+  // The same count lands in the metrics registry for the sampler/report.
+  const bool was_metrics = MetricsEnabled();
+  SetMetricsEnabled(true);
+  TraceLog::Global().PublishDroppedEvents();
+  const auto snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_DOUBLE_EQ(snap.GaugeValueOf("trace/dropped_events"), 12.0);
+  SetMetricsEnabled(was_metrics);
+  TraceLog::Global().SetRingCapacity(1 << 14);
+}
+
+TEST(TraceSpanTest, CleanRunReportsZeroDropped) {
+  ScopedTracing scoped;
+  { TraceSpan span("test", "kept"); }
+  std::ostringstream out;
+  TraceLog::Global().WriteChromeTrace(out);
+  EXPECT_NE(out.str().find("\"droppedEvents\":0"), std::string::npos);
 }
 
 TEST(TraceSpanTest, EventsFromManyThreadsGetDistinctTids) {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "common/metrics_registry.h"
 #include "common/obs_flags.h"
 #include "core/sketchml.h"
 #include "dist/trainer.h"
@@ -49,6 +50,11 @@ constexpr char kUsage[] = R"(sketchml_train [flags]
                         phase, codec call, and modeled network transfer
                         (open in chrome://tracing or ui.perfetto.dev)
   --metrics-out=PATH    write final counters/histograms as JSON lines
+  --series-out=PATH     stream a metrics time-series (JSONL): a run
+                        header with every flag + git sha, then one sample
+                        per epoch boundary (analyze with sketchml_report)
+  --sample-interval=S   also sample every S seconds of wall time while
+                        training (default 0 = epoch boundaries only)
 )";
 
 int Fail(const common::Status& status) {
@@ -160,6 +166,28 @@ int main(int argc, char** argv) {
 
   dist::DistributedTrainer trainer(&train, &test, loss.get(),
                                    std::move(codec), cluster, config);
+
+  // Time-series sampler: the run header records every resolved flag so a
+  // series file reproduces its run.
+  obs::RunMetadata metadata;
+  metadata.Add("dataset", dataset_name);
+  metadata.Add("model", model);
+  metadata.Add("codec", codec_name);
+  metadata.Add("epochs", static_cast<long long>(*epochs));
+  metadata.Add("workers", static_cast<long long>(*workers));
+  metadata.Add("servers", static_cast<long long>(*servers));
+  metadata.Add("network", network_name);
+  metadata.Add("net_scale", *net_scale);
+  metadata.Add("batch_ratio", *batch_ratio);
+  metadata.Add("lr", *lr);
+  metadata.Add("adam_eps", *adam_eps);
+  metadata.Add("seed", static_cast<long long>(*seed));
+  metadata.Add("threads", static_cast<long long>(trainer.num_threads()));
+  metadata.Add("crc", use_crc ? "1" : "0");
+  auto sampler = obs::StartSamplerFromConfig(*obs_config,
+                                             std::move(metadata));
+  if (!sampler.ok()) return Fail(sampler.status());
+
   std::printf("%6s %10s %12s %12s %10s %10s\n", "epoch", "sim sec",
               "up MB", "msg KB", "train", "test");
   for (int e = 0; e < *epochs; ++e) {
@@ -169,8 +197,21 @@ int main(int argc, char** argv) {
                 stats->TotalSeconds(), stats->bytes_up / 1e6,
                 stats->AvgMessageBytes() / 1e3, stats->train_loss,
                 stats->test_loss);
+    if (*sampler != nullptr) (*sampler)->SampleNow("epoch");
   }
 
+  if (obs_config->metrics) {
+    const std::string latency = dist::LatencyQuantileSummary(
+        obs::MetricsRegistry::Global().Snapshot());
+    if (!latency.empty()) {
+      std::printf("latency quantiles:\n%s", latency.c_str());
+    }
+  }
+
+  if (*sampler != nullptr) {
+    const common::Status stop_status = (*sampler)->Stop();
+    if (!stop_status.ok()) return Fail(stop_status);
+  }
   const common::Status obs_status = obs::WriteObsOutputs(*obs_config);
   if (!obs_status.ok()) return Fail(obs_status);
   if (!obs_config->trace_out.empty()) {
@@ -178,6 +219,9 @@ int main(int argc, char** argv) {
   }
   if (!obs_config->metrics_out.empty()) {
     std::printf("metrics written to %s\n", obs_config->metrics_out.c_str());
+  }
+  if (!obs_config->series_out.empty()) {
+    std::printf("series written to %s\n", obs_config->series_out.c_str());
   }
   return 0;
 }
