@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Fault-tolerance matrix: sweeps the injector's fault probabilities
+# through sketchml_train and asserts the recovery protocol holds up:
+#
+#   * every cell trains to completion (exit 0) and prints the
+#     "faults: ..." summary line;
+#   * cells that inject message faults actually exercise recovery
+#     (non-zero injected count; drop/corrupt cells non-zero retries);
+#   * the zero-retry drop cell degrades (lost messages, degraded
+#     batches) yet still finishes;
+#   * the faults-off control prints no fault summary at all.
+#
+# The sweep is seeded, so every cell replays the identical fault
+# sequence on every machine.
+#
+# Usage: scripts/run_fault_matrix.sh [TRAIN_BIN]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+train_bin="${1:-$repo_root/build/tools/sketchml_train}"
+
+if [[ ! -x "$train_bin" ]]; then
+  echo "error: $train_bin not built" >&2
+  exit 2
+fi
+
+base_flags=(--dataset=synthetic --model=lr --codec=sketchml
+  --epochs=2 --workers=4 --threads=2 --seed=1 --fault-seed=7)
+
+# field <summary-line> <field-name> -> value
+field() {
+  sed -n "s/.*$2=\([0-9]*\).*/\1/p" <<<"$1"
+}
+
+run_cell() {
+  local label="$1"
+  shift
+  local out
+  if ! out="$("$train_bin" "${base_flags[@]}" "$@" 2>&1)"; then
+    echo "FAIL [$label]: training did not complete" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  grep '^faults:' <<<"$out" || true
+}
+
+failures=0
+expect() {
+  local label="$1" want="$2" value="$3"
+  case "$want" in
+    nonzero) [[ "$value" -gt 0 ]] || { echo "FAIL [$label]" >&2; failures=1; } ;;
+    zero) [[ "$value" -eq 0 ]] || { echo "FAIL [$label]" >&2; failures=1; } ;;
+  esac
+}
+
+echo "== faults off (control) =="
+control="$(run_cell "off")"
+if [[ -n "$control" ]]; then
+  echo "FAIL [off]: fault summary printed without an active plan" >&2
+  failures=1
+fi
+
+for p in 0.01 0.05; do
+  echo "== drop=$p corrupt=$p retries=3 =="
+  summary="$(run_cell "drop+corrupt $p" \
+    --fault-drop="$p" --fault-corrupt="$p" --fault-retries=3)"
+  echo "$summary"
+  expect "drop+corrupt $p: injected" nonzero "$(field "$summary" injected)"
+  expect "drop+corrupt $p: retries" nonzero "$(field "$summary" retries)"
+done
+
+echo "== drop=0.5 retries=1 (degradation path) =="
+summary="$(run_cell "degrade" --fault-drop=0.5 --fault-retries=1)"
+echo "$summary"
+expect "degrade: lost" nonzero "$(field "$summary" lost)"
+expect "degrade: degraded_batches" nonzero \
+  "$(field "$summary" degraded_batches)"
+
+echo "== straggle=0.2 crash=0.02 stall=0.1 (timing faults) =="
+summary="$(run_cell "timing" \
+  --fault-straggle=0.2 --fault-crash=0.02 --fault-stall=0.1)"
+echo "$summary"
+expect "timing: injected" nonzero "$(field "$summary" injected)"
+expect "timing: retries" zero "$(field "$summary" retries)"
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "fault matrix: FAIL" >&2
+  exit 1
+fi
+echo "fault matrix: PASS"

@@ -58,6 +58,7 @@ Status ByteReader::ReadVarint(uint64_t* out) {
 
 Status ByteReader::ReadRaw(void* out, size_t len) {
   if (pos_ + len > len_) return Status::CorruptedData("read past end of buffer");
+  if (len == 0) return Status::Ok();  // out may be null (empty vector data()).
   std::memcpy(out, data_ + pos_, len);
   pos_ += len;
   return Status::Ok();

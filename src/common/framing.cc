@@ -1,0 +1,36 @@
+#include "common/framing.h"
+
+#include "common/byte_buffer.h"
+#include "common/crc32.h"
+
+namespace sketchml::common {
+
+void FrameMessage(const std::vector<uint8_t>& payload,
+                  std::vector<uint8_t>* out) {
+  ByteWriter writer(kFrameHeaderBytes + payload.size());
+  writer.WriteU32(static_cast<uint32_t>(payload.size()));
+  writer.WriteU32(Crc32(payload));
+  writer.WriteBytes(payload);
+  *out = writer.TakeBuffer();
+}
+
+Status UnframeMessage(const std::vector<uint8_t>& framed,
+                      std::vector<uint8_t>* payload) {
+  if (framed.size() < kFrameHeaderBytes) {
+    return Status::CorruptedData("framed message shorter than its header");
+  }
+  ByteReader reader(framed);
+  uint32_t length = 0, crc = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadU32(&length));
+  SKETCHML_RETURN_IF_ERROR(reader.ReadU32(&crc));
+  if (length != framed.size() - kFrameHeaderBytes) {
+    return Status::CorruptedData("frame length mismatch");
+  }
+  if (Crc32(framed.data() + kFrameHeaderBytes, length) != crc) {
+    return Status::CorruptedData("frame CRC mismatch");
+  }
+  payload->assign(framed.begin() + kFrameHeaderBytes, framed.end());
+  return Status::Ok();
+}
+
+}  // namespace sketchml::common

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kIoError:
       return "io error";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

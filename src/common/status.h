@@ -17,6 +17,9 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kIoError = 8,
+  /// A required peer or quorum is (possibly transiently) unreachable —
+  /// e.g. too few simulated workers survived a batch's retry budget.
+  kUnavailable = 9,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid argument").
@@ -60,6 +63,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,7 +6,7 @@
 namespace sketchml::compress {
 
 common::Status ChecksummedCodec::EncodeImpl(const common::SparseGradient& grad,
-                                        EncodedGradient* out) {
+                                            EncodedGradient* out) {
   EncodedGradient inner_msg;
   SKETCHML_RETURN_IF_ERROR(inner_->Encode(grad, &inner_msg));
   const uint32_t crc = common::Crc32(inner_msg.bytes);
@@ -20,7 +20,7 @@ common::Status ChecksummedCodec::EncodeImpl(const common::SparseGradient& grad,
 }
 
 common::Status ChecksummedCodec::DecodeImpl(const EncodedGradient& in,
-                                        common::SparseGradient* out) {
+                                            common::SparseGradient* out) {
   if (in.bytes.size() < 8) {
     return common::Status::CorruptedData("message shorter than CRC frame");
   }

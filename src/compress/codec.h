@@ -55,6 +55,16 @@ class GradientCodec {
 
   /// Reconstructs a gradient from `in`. Keys are exact; values are exact
   /// iff `IsLossless()`.
+  ///
+  /// Hardening contract: `in` may be arbitrary bytes off the wire
+  /// (truncated, bit-flipped, pure garbage). Implementations must bounds-
+  /// check every read and validate declared counts *before* allocating,
+  /// returning a non-OK Status (typically kCorruptedData) on malformed
+  /// input — never crashing, hanging, or attempting huge allocations.
+  /// Undetectably corrupted input may decode to wrong values; wrap
+  /// messages with "+crc" (ChecksummedCodec) or `common::FrameMessage`
+  /// when detection is required. Pinned by tests/fuzz_decode_test.cc for
+  /// every registered codec.
   common::Status Decode(const EncodedGradient& in,
                         common::SparseGradient* out);
 

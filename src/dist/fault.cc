@@ -1,0 +1,149 @@
+#include "dist/fault.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sketchml::dist {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer `common::LaneSeed` uses, applied
+/// as a chain so every decision coordinate perturbs every output bit.
+uint64_t Mix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t MixAll(uint64_t seed, uint64_t kind, uint64_t batch,
+                uint64_t worker, uint64_t server, uint64_t attempt) {
+  uint64_t z = Mix(seed ^ (kind * 0xd1342543de82ef95ULL));
+  z = Mix(z ^ batch);
+  z = Mix(z ^ (worker + 1));
+  z = Mix(z ^ ((server + 1) << 20));
+  return Mix(z ^ (attempt + 1));
+}
+
+/// Top 53 bits as a uniform double in [0, 1).
+double ToUnit(uint64_t z) {
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+common::Status CheckProbability(const char* name, double p) {
+  if (p < 0.0 || p > 1.0) {
+    return common::Status::InvalidArgument(
+        std::string(name) + " must be in [0, 1], got " + std::to_string(p));
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+common::Status ValidateFaultPlan(const FaultPlan& plan) {
+  SKETCHML_RETURN_IF_ERROR(CheckProbability("drop_prob", plan.drop_prob));
+  SKETCHML_RETURN_IF_ERROR(
+      CheckProbability("corrupt_prob", plan.corrupt_prob));
+  SKETCHML_RETURN_IF_ERROR(
+      CheckProbability("straggle_prob", plan.straggle_prob));
+  SKETCHML_RETURN_IF_ERROR(CheckProbability("crash_prob", plan.crash_prob));
+  SKETCHML_RETURN_IF_ERROR(CheckProbability("stall_prob", plan.stall_prob));
+  if (plan.straggle_factor < 1.0) {
+    return common::Status::InvalidArgument(
+        "straggle_factor must be >= 1 (1 = no delay)");
+  }
+  if (plan.crash_batches < 1) {
+    return common::Status::InvalidArgument("crash_batches must be >= 1");
+  }
+  if (plan.stall_seconds < 0.0) {
+    return common::Status::InvalidArgument("stall_seconds must be >= 0");
+  }
+  if (plan.max_retries < 0 || plan.max_retries > 62) {
+    return common::Status::InvalidArgument(
+        "max_retries must be in [0, 62] (backoff doubles per attempt)");
+  }
+  if (plan.backoff_seconds < 0.0) {
+    return common::Status::InvalidArgument("backoff_seconds must be >= 0");
+  }
+  if (plan.min_quorum < 1) {
+    return common::Status::InvalidArgument("min_quorum must be >= 1");
+  }
+  return common::Status::Ok();
+}
+
+common::Result<FaultPlan> FaultPlanFromFlags(
+    const common::FlagParser& flags) {
+  FaultPlan plan;
+  SKETCHML_ASSIGN_OR_RETURN(const int64_t seed,
+                            flags.GetInt("fault-seed", 1));
+  plan.seed = static_cast<uint64_t>(seed);
+  SKETCHML_ASSIGN_OR_RETURN(plan.drop_prob,
+                            flags.GetDouble("fault-drop", 0.0));
+  SKETCHML_ASSIGN_OR_RETURN(plan.corrupt_prob,
+                            flags.GetDouble("fault-corrupt", 0.0));
+  SKETCHML_ASSIGN_OR_RETURN(plan.straggle_prob,
+                            flags.GetDouble("fault-straggle", 0.0));
+  SKETCHML_ASSIGN_OR_RETURN(
+      plan.straggle_factor, flags.GetDouble("fault-straggle-factor", 4.0));
+  SKETCHML_ASSIGN_OR_RETURN(plan.crash_prob,
+                            flags.GetDouble("fault-crash", 0.0));
+  SKETCHML_ASSIGN_OR_RETURN(const int64_t crash_batches,
+                            flags.GetInt("fault-crash-batches", 3));
+  plan.crash_batches = static_cast<int>(crash_batches);
+  SKETCHML_ASSIGN_OR_RETURN(plan.stall_prob,
+                            flags.GetDouble("fault-stall", 0.0));
+  SKETCHML_ASSIGN_OR_RETURN(plan.stall_seconds,
+                            flags.GetDouble("fault-stall-seconds", 0.05));
+  SKETCHML_ASSIGN_OR_RETURN(const int64_t retries,
+                            flags.GetInt("fault-retries", 3));
+  plan.max_retries = static_cast<int>(retries);
+  SKETCHML_ASSIGN_OR_RETURN(plan.backoff_seconds,
+                            flags.GetDouble("fault-backoff", 1e-3));
+  SKETCHML_ASSIGN_OR_RETURN(const int64_t quorum,
+                            flags.GetInt("min-quorum", 1));
+  plan.min_quorum = static_cast<int>(quorum);
+  SKETCHML_RETURN_IF_ERROR(ValidateFaultPlan(plan));
+  return plan;
+}
+
+double FaultInjector::Draw(Kind kind, uint64_t batch, int worker, int server,
+                          int attempt) const {
+  return ToUnit(MixAll(plan_.seed, kind, batch,
+                       static_cast<uint64_t>(worker),
+                       static_cast<uint64_t>(server),
+                       static_cast<uint64_t>(attempt)));
+}
+
+void FaultInjector::Corrupt(std::vector<uint8_t>* bytes, uint64_t batch,
+                            int worker, int server, int attempt) const {
+  if (bytes->empty()) return;
+  // One extra mix decorrelates the damage pattern from the fire/no-fire
+  // decision that used the plain (kCorrupt, ...) coordinates.
+  uint64_t z = Mix(MixAll(plan_.seed, kCorrupt, batch,
+                          static_cast<uint64_t>(worker),
+                          static_cast<uint64_t>(server),
+                          static_cast<uint64_t>(attempt)));
+  if (z & 1) {
+    // Truncation: keep a hashed prefix (possibly empty).
+    bytes->resize((z >> 1) % bytes->size());
+    return;
+  }
+  const int flips = 1 + static_cast<int>((z >> 1) & 3);
+  for (int f = 0; f < flips; ++f) {
+    z = Mix(z);
+    (*bytes)[z % bytes->size()] ^=
+        static_cast<uint8_t>(1u << ((z >> 32) & 7));
+  }
+}
+
+bool FaultInjector::WorkerCrashed(uint64_t batch, int worker) const {
+  if (plan_.crash_prob <= 0.0) return false;
+  const uint64_t window = static_cast<uint64_t>(plan_.crash_batches);
+  const uint64_t first = batch >= window - 1 ? batch - (window - 1) : 0;
+  for (uint64_t b0 = first; b0 <= batch; ++b0) {
+    if (Draw(kCrash, b0, worker, 0, 0) < plan_.crash_prob) return true;
+  }
+  return false;
+}
+
+}  // namespace sketchml::dist

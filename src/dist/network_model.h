@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "common/status.h"
+
 namespace sketchml::dist {
 
 /// Linear cost model for moving bytes over one network link.
@@ -18,6 +20,27 @@ struct NetworkModel {
   double bandwidth_gbps = 1.0;     // Raw link speed, gigabits/second.
   double latency_seconds = 5e-4;   // Per-message latency.
   double congestion_factor = 1.0;  // >1: shared cluster eats bandwidth.
+
+  /// Rejects models that would divide by zero (or produce negative
+  /// seconds) in `TransferSeconds`: bandwidth and the congestion factor
+  /// must be positive, latency non-negative. Checked by the trainer at
+  /// construction so a bad config surfaces as InvalidArgument instead of
+  /// inf/NaN epoch stats.
+  common::Status Validate() const {
+    if (!(bandwidth_gbps > 0.0)) {
+      return common::Status::InvalidArgument(
+          "NetworkModel.bandwidth_gbps must be > 0");
+    }
+    if (!(latency_seconds >= 0.0)) {
+      return common::Status::InvalidArgument(
+          "NetworkModel.latency_seconds must be >= 0");
+    }
+    if (!(congestion_factor > 0.0)) {
+      return common::Status::InvalidArgument(
+          "NetworkModel.congestion_factor must be > 0");
+    }
+    return common::Status::Ok();
+  }
 
   /// Seconds to move `bytes` over this link.
   double TransferSeconds(size_t bytes) const {

@@ -343,6 +343,26 @@ RunReport BuildRunReport(const RunSeries& series) {
     report.codecs.push_back(row);
   }
 
+  // Fault totals (all zero unless the run had an active FaultPlan; the
+  // trainer registers these names only when faults actually fire).
+  report.faults.injected_drop =
+      final_sample->SumCounters("fault/injected", {{"kind", "drop"}});
+  report.faults.injected_corrupt =
+      final_sample->SumCounters("fault/injected", {{"kind", "corrupt"}});
+  report.faults.injected_straggle =
+      final_sample->SumCounters("fault/injected", {{"kind", "straggle"}});
+  report.faults.injected_crash =
+      final_sample->SumCounters("fault/injected", {{"kind", "crash"}});
+  report.faults.injected_stall =
+      final_sample->SumCounters("fault/injected", {{"kind", "stall"}});
+  report.faults.retries = final_sample->SumCounters("net/retries", {});
+  report.faults.retransmit_bytes =
+      final_sample->SumCounters("net/retransmit_bytes", {});
+  report.faults.lost_messages =
+      final_sample->CounterOr("net/lost_messages", 0.0);
+  report.faults.degraded_batches =
+      final_sample->CounterOr("trainer/degraded_batches", 0.0);
+
   // Per-epoch rows from deltas of successive epoch-boundary samples.
   const std::vector<const SeriesSample*> epoch_samples =
       series.EpochSamples();
@@ -467,6 +487,22 @@ std::string RenderRunReport(const RunReport& report) {
           Format("%.6g", row.train_loss).c_str());
       out << buf;
     }
+  }
+
+  if (report.faults.Any()) {
+    const FaultSummary& f = report.faults;
+    out << "\n== fault tolerance ==\n";
+    out << "  injected: " << Format("%.0f", f.InjectedTotal()) << " (drop "
+        << Format("%.0f", f.injected_drop) << ", corrupt "
+        << Format("%.0f", f.injected_corrupt) << ", straggle "
+        << Format("%.0f", f.injected_straggle) << ", crash "
+        << Format("%.0f", f.injected_crash) << ", stall "
+        << Format("%.0f", f.injected_stall) << ")\n";
+    out << "  recovery: " << Format("%.0f", f.retries) << " retries ("
+        << FormatBytes(f.retransmit_bytes) << " retransmitted), "
+        << Format("%.0f", f.lost_messages) << " messages lost, "
+        << Format("%.0f", f.degraded_batches)
+        << " batches applied degraded\n";
   }
 
   if (report.dropped_trace_events > 0.0) {

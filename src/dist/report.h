@@ -151,6 +151,29 @@ struct EpochRow {
   }
 };
 
+/// Fault-injection / recovery totals for a run (all zero — and the
+/// rendered section omitted — when the run had no FaultPlan active).
+struct FaultSummary {
+  double injected_drop = 0.0;      // fault/injected{kind=drop}
+  double injected_corrupt = 0.0;   // fault/injected{kind=corrupt}
+  double injected_straggle = 0.0;  // fault/injected{kind=straggle}
+  double injected_crash = 0.0;     // fault/injected{kind=crash}
+  double injected_stall = 0.0;     // fault/injected{kind=stall}
+  double retries = 0.0;            // net/retries
+  double retransmit_bytes = 0.0;   // net/retransmit_bytes
+  double lost_messages = 0.0;      // net/lost_messages
+  double degraded_batches = 0.0;   // trainer/degraded_batches
+
+  double InjectedTotal() const {
+    return injected_drop + injected_corrupt + injected_straggle +
+           injected_crash + injected_stall;
+  }
+  bool Any() const {
+    return InjectedTotal() > 0.0 || retries > 0.0 || lost_messages > 0.0 ||
+           degraded_batches > 0.0;
+  }
+};
+
 /// Everything `sketchml_report` prints for a single run.
 struct RunReport {
   std::string git_sha;
@@ -167,6 +190,7 @@ struct RunReport {
   std::vector<ServerPhaseRow> servers;
   std::vector<CodecRow> codecs;
   std::vector<EpochRow> epochs;
+  FaultSummary faults;
   double dropped_trace_events = 0.0;
 };
 

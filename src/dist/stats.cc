@@ -17,7 +17,17 @@ std::string EpochStats::ToString() const {
                     update_seconds,
                 network_seconds, bytes_up / 1e6, bytes_down / 1e6,
                 train_loss);
-  return buf;
+  std::string out = buf;
+  if (injected_faults > 0 || retries > 0 || degraded_batches > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " faults=%llu retries=%llu lost=%llu degraded=%llu",
+                  static_cast<unsigned long long>(injected_faults),
+                  static_cast<unsigned long long>(retries),
+                  static_cast<unsigned long long>(lost_messages),
+                  static_cast<unsigned long long>(degraded_batches));
+    out += buf;
+  }
+  return out;
 }
 
 EpochStats Aggregate(const std::vector<EpochStats>& stats) {
@@ -32,6 +42,11 @@ EpochStats Aggregate(const std::vector<EpochStats>& stats) {
     total.bytes_down += s.bytes_down;
     total.messages += s.messages;
     total.num_batches += s.num_batches;
+    total.injected_faults += s.injected_faults;
+    total.retries += s.retries;
+    total.retransmit_bytes += s.retransmit_bytes;
+    total.lost_messages += s.lost_messages;
+    total.degraded_batches += s.degraded_batches;
   }
   if (!stats.empty()) {
     total.epoch = stats.back().epoch;
@@ -58,6 +73,7 @@ struct TrainerMetrics {
   obs::Counter messages;
   obs::Counter num_batches;
   obs::Counter epochs;
+  obs::Counter degraded_batches;
   obs::Gauge epoch;
   obs::Gauge avg_gradient_nnz;
   obs::Gauge train_loss;
@@ -77,6 +93,7 @@ struct TrainerMetrics {
       m->messages = registry.GetCounter("trainer/messages");
       m->num_batches = registry.GetCounter("trainer/num_batches");
       m->epochs = registry.GetCounter("trainer/epochs");
+      m->degraded_batches = registry.GetCounter("trainer/degraded_batches");
       m->epoch = registry.GetGauge("trainer/epoch");
       m->avg_gradient_nnz = registry.GetGauge("trainer/avg_gradient_nnz");
       m->train_loss = registry.GetGauge("trainer/train_loss");
@@ -101,6 +118,12 @@ void PublishEpochStats(const EpochStats& stats) {
   m.bytes_down.Add(static_cast<double>(stats.bytes_down));
   m.messages.Add(static_cast<double>(stats.messages));
   m.num_batches.Add(static_cast<double>(stats.num_batches));
+  // Guarded so fault-free runs register no fault counters: the metrics
+  // dump, series files, and the golden regression snapshot stay
+  // bit-identical to a build without the fault layer.
+  if (stats.degraded_batches > 0) {
+    m.degraded_batches.Add(static_cast<double>(stats.degraded_batches));
+  }
   m.epochs.Increment();
   m.epoch.Set(static_cast<double>(stats.epoch));
   m.avg_gradient_nnz.Set(stats.avg_gradient_nnz);
@@ -123,6 +146,18 @@ EpochStats EpochStatsFromMetrics(const obs::MetricsSnapshot& before,
   stats.bytes_down = static_cast<uint64_t>(delta("trainer/bytes_down"));
   stats.messages = static_cast<uint64_t>(delta("trainer/messages"));
   stats.num_batches = static_cast<size_t>(delta("trainer/num_batches"));
+  stats.degraded_batches =
+      static_cast<uint64_t>(delta("trainer/degraded_batches"));
+  // The per-message fault counters are live-published by the trainer
+  // with worker/server labels; roll them up across entities.
+  const auto sum_delta = [&](std::string_view base) {
+    return after.SumCounters(base, {}) - before.SumCounters(base, {});
+  };
+  stats.injected_faults = static_cast<uint64_t>(sum_delta("fault/injected"));
+  stats.retries = static_cast<uint64_t>(sum_delta("net/retries"));
+  stats.retransmit_bytes =
+      static_cast<uint64_t>(sum_delta("net/retransmit_bytes"));
+  stats.lost_messages = static_cast<uint64_t>(sum_delta("net/lost_messages"));
   stats.epoch = static_cast<int>(after.GaugeValueOf("trainer/epoch"));
   stats.avg_gradient_nnz = after.GaugeValueOf("trainer/avg_gradient_nnz");
   stats.train_loss = after.GaugeValueOf("trainer/train_loss");

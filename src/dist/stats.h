@@ -34,6 +34,14 @@ struct EpochStats {
   uint64_t bytes_down = 0;  // Driver -> workers (model update).
   uint64_t messages = 0;    // Total gradient messages this epoch.
 
+  // Fault-tolerance accounting (all zero when the FaultPlan is inactive,
+  // so fault-free stats stay bit-identical to a build without faults).
+  uint64_t injected_faults = 0;    // Drops+corruptions+stragglers+crashes+stalls.
+  uint64_t retries = 0;            // Retransmit attempts beyond the first.
+  uint64_t retransmit_bytes = 0;   // Bytes re-sent by those retries.
+  uint64_t lost_messages = 0;      // Undelivered after the retry budget.
+  uint64_t degraded_batches = 0;   // Batches applied with < W gradients.
+
   size_t num_batches = 0;
   double avg_gradient_nnz = 0.0;  // Mean d per worker message.
   double train_loss = 0.0;        // After the epoch.

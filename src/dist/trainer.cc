@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/framing.h"
 #include "common/logging.h"
 #include "common/obs.h"
 #include "common/stopwatch.h"
@@ -13,6 +14,33 @@
 #include "ml/gradient.h"
 
 namespace sketchml::dist {
+
+common::Status ValidateClusterConfig(const ClusterConfig& cluster) {
+  if (cluster.num_workers < 1) {
+    return common::Status::InvalidArgument(
+        "ClusterConfig.num_workers must be >= 1");
+  }
+  if (cluster.num_servers < 1) {
+    return common::Status::InvalidArgument(
+        "ClusterConfig.num_servers must be >= 1");
+  }
+  SKETCHML_RETURN_IF_ERROR(cluster.network.Validate());
+  if (!(cluster.compute_scale >= 0.0)) {
+    return common::Status::InvalidArgument(
+        "ClusterConfig.compute_scale must be >= 0");
+  }
+  if (!(cluster.codec_scale >= 0.0)) {
+    return common::Status::InvalidArgument(
+        "ClusterConfig.codec_scale must be >= 0");
+  }
+  SKETCHML_RETURN_IF_ERROR(ValidateFaultPlan(cluster.faults));
+  if (cluster.faults.min_quorum > cluster.num_workers) {
+    return common::Status::InvalidArgument(
+        "FaultPlan.min_quorum exceeds num_workers: no batch could ever "
+        "reach quorum");
+  }
+  return common::Status::Ok();
+}
 
 DistributedTrainer::DistributedTrainer(
     const ml::Dataset* train, const ml::Dataset* test, const ml::Loss* loss,
@@ -23,11 +51,16 @@ DistributedTrainer::DistributedTrainer(
       loss_(loss),
       codec_(std::move(codec)),
       cluster_(cluster),
-      config_(config) {
+      config_(config),
+      injector_(cluster.faults) {
   SKETCHML_CHECK(train != nullptr);
   SKETCHML_CHECK(loss != nullptr);
-  SKETCHML_CHECK_GT(cluster.num_workers, 0);
-  SKETCHML_CHECK_GT(cluster.num_servers, 0);
+  // Recoverable configuration errors surface from RunEpoch/Run (a
+  // constructor cannot return a Status); skip the remaining setup so a
+  // bad NetworkModel never reaches TransferSeconds.
+  init_status_ = ValidateClusterConfig(cluster_);
+  if (!init_status_.ok()) return;
+  faults_active_ = cluster_.faults.Active();
   if (codec_ == nullptr) {
     codec_ = std::make_unique<compress::RawCodec>();
   }
@@ -97,9 +130,39 @@ DistributedTrainer::DistributedTrainer(
     metrics_.driver_network =
         registry.GetCounter("trainer/driver_seconds", {{"phase", "network"}});
   }
+
+  // Fault counters exist only when the plan is active: a fault-free run
+  // must register no new metric names, keeping its dump and series files
+  // bit-identical to a build without the fault layer.
+  if (faults_active_ && obs::MetricsEnabled()) {
+    fault_metrics_.enabled = true;
+    auto& registry = obs::MetricsRegistry::Global();
+    for (int w = 0; w < cluster_.num_workers; ++w) {
+      const std::string ws = std::to_string(w);
+      fault_metrics_.injected_drop.push_back(registry.GetCounter(
+          "fault/injected", {{"kind", "drop"}, {"worker", ws}}));
+      fault_metrics_.injected_corrupt.push_back(registry.GetCounter(
+          "fault/injected", {{"kind", "corrupt"}, {"worker", ws}}));
+      fault_metrics_.injected_straggle.push_back(registry.GetCounter(
+          "fault/injected", {{"kind", "straggle"}, {"worker", ws}}));
+      fault_metrics_.injected_crash.push_back(registry.GetCounter(
+          "fault/injected", {{"kind", "crash"}, {"worker", ws}}));
+      fault_metrics_.retries.push_back(
+          registry.GetCounter("net/retries", {{"worker", ws}}));
+      fault_metrics_.retransmit_bytes.push_back(
+          registry.GetCounter("net/retransmit_bytes", {{"worker", ws}}));
+    }
+    for (int s = 0; s < cluster_.num_servers; ++s) {
+      fault_metrics_.injected_stall.push_back(registry.GetCounter(
+          "fault/injected", {{"kind", "stall"}, {"server", std::to_string(s)}}));
+    }
+    fault_metrics_.lost_messages = registry.GetCounter("net/lost_messages");
+    fault_metrics_.quorum = registry.GetGauge("trainer/quorum");
+  }
 }
 
 common::Result<EpochStats> DistributedTrainer::RunEpoch() {
+  SKETCHML_RETURN_IF_ERROR(init_status_);
   const size_t n = train_->size();
   const size_t batch_size = std::max<size_t>(
       1, static_cast<size_t>(static_cast<double>(n) * config_.batch_ratio));
@@ -139,6 +202,10 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       // Decode seconds attributed to each server shard (sums to
       // decode_seconds); lets the driver publish per-server slices.
       std::vector<double> shard_decode_seconds;
+      // Modeled seconds on each server's gather link, including every
+      // retransmit attempt and backoff wait. Only filled on the fault
+      // path; the fault-free reduce derives link time from shard_bytes.
+      std::vector<double> shard_link_seconds;
       uint64_t messages = 0;
       size_t nnz = 0;
       double compute_seconds = 0.0;
@@ -151,9 +218,36 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       // losses are bit-identical with metrics on or off.
       double recovery_error_l1 = 0.0;
       double recovery_ref_l1 = 0.0;
+      // Fault accounting (all zero / contributes=true when the plan is
+      // inactive). A worker contributes to the batch aggregate only if it
+      // did not crash and every non-empty shard message was delivered.
+      bool crashed = false;
+      bool straggled = false;
+      bool contributes = true;
+      uint64_t injected_drops = 0;
+      uint64_t injected_corruptions = 0;
+      uint64_t retries = 0;
+      uint64_t retransmit_bytes = 0;
+      uint64_t lost = 0;
+      double retry_seconds = 0.0;  // Backoff + retransmit link time.
     };
+    const uint64_t gbatch = batches_run_;
+    const bool faults = faults_active_;
     const auto run_worker = [&, this](int w, size_t lo, size_t hi) {
       WorkerResult r;
+      r.shard_bytes.assign(servers, 0);
+      r.shard_decode_seconds.assign(servers, 0.0);
+      r.shard_link_seconds.assign(servers, 0.0);
+      if (faults && injector_.WorkerCrashed(gbatch, w)) {
+        // Crash-for-k-batches: the executor is down, computes nothing and
+        // sends nothing. It rejoins via the (fault-free) weight broadcast.
+        r.crashed = true;
+        r.contributes = false;
+        return r;
+      }
+      const double straggle =
+          faults ? injector_.StraggleFactor(gbatch, w) : 1.0;
+      r.straggled = straggle > 1.0;
       compress::GradientCodec* codec = WorkerCodec(w);
       common::Stopwatch task_watch;
       common::SparseGradient grad;
@@ -163,7 +257,7 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         grad = ml::ComputeBatchGradient(*loss_, optimizer_->weights(), *train_,
                                         lo, hi, config_.lambda);
       }
-      r.compute_seconds = task_watch.Restart();
+      r.compute_seconds = task_watch.Restart() * straggle;
       r.nnz = grad.size();
 
       // Partition by server shard (a single pass: keys are sorted and
@@ -179,41 +273,109 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         }
       }
 
-      r.shard_bytes.assign(servers, 0);
-      r.shard_decode_seconds.assign(servers, 0.0);
+      // Recovery error: codecs keep keys exact, so walk the sorted
+      // sent/decoded lists in lockstep and accumulate |sent - got|.
+      const auto accumulate_recovery = [&r](
+                                           const common::SparseGradient& sent,
+                                           const common::SparseGradient& got) {
+        size_t j = 0;
+        for (const auto& pair : sent) {
+          while (j < got.size() && got[j].key < pair.key) ++j;
+          const double value = (j < got.size() && got[j].key == pair.key)
+                                   ? got[j].value
+                                   : 0.0;
+          r.recovery_error_l1 += std::abs(value - pair.value);
+          r.recovery_ref_l1 += std::abs(pair.value);
+        }
+      };
+
       for (int s = 0; s < servers; ++s) {
         if (per_shard[s].empty()) continue;
         task_watch.Restart();
         compress::EncodedGradient msg;
         r.status = codec->Encode(per_shard[s], &msg);
         if (!r.status.ok()) return r;
-        r.encode_seconds += task_watch.Restart();
-        r.shard_bytes[s] = msg.size();
+        r.encode_seconds += task_watch.Restart() * straggle;
         ++r.messages;
 
-        // Phase 3a: the owning server decodes (serial per server, but
-        // servers run in parallel — approximate with the sum / servers).
-        common::SparseGradient decoded;
-        r.status = codec->Decode(msg, &decoded);
-        if (!r.status.ok()) return r;
-        const double decode_elapsed = task_watch.Restart() / servers;
-        r.decode_seconds += decode_elapsed;
-        r.shard_decode_seconds[s] = decode_elapsed;
-        if (metrics_.enabled) {
-          // Recovery error: codecs keep keys exact, so walk the sorted
-          // sent/decoded lists in lockstep and accumulate |sent - got|.
-          size_t j = 0;
-          for (const auto& pair : per_shard[s]) {
-            while (j < decoded.size() && decoded[j].key < pair.key) ++j;
-            const double got =
-                (j < decoded.size() && decoded[j].key == pair.key)
-                    ? decoded[j].value
-                    : 0.0;
-            r.recovery_error_l1 += std::abs(got - pair.value);
-            r.recovery_ref_l1 += std::abs(pair.value);
-          }
+        if (!faults) {
+          r.shard_bytes[s] = msg.size();
+          // Phase 3a: the owning server decodes (serial per server, but
+          // servers run in parallel — approximate with the sum / servers).
+          common::SparseGradient decoded;
+          r.status = codec->Decode(msg, &decoded);
+          if (!r.status.ok()) return r;
+          const double decode_elapsed = task_watch.Restart() / servers;
+          r.decode_seconds += decode_elapsed;
+          r.shard_decode_seconds[s] = decode_elapsed;
+          if (metrics_.enabled) accumulate_recovery(per_shard[s], decoded);
+          r.decoded.insert(r.decoded.end(), decoded.begin(), decoded.end());
+          continue;
         }
-        r.decoded.insert(r.decoded.end(), decoded.begin(), decoded.end());
+
+        // Fault path: CRC-frame the payload — the framed bytes are what
+        // crosses the wire — then walk the retransmit loop. Every attempt
+        // charges one transfer of the framed message to this shard's
+        // gather link; each retry additionally waits out an exponential
+        // backoff. Drop/corrupt decisions are pure functions of
+        // (seed, batch, worker, server, attempt), so the sequence is
+        // replayable and independent of thread interleaving.
+        std::vector<uint8_t> framed;
+        common::FrameMessage(msg.bytes, &framed);
+        r.shard_bytes[s] = framed.size();
+        bool delivered = false;
+        const int attempts = injector_.plan().max_retries + 1;
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+          if (attempt > 0) {
+            ++r.retries;
+            r.retransmit_bytes += framed.size();
+            r.retry_seconds += injector_.BackoffSeconds(attempt) +
+                               cluster_.network.TransferSeconds(framed.size());
+          }
+          r.shard_link_seconds[s] +=
+              cluster_.network.TransferSeconds(framed.size());
+          if (attempt > 0) {
+            r.shard_link_seconds[s] += injector_.BackoffSeconds(attempt);
+          }
+          if (injector_.ShouldDrop(gbatch, w, s, attempt)) {
+            ++r.injected_drops;
+            continue;  // Vanished in flight; the sender times out, resends.
+          }
+          std::vector<uint8_t> wire = framed;
+          if (injector_.ShouldCorrupt(gbatch, w, s, attempt)) {
+            ++r.injected_corruptions;
+            injector_.Corrupt(&wire, gbatch, w, s, attempt);
+          }
+          // Server side: validate the frame, then decode the payload. A
+          // detected corruption is NACKed and retried; the CPU spent
+          // detecting it is charged to decode like any delivered message.
+          task_watch.Restart();
+          std::vector<uint8_t> payload;
+          common::Status receive = common::UnframeMessage(wire, &payload);
+          common::SparseGradient decoded;
+          if (receive.ok()) {
+            compress::EncodedGradient inner;
+            inner.bytes = std::move(payload);
+            receive = codec->Decode(inner, &decoded);
+          }
+          const double decode_elapsed = task_watch.Restart() / servers;
+          r.decode_seconds += decode_elapsed;
+          r.shard_decode_seconds[s] += decode_elapsed;
+          if (!receive.ok()) continue;  // Corruption detected: retry.
+          delivered = true;
+          if (metrics_.enabled) accumulate_recovery(per_shard[s], decoded);
+          r.decoded.insert(r.decoded.end(), decoded.begin(), decoded.end());
+          break;
+        }
+        if (!delivered) {
+          // Retry budget exhausted: the sender's final timeout closes the
+          // exchange and the driver drops this worker from the batch.
+          const double timeout = injector_.BackoffSeconds(attempts);
+          r.shard_link_seconds[s] += timeout;
+          r.retry_seconds += timeout;
+          ++r.lost;
+          r.contributes = false;
+        }
       }
       return r;
     };
@@ -248,10 +410,13 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     // factors the aggregate stats use, so labeled slices reconcile with
     // EpochStats exactly (see EntityMetrics in trainer.h).
     double compute_sum = 0.0, encode_sum = 0.0, decode_sum = 0.0;
+    double batch_retry_seconds = 0.0;
+    int contributing = 0;
     std::fill(shard_gather_seconds.begin(), shard_gather_seconds.end(), 0.0);
     for (int w = 0; w < active_workers; ++w) {
       WorkerResult& r = results[w];
       SKETCHML_RETURN_IF_ERROR(r.status);
+      if (r.contributes) ++contributing;
       total_nnz += static_cast<double>(r.nnz);
       compute_sum += r.compute_seconds;
       encode_sum += r.encode_seconds;
@@ -260,8 +425,40 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       for (int s = 0; s < servers; ++s) {
         if (r.shard_bytes[s] == 0) continue;
         stats.bytes_up += r.shard_bytes[s];
+        // On the fault path the worker already modeled its link time
+        // (every retransmit attempt plus backoff waits); fault-free, one
+        // clean transfer of the message.
         shard_gather_seconds[s] +=
-            cluster_.network.TransferSeconds(r.shard_bytes[s]);
+            faults ? r.shard_link_seconds[s]
+                   : cluster_.network.TransferSeconds(r.shard_bytes[s]);
+      }
+      if (faults) {
+        stats.injected_faults += r.injected_drops + r.injected_corruptions +
+                                 (r.straggled ? 1 : 0) + (r.crashed ? 1 : 0);
+        stats.retries += r.retries;
+        stats.retransmit_bytes += r.retransmit_bytes;
+        stats.lost_messages += r.lost;
+        batch_retry_seconds += r.retry_seconds;
+        if (fault_metrics_.enabled) {
+          if (r.injected_drops > 0) {
+            fault_metrics_.injected_drop[w].Add(
+                static_cast<double>(r.injected_drops));
+          }
+          if (r.injected_corruptions > 0) {
+            fault_metrics_.injected_corrupt[w].Add(
+                static_cast<double>(r.injected_corruptions));
+          }
+          if (r.straggled) fault_metrics_.injected_straggle[w].Increment();
+          if (r.crashed) fault_metrics_.injected_crash[w].Increment();
+          if (r.retries > 0) {
+            fault_metrics_.retries[w].Add(static_cast<double>(r.retries));
+            fault_metrics_.retransmit_bytes[w].Add(
+                static_cast<double>(r.retransmit_bytes));
+          }
+          if (r.lost > 0) {
+            fault_metrics_.lost_messages.Add(static_cast<double>(r.lost));
+          }
+        }
       }
       if (metrics_.enabled) {
         metrics_.worker_compute[w].Add(r.compute_seconds / active_workers *
@@ -282,6 +479,43 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         }
       }
     }
+    if (faults) {
+      // Server-shard stalls: a stalled server delays the gather in flight
+      // on its link (no effect on a link with no traffic this batch).
+      for (int s = 0; s < servers; ++s) {
+        if (shard_gather_seconds[s] > 0.0 &&
+            injector_.ServerStalled(gbatch, s)) {
+          shard_gather_seconds[s] += cluster_.faults.stall_seconds;
+          ++stats.injected_faults;
+          if (fault_metrics_.enabled) {
+            fault_metrics_.injected_stall[s].Increment();
+          }
+        }
+      }
+      // Recovery decision: enough whole gradients survived to apply the
+      // batch? Below min_quorum the epoch fails with a typed status; a
+      // partial-but-quorate batch is applied degraded (the aggregate is
+      // rescaled to the mean of the survivors below).
+      if (contributing < cluster_.faults.min_quorum) {
+        return common::Status::Unavailable(
+            "quorum failure at batch " + std::to_string(gbatch) + ": " +
+            std::to_string(contributing) + " of " +
+            std::to_string(active_workers) + " workers delivered (min_quorum=" +
+            std::to_string(cluster_.faults.min_quorum) + ")");
+      }
+      if (contributing < active_workers) ++stats.degraded_batches;
+      if (fault_metrics_.enabled) {
+        fault_metrics_.quorum.Set(static_cast<double>(contributing));
+      }
+      if (obs::TracingEnabled() && batch_retry_seconds > 0.0) {
+        // Modeled recovery time (retransmits + backoff), same convention
+        // as the "gather" span below.
+        obs::EmitSpan("network", "retry", obs::NowNs(),
+                      static_cast<uint64_t>(batch_retry_seconds * 1e9),
+                      "batch", static_cast<double>(gbatch));
+      }
+    }
+
     // Gather happens in parallel across server links: the slowest shard
     // bounds the phase.
     const double gather_seconds = *std::max_element(
@@ -313,10 +547,14 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     common::SparseGradient mean_grad;
     {
       obs::TraceSpan aggregate_span("trainer", "aggregate");
-      const double inv_workers = 1.0 / static_cast<double>(active_workers);
+      // K-of-W degradation: a degraded batch averages over the surviving
+      // workers only (quorum above guarantees contributing >= 1). Fault
+      // free, contributing == active_workers and this is the usual mean.
+      const double inv_workers = 1.0 / static_cast<double>(contributing);
       const auto aggregate_slice = [&](uint64_t lo, uint64_t hi) {
         std::unordered_map<uint64_t, double> sums;
         for (int w = 0; w < active_workers; ++w) {
+          if (!results[w].contributes) continue;
           for (const auto& pair : results[w].decoded) {
             if (pair.key >= lo && pair.key < hi) sums[pair.key] += pair.value;
           }
@@ -438,6 +676,10 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         encode_sum / active_workers * cluster_.codec_scale;
     stats.decode_seconds += decode_sum * cluster_.codec_scale;
     ++stats.num_batches;
+    // Global batch index: the injector keys every decision on it, so the
+    // fault sequence is a function of (plan seed, lifetime batch number)
+    // and replays identically across epochs and thread counts.
+    ++batches_run_;
   }
 
   stats.avg_gradient_nnz =

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "compress/codec.h"
+#include "dist/fault.h"
 #include "dist/network_model.h"
 #include "dist/stats.h"
 #include "ml/dataset.h"
@@ -39,7 +40,24 @@ struct ClusterConfig {
   /// from `compute_scale` because codec kernels are tight array loops in
   /// both systems while the paper's gradient math pays full JVM overhead.
   double codec_scale = 1.0;
+
+  /// Failure model (see dist/fault.h). Inactive by default: every
+  /// message arrives intact and the trainer's byte streams, stats, and
+  /// losses are bit-identical to a cluster without this field. When
+  /// active, gather messages are CRC-framed, the injector can drop /
+  /// corrupt / delay them, and the trainer runs the retry + quorum
+  /// recovery protocol documented in docs/fault_tolerance.md.
+  FaultPlan faults;
 };
+
+/// Validates a cluster description: worker/server counts >= 1, a usable
+/// NetworkModel (positive bandwidth and congestion factor, non-negative
+/// latency — see NetworkModel::Validate), and a well-formed FaultPlan
+/// whose min_quorum does not exceed num_workers. The trainer runs this
+/// at construction and surfaces the failure from RunEpoch/Run, so a
+/// misconfigured simulation returns InvalidArgument instead of silently
+/// dividing by zero in TransferSeconds.
+common::Status ValidateClusterConfig(const ClusterConfig& cluster);
 
 /// Training-loop knobs (paper protocol, §4.1).
 struct TrainerConfig {
@@ -143,6 +161,22 @@ class DistributedTrainer {
     obs::Counter driver_network;
   };
 
+  /// Fault-path counters, resolved at construction only when the plan is
+  /// active and metrics are on. Published from the driver's fixed-order
+  /// reduce loop (single writer), never from worker threads.
+  struct FaultMetrics {
+    bool enabled = false;
+    std::vector<obs::Counter> injected_drop;      // fault/injected{kind=drop,worker=w}
+    std::vector<obs::Counter> injected_corrupt;   // {kind=corrupt,worker=w}
+    std::vector<obs::Counter> injected_straggle;  // {kind=straggle,worker=w}
+    std::vector<obs::Counter> injected_crash;     // {kind=crash,worker=w}
+    std::vector<obs::Counter> injected_stall;     // {kind=stall,server=s}
+    std::vector<obs::Counter> retries;            // net/retries{worker=w}
+    std::vector<obs::Counter> retransmit_bytes;   // net/retransmit_bytes{worker=w}
+    obs::Counter lost_messages;                   // net/lost_messages
+    obs::Gauge quorum;                            // trainer/quorum (last batch)
+  };
+
   const ml::Dataset* train_;
   const ml::Dataset* test_;
   const ml::Loss* loss_;
@@ -158,7 +192,14 @@ class DistributedTrainer {
   TrainerConfig config_;
   std::unique_ptr<ml::Optimizer> optimizer_;
   EntityMetrics metrics_;
+  FaultMetrics fault_metrics_;
+  /// Non-OK when the ClusterConfig failed validation; RunEpoch returns
+  /// this instead of training (the constructor cannot return a Status).
+  common::Status init_status_;
+  FaultInjector injector_;
+  bool faults_active_ = false;
   int epochs_run_ = 0;
+  uint64_t batches_run_ = 0;  // Global batch index fed to the injector.
   double simulated_seconds_ = 0.0;
 };
 

@@ -1,0 +1,88 @@
+#include "common/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace sketchml::common {
+namespace {
+
+std::vector<uint8_t> SamplePayload(size_t n) {
+  std::vector<uint8_t> payload(n);
+  for (size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  return payload;
+}
+
+TEST(FramingTest, RoundTripsPayload) {
+  const std::vector<uint8_t> payload = SamplePayload(257);
+  std::vector<uint8_t> framed, decoded;
+  FrameMessage(payload, &framed);
+  EXPECT_EQ(framed.size(), payload.size() + kFrameHeaderBytes);
+  ASSERT_TRUE(UnframeMessage(framed, &decoded).ok());
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST(FramingTest, RoundTripsEmptyPayload) {
+  std::vector<uint8_t> framed, decoded;
+  FrameMessage({}, &framed);
+  EXPECT_EQ(framed.size(), kFrameHeaderBytes);
+  ASSERT_TRUE(UnframeMessage(framed, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(FramingTest, RejectsEveryTruncation) {
+  const std::vector<uint8_t> payload = SamplePayload(64);
+  std::vector<uint8_t> framed;
+  FrameMessage(payload, &framed);
+  for (size_t keep = 0; keep < framed.size(); ++keep) {
+    std::vector<uint8_t> cut(framed.begin(), framed.begin() + keep);
+    std::vector<uint8_t> decoded;
+    const Status status = UnframeMessage(cut, &decoded);
+    EXPECT_EQ(status.code(), StatusCode::kCorruptedData)
+        << "prefix of " << keep << " bytes accepted";
+  }
+}
+
+TEST(FramingTest, RejectsEverySingleBitFlip) {
+  const std::vector<uint8_t> payload = SamplePayload(48);
+  std::vector<uint8_t> framed;
+  FrameMessage(payload, &framed);
+  for (size_t byte = 0; byte < framed.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> flipped = framed;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      std::vector<uint8_t> decoded;
+      EXPECT_FALSE(UnframeMessage(flipped, &decoded).ok())
+          << "bit " << bit << " of byte " << byte << " undetected";
+    }
+  }
+}
+
+TEST(FramingTest, RejectsTrailingGarbage) {
+  std::vector<uint8_t> framed;
+  FrameMessage(SamplePayload(16), &framed);
+  framed.push_back(0xAB);
+  std::vector<uint8_t> decoded;
+  EXPECT_EQ(UnframeMessage(framed, &decoded).code(),
+            StatusCode::kCorruptedData);
+}
+
+TEST(FramingTest, RejectsOversizedLengthHeader) {
+  std::vector<uint8_t> framed;
+  FrameMessage(SamplePayload(16), &framed);
+  // Declare a payload far larger than the buffer holds; a sloppy decoder
+  // would read past the end.
+  framed[0] = 0xFF;
+  framed[1] = 0xFF;
+  framed[2] = 0xFF;
+  framed[3] = 0x7F;
+  std::vector<uint8_t> decoded;
+  EXPECT_EQ(UnframeMessage(framed, &decoded).code(),
+            StatusCode::kCorruptedData);
+}
+
+}  // namespace
+}  // namespace sketchml::common

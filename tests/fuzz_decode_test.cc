@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/framing.h"
 #include "common/random.h"
 #include "common/sparse.h"
 #include "core/codec_factory.h"
@@ -100,6 +101,68 @@ TEST_P(CodecFuzzTest, HugeDeclaredCountsAreRejectedCheaply) {
   // allocation may happen.
   if (status.ok()) {
     EXPECT_LT(decoded.size(), 64u);
+  }
+}
+
+TEST_P(CodecFuzzTest, SurvivesSingleBitFlipAtEveryPosition) {
+  // Exhaustive single-bit damage over the head of the message (where
+  // every format keeps its counts and offsets) and sampled positions
+  // beyond: decode must return cleanly each time.
+  auto codec = std::move(core::MakeCodec(GetParam())).value();
+  const auto grad = MakeGradient(120, 1 << 18, 293);
+  EncodedGradient msg;
+  ASSERT_TRUE(codec->Encode(grad, &msg).ok());
+
+  common::SparseGradient decoded;
+  for (size_t byte = 0; byte < msg.bytes.size();
+       byte += (byte < 96 ? 1 : 13)) {
+    for (int bit = 0; bit < 8; ++bit) {
+      EncodedGradient corrupted = msg;
+      corrupted.bytes[byte] ^= static_cast<uint8_t>(1u << bit);
+      const common::Status status = codec->Decode(corrupted, &decoded);
+      if (status.ok()) {
+        EXPECT_LT(decoded.size(), msg.bytes.size() * 8);
+      }
+    }
+  }
+}
+
+TEST_P(CodecFuzzTest, ZeroLengthMessageIsHandledCleanly) {
+  auto codec = std::move(core::MakeCodec(GetParam())).value();
+  common::SparseGradient decoded;
+  EncodedGradient empty;
+  const common::Status status = codec->Decode(empty, &decoded);
+  if (status.ok()) {
+    EXPECT_TRUE(decoded.empty());
+  }
+}
+
+TEST_P(CodecFuzzTest, FramedMessagesNeverFalseOkOnCorruption) {
+  // The trainer's fault path wraps every codec message in the CRC frame;
+  // at that layer *every* single-bit flip and truncation must be
+  // detected, so no corrupted payload ever reaches the codec undetected.
+  auto codec = std::move(core::MakeCodec(GetParam())).value();
+  const auto grad = MakeGradient(120, 1 << 18, 307);
+  EncodedGradient msg;
+  ASSERT_TRUE(codec->Encode(grad, &msg).ok());
+  std::vector<uint8_t> framed;
+  common::FrameMessage(msg.bytes, &framed);
+
+  std::vector<uint8_t> payload;
+  for (size_t byte = 0; byte < framed.size();
+       byte += (byte < 64 ? 1 : 11)) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> flipped = framed;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(common::UnframeMessage(flipped, &payload).ok())
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+  for (size_t keep = 0; keep < framed.size();
+       keep += (keep < 64 ? 1 : 11)) {
+    std::vector<uint8_t> cut(framed.begin(), framed.begin() + keep);
+    EXPECT_FALSE(common::UnframeMessage(cut, &payload).ok())
+        << "undetected truncation to " << keep << " bytes";
   }
 }
 

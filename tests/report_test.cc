@@ -217,6 +217,42 @@ TEST(RunReportTest, TrainerSeriesReconcilesWithEpochStats) {
   EXPECT_NE(text.find("worker"), std::string::npos);
   EXPECT_NE(text.find("sketchml"), std::string::npos);
   EXPECT_NE(text.find("epoch"), std::string::npos);
+  // A fault-free run reports no fault section at all.
+  EXPECT_FALSE(report.faults.Any());
+  EXPECT_EQ(text.find("fault tolerance"), std::string::npos);
+}
+
+TEST(RunReportTest, FaultCountersRollUpIntoFaultSummary) {
+  const std::string text =
+      std::string(kHeader) + "\n" +
+      SampleLine(1e9, "final",
+                 R"("fault/injected{kind=drop,worker=0}":3,)"
+                 R"("fault/injected{kind=drop,worker=1}":2,)"
+                 R"("fault/injected{kind=corrupt,worker=0}":4,)"
+                 R"("fault/injected{kind=stall,server=0}":1,)"
+                 R"("net/retries{worker=0}":6,)"
+                 R"("net/retries{worker=1}":1,)"
+                 R"("net/retransmit_bytes{worker=0}":5000,)"
+                 R"("net/lost_messages":2,)"
+                 R"("trainer/degraded_batches":2)",
+                 "") +
+      "\n";
+  auto parsed = ParseRunSeries(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const RunReport report = BuildRunReport(*parsed);
+  EXPECT_DOUBLE_EQ(report.faults.injected_drop, 5.0);
+  EXPECT_DOUBLE_EQ(report.faults.injected_corrupt, 4.0);
+  EXPECT_DOUBLE_EQ(report.faults.injected_stall, 1.0);
+  EXPECT_DOUBLE_EQ(report.faults.InjectedTotal(), 10.0);
+  EXPECT_DOUBLE_EQ(report.faults.retries, 7.0);
+  EXPECT_DOUBLE_EQ(report.faults.retransmit_bytes, 5000.0);
+  EXPECT_DOUBLE_EQ(report.faults.lost_messages, 2.0);
+  EXPECT_DOUBLE_EQ(report.faults.degraded_batches, 2.0);
+  EXPECT_TRUE(report.faults.Any());
+  const std::string rendered = RenderRunReport(report);
+  EXPECT_NE(rendered.find("fault tolerance"), std::string::npos);
+  EXPECT_NE(rendered.find("7 retries"), std::string::npos);
+  EXPECT_NE(rendered.find("2 batches applied degraded"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -23,8 +23,11 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::Internal("boom").message(), "boom");
   EXPECT_EQ(Status::Internal("boom").ToString(), "internal: boom");
+  EXPECT_EQ(Status::Unavailable("no quorum").ToString(),
+            "unavailable: no quorum");
 }
 
 Status FailsThenSucceeds(bool fail) {

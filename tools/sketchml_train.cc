@@ -42,6 +42,21 @@ constexpr char kUsage[] = R"(sketchml_train [flags]
                         (default 0 = one per hardware core; results are
                         bit-identical at any thread count)
   --crc                 wrap the codec in a CRC-32 frame
+  --fault-seed=N        fault-injection seed (default 1); a fixed seed
+                        replays the identical fault sequence
+  --fault-drop=P        P(gather message attempt lost in transit)
+  --fault-corrupt=P     P(attempt arrives corrupted; CRC framing detects
+                        it and the sender retries)
+  --fault-straggle=P    P(worker straggles for a batch)
+  --fault-straggle-factor=X  straggler delay multiplier (default 4)
+  --fault-crash=P       P(worker crashes at a batch)
+  --fault-crash-batches=K    batches a crashed worker stays down (def. 3)
+  --fault-stall=P       P(server shard stalls during a batch's gather)
+  --fault-stall-seconds=S    modeled seconds per stall (default 0.05)
+  --fault-retries=N     retransmit budget per message (default 3)
+  --fault-backoff=S     base retry backoff, doubles per attempt (def 1e-3)
+  --min-quorum=K        min surviving workers per batch; fewer aborts the
+                        run with "unavailable" (default 1)
   --obs=MODE            auto | on | off (default auto: record metrics and
                         traces iff an output flag below is given; off
                         never perturbs results — losses and bytes are
@@ -95,6 +110,8 @@ int main(int argc, char** argv) {
   if (!threads.ok()) return Fail(threads.status());
   const std::string network_name = flags.GetString("network", "lab");
   const bool use_crc = flags.GetBool("crc", false);
+  auto fault_plan = dist::FaultPlanFromFlags(flags);
+  if (!fault_plan.ok()) return Fail(fault_plan.status());
   auto obs_config = obs::ConfigureFromFlags(flags);
   if (!obs_config.ok()) return Fail(obs_config.status());
   for (const auto* result :
@@ -149,6 +166,7 @@ int main(int argc, char** argv) {
         common::Status::InvalidArgument("unknown network " + network_name));
   }
   cluster.network = dist::NetworkModel::Scaled(base, *net_scale);
+  cluster.faults = *fault_plan;
 
   dist::TrainerConfig config;
   config.batch_ratio = *batch_ratio;
@@ -184,12 +202,24 @@ int main(int argc, char** argv) {
   metadata.Add("seed", static_cast<long long>(*seed));
   metadata.Add("threads", static_cast<long long>(trainer.num_threads()));
   metadata.Add("crc", use_crc ? "1" : "0");
+  if (fault_plan->Active()) {
+    metadata.Add("fault_seed", static_cast<long long>(fault_plan->seed));
+    metadata.Add("fault_drop", fault_plan->drop_prob);
+    metadata.Add("fault_corrupt", fault_plan->corrupt_prob);
+    metadata.Add("fault_straggle", fault_plan->straggle_prob);
+    metadata.Add("fault_crash", fault_plan->crash_prob);
+    metadata.Add("fault_stall", fault_plan->stall_prob);
+    metadata.Add("fault_retries",
+                 static_cast<long long>(fault_plan->max_retries));
+    metadata.Add("min_quorum", static_cast<long long>(fault_plan->min_quorum));
+  }
   auto sampler = obs::StartSamplerFromConfig(*obs_config,
                                              std::move(metadata));
   if (!sampler.ok()) return Fail(sampler.status());
 
   std::printf("%6s %10s %12s %12s %10s %10s\n", "epoch", "sim sec",
               "up MB", "msg KB", "train", "test");
+  std::vector<dist::EpochStats> all_stats;
   for (int e = 0; e < *epochs; ++e) {
     auto stats = trainer.RunEpoch();
     if (!stats.ok()) return Fail(stats.status());
@@ -197,7 +227,21 @@ int main(int argc, char** argv) {
                 stats->TotalSeconds(), stats->bytes_up / 1e6,
                 stats->AvgMessageBytes() / 1e3, stats->train_loss,
                 stats->test_loss);
+    all_stats.push_back(*stats);
     if (*sampler != nullptr) (*sampler)->SampleNow("epoch");
+  }
+
+  if (fault_plan->Active()) {
+    // One summary line for the whole run; scripts/run_fault_matrix.sh
+    // greps these fields, so keep the format stable.
+    const dist::EpochStats total = dist::Aggregate(all_stats);
+    std::printf("faults: injected=%llu retries=%llu retransmit_bytes=%llu "
+                "lost=%llu degraded_batches=%llu\n",
+                static_cast<unsigned long long>(total.injected_faults),
+                static_cast<unsigned long long>(total.retries),
+                static_cast<unsigned long long>(total.retransmit_bytes),
+                static_cast<unsigned long long>(total.lost_messages),
+                static_cast<unsigned long long>(total.degraded_batches));
   }
 
   if (obs_config->metrics) {
