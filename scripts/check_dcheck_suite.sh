@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Checked-suite gate: configure + build the `checked` preset (DCHECK
+# contract assertions live) and run its full test suite. Registered as
+# the `checked_suite` ctest gate in the default configuration only — the
+# checked configuration must not recurse into itself — so a plain
+# `ctest` in build/ exercises every invariant assertion locally, not
+# just in CI.
+#
+# Incremental: the preset's binaryDir (build-checked/) is reused across
+# runs, so after the first build this is cheap.
+#
+# Usage: scripts/check_dcheck_suite.sh [JOBS]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${1:-$(nproc)}"
+
+cd "$repo_root"
+cmake --preset checked > /dev/null
+cmake --build --preset checked -j "$jobs" > /dev/null
+ctest --preset checked -j "$jobs"

@@ -6,6 +6,11 @@ namespace sketchml::common {
 
 void ByteWriter::WriteUintN(uint64_t v, int nbytes) {
   SKETCHML_CHECK(nbytes >= 1 && nbytes <= 8);
+  // A value wider than the declared width would be silently truncated on
+  // the wire and decode to a *different key* — exactly the corruption
+  // class §3.4 forbids. Callers size nbytes from the value; hold them to it.
+  SKETCHML_DCHECK(nbytes == 8 || (v >> (8 * nbytes)) == 0)
+      << "WriteUintN(" << v << ", " << nbytes << ") would truncate";
   for (int i = 0; i < nbytes; ++i) {
     buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
   }
@@ -22,6 +27,7 @@ void ByteWriter::WriteVarint(uint64_t v) {
 Status ByteReader::ReadU8(uint8_t* out) {
   if (pos_ + 1 > len_) return Status::CorruptedData("read past end of buffer");
   *out = data_[pos_++];
+  SKETCHML_DCHECK_LE(pos_, len_);
   return Status::Ok();
 }
 
@@ -37,6 +43,7 @@ Status ByteReader::ReadUintN(int nbytes, uint64_t* out) {
     v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
   }
   pos_ += nbytes;
+  SKETCHML_DCHECK_LE(pos_, len_);
   *out = v;
   return Status::Ok();
 }
@@ -57,10 +64,13 @@ Status ByteReader::ReadVarint(uint64_t* out) {
 }
 
 Status ByteReader::ReadRaw(void* out, size_t len) {
-  if (pos_ + len > len_) return Status::CorruptedData("read past end of buffer");
+  if (pos_ + len > len_) {
+    return Status::CorruptedData("read past end of buffer");
+  }
   if (len == 0) return Status::Ok();  // out may be null (empty vector data()).
   std::memcpy(out, data_ + pos_, len);
   pos_ += len;
+  SKETCHML_DCHECK_LE(pos_, len_);
   return Status::Ok();
 }
 
@@ -81,6 +91,7 @@ Status TwoBitReader::Next(uint8_t* out) {
   const size_t bit_offset = (pos_ % 4) * 2;
   *out = (data_[byte_index] >> bit_offset) & 0x3;
   ++pos_;
+  SKETCHML_DCHECK_LE(pos_, count_);
   return Status::Ok();
 }
 

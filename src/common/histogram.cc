@@ -26,7 +26,9 @@ void Histogram::AddAll(const std::vector<double>& values) {
 }
 
 double Histogram::BinLow(int bin) const { return lo_ + bin * bin_width_; }
-double Histogram::BinHigh(int bin) const { return lo_ + (bin + 1) * bin_width_; }
+double Histogram::BinHigh(int bin) const {
+  return lo_ + (bin + 1) * bin_width_;
+}
 
 std::string Histogram::ToAscii(int width) const {
   uint64_t max_count = 1;

@@ -8,7 +8,13 @@
 namespace sketchml::common {
 
 /// Severity of a log line. `kFatal` aborts the process after logging.
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4
+};
 
 /// Sets the minimum severity that is emitted to stderr. Defaults to kInfo.
 void SetLogThreshold(LogLevel level);
@@ -65,6 +71,44 @@ class NullStream {
 #define SKETCHML_CHECK_LE(a, b) SKETCHML_CHECK((a) <= (b))
 #define SKETCHML_CHECK_GT(a, b) SKETCHML_CHECK((a) > (b))
 #define SKETCHML_CHECK_GE(a, b) SKETCHML_CHECK((a) >= (b))
+
+/// Debug-only contract assertion for structural invariants that are too
+/// expensive (or too hot) to verify on every release-mode call: GK band
+/// bounds after compress, KLL level-weight conservation, byte-cursor
+/// accounting, thread-pool task counts.
+///
+/// Enabled by building with -DSKETCHML_DCHECK=ON (the `checked` CMake
+/// preset). In release builds the condition is type-checked but NEVER
+/// evaluated — zero overhead, and runs stay bit-identical to a build
+/// without the macro (pinned by tests/dcheck_test.cc and the golden
+/// regression gate). Conditions must therefore be side-effect free.
+///
+/// Use SKETCHML_CHECK for cheap preconditions that must also hold in
+/// production; use SKETCHML_DCHECK for O(n) invariant walks and
+/// redundant-by-construction consistency checks.
+#ifndef SKETCHML_DCHECK_ENABLED
+#define SKETCHML_DCHECK_ENABLED 0
+#endif
+
+#if SKETCHML_DCHECK_ENABLED
+#define SKETCHML_DCHECK(condition)                                      \
+  (condition) ? (void)0                                                 \
+              : ::sketchml::common::internal::Voidify() &               \
+                    SKETCHML_LOG(Fatal) << "DCheck failed: " #condition " "
+#else
+// Dead `while (false)` keeps the condition (and any streamed operands)
+// type-checked so disabled DCHECKs cannot bit-rot, while guaranteeing the
+// expression is never evaluated.
+#define SKETCHML_DCHECK(condition) \
+  while (false) SKETCHML_CHECK(condition)
+#endif
+
+#define SKETCHML_DCHECK_EQ(a, b) SKETCHML_DCHECK((a) == (b))
+#define SKETCHML_DCHECK_NE(a, b) SKETCHML_DCHECK((a) != (b))
+#define SKETCHML_DCHECK_LT(a, b) SKETCHML_DCHECK((a) < (b))
+#define SKETCHML_DCHECK_LE(a, b) SKETCHML_DCHECK((a) <= (b))
+#define SKETCHML_DCHECK_GT(a, b) SKETCHML_DCHECK((a) > (b))
+#define SKETCHML_DCHECK_GE(a, b) SKETCHML_DCHECK((a) >= (b))
 
 namespace sketchml::common::internal {
 

@@ -76,6 +76,7 @@ struct Impl {
 };
 
 Impl& GetImpl() {
+  // NOLINTNEXTLINE(sketchml-naked-new): leaked on purpose.
   static Impl* impl = new Impl;  // Leaked: outlives thread-local dtors.
   return *impl;
 }
@@ -100,7 +101,7 @@ void RetireShard(Shard* shard) {
   }
   impl.live_shards.erase(
       std::find(impl.live_shards.begin(), impl.live_shards.end(), shard));
-  delete shard;
+  delete shard;  // NOLINT(sketchml-naked-new): end of TLS retire cycle.
 }
 
 struct TlsShard {
@@ -113,6 +114,7 @@ struct TlsShard {
 Shard* ThisShard() {
   thread_local TlsShard tls;
   if (tls.shard == nullptr) {
+    // NOLINTNEXTLINE(sketchml-naked-new): owned by the TLS retire cycle.
     auto* shard = new Shard;
     Impl& impl = GetImpl();
     std::lock_guard<std::mutex> lock(impl.mutex);
@@ -270,6 +272,7 @@ void Histogram::Record(double value) const {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
+  // NOLINTNEXTLINE(sketchml-naked-new): leaked singleton, safe at exit.
   static MetricsRegistry* registry = new MetricsRegistry;
   return *registry;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/obs.h"
 #include "common/trace.h"
@@ -63,6 +64,7 @@ common::Result<std::unique_ptr<MetricsSampler>> MetricsSampler::Start(
     return common::Status::InvalidArgument("sampler needs an output path");
   }
   std::unique_ptr<MetricsSampler> sampler(
+      // NOLINTNEXTLINE(sketchml-naked-new): make_unique needs a public ctor.
       new MetricsSampler(std::move(options)));
   if (!sampler->out_) {
     return common::Status::IoError("cannot open " +
@@ -80,14 +82,25 @@ common::Result<std::unique_ptr<MetricsSampler>> MetricsSampler::Start(
 MetricsSampler::MetricsSampler(Options options)
     : options_(std::move(options)), out_(options_.out_path) {}
 
-MetricsSampler::~MetricsSampler() { Stop(); }
+MetricsSampler::~MetricsSampler() {
+  // A destructor cannot propagate the flush failure; surface it in the
+  // log instead of dropping it (callers wanting the Status call Stop()).
+  const common::Status status = Stop();
+  if (!status.ok()) {
+    SKETCHML_LOG(Warning) << "MetricsSampler final flush failed: "
+                          << status.ToString();
+  }
+}
 
 void MetricsSampler::WriteHeader() {
   std::lock_guard<std::mutex> lock(mutex_);
   out_ << "{\"type\":\"run\",\"schema\":1,\"git_sha\":";
   AppendJsonString(out_, BuildGitSha());
   out_ << ",\"start_unix_ms\":"
+       // Wall-clock on purpose: the run header records when the run
+       // happened for humans; nothing downstream computes with it.
        << std::chrono::duration_cast<std::chrono::milliseconds>(
+              // NOLINTNEXTLINE(sketchml-wallclock)
               std::chrono::system_clock::now().time_since_epoch())
               .count();
   out_ << ",\"meta\":{";

@@ -12,7 +12,9 @@ std::atomic<bool> g_tracing_enabled{false};
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// The obs layer is itself timing infrastructure: NowNs() is the
+// sanctioned monotonic clock everything else is told to use.
+using Clock = std::chrono::steady_clock;  // NOLINT(sketchml-wallclock)
 
 Clock::time_point ProcessEpoch() {
   static const Clock::time_point epoch = Clock::now();

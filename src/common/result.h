@@ -13,8 +13,11 @@ namespace sketchml::common {
 ///
 /// Mirrors `arrow::Result` / `absl::StatusOr`: functions that produce a
 /// value but may fail return `Result<T>` instead of taking an out-param.
+///
+/// `[[nodiscard]]` like `Status`: dropping a `Result` discards both the
+/// value and the error explaining its absence, so the compiler flags it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

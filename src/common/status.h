@@ -30,7 +30,14 @@ const char* StatusCodeToString(StatusCode code);
 /// The library does not use exceptions; recoverable failures (bad user
 /// input, corrupted wire data, missing files) surface as a non-OK `Status`.
 /// Programmer errors use `SKETCHML_CHECK` instead.
-class Status {
+///
+/// The class is `[[nodiscard]]`: every function returning a `Status` by
+/// value warns (errors under -Werror) if the caller drops the result, so
+/// a swallowed decode/validate failure cannot compile silently. A caller
+/// that genuinely cannot act on the error must say so explicitly via a
+/// `(void)` cast plus a `// NOLINT(sketchml-discarded-status)` comment
+/// justifying it (enforced by tools/sketchml_lint).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

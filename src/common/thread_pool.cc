@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace sketchml::common {
 
 namespace internal {
@@ -9,7 +11,7 @@ namespace internal {
 const PoolObs& PoolObs::Get() {
   // Leaked: task lambdas may outlive static destruction.
   static const PoolObs* obs = [] {
-    auto* p = new PoolObs;
+    auto* p = new PoolObs;  // NOLINT(sketchml-naked-new): leaked singleton.
     auto& registry = obs::MetricsRegistry::Global();
     p->tasks = registry.GetCounter("threadpool/tasks");
     p->task_wait_ns = registry.GetHistogram("threadpool/task_wait_ns");
@@ -50,12 +52,19 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // Workers drain the queue before exiting, so after the joins every
+  // submitted task node must have been handed to a worker (the claim
+  // race with TaskFuture::Get is downstream of the hand-off).
+  SKETCHML_DCHECK(queue_.empty())
+      << queue_.size() << " tasks still queued at pool shutdown";
+  SKETCHML_DCHECK_EQ(debug_enqueued_, debug_dequeued_);
 }
 
 void ThreadPool::Enqueue(std::shared_ptr<internal::TaskNode> node) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(node));
+    if constexpr (SKETCHML_DCHECK_ENABLED) ++debug_enqueued_;
     if (obs::MetricsEnabled()) {
       obs_.queue_depth.Set(static_cast<double>(queue_.size()));
     }
@@ -72,6 +81,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained.
       node = std::move(queue_.front());
       queue_.pop_front();
+      if constexpr (SKETCHML_DCHECK_ENABLED) ++debug_dequeued_;
       if (obs::MetricsEnabled()) {
         obs_.queue_depth.Set(static_cast<double>(queue_.size()));
       }

@@ -166,6 +166,13 @@ class ThreadPool {
   bool stopping_ = false;
   internal::PoolObs obs_;  // This pool's (possibly labeled) handles.
   std::vector<std::thread> workers_;
+
+  // Task-count accounting for the shutdown DCHECK (maintained only in
+  // checked builds, both guarded by mutex_): every enqueued node must be
+  // dequeued by a worker before the pool dies, or a submitted task was
+  // silently dropped.
+  size_t debug_enqueued_ = 0;
+  size_t debug_dequeued_ = 0;
 };
 
 }  // namespace sketchml::common

@@ -60,6 +60,7 @@ struct Impl {
 };
 
 Impl& GetImpl() {
+  // NOLINTNEXTLINE(sketchml-naked-new): leaked on purpose.
   static Impl* impl = new Impl;  // Leaked: outlives thread-local dtors.
   return *impl;
 }
@@ -73,7 +74,7 @@ void RetireRing(Ring* ring) {
     impl.retired_dropped += ring->dropped;
   }
   impl.live.erase(std::find(impl.live.begin(), impl.live.end(), ring));
-  delete ring;
+  delete ring;  // NOLINT(sketchml-naked-new): end of TLS retire cycle.
 }
 
 struct TlsRing {
@@ -88,6 +89,7 @@ Ring* ThisRing() {
   if (tls.ring == nullptr) {
     Impl& impl = GetImpl();
     std::lock_guard<std::mutex> lock(impl.mutex);
+    // NOLINTNEXTLINE(sketchml-naked-new): owned by the TLS retire cycle.
     auto* ring = new Ring(impl.ring_capacity.load(std::memory_order_relaxed),
                           impl.next_tid++);
     impl.live.push_back(ring);
@@ -143,6 +145,7 @@ void EmitSpan(const char* category, std::string_view name, uint64_t ts_ns,
 }
 
 TraceLog& TraceLog::Global() {
+  // NOLINTNEXTLINE(sketchml-naked-new): leaked singleton, safe at exit.
   static TraceLog* log = new TraceLog;
   return *log;
 }

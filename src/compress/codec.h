@@ -50,8 +50,8 @@ class GradientCodec {
 
   /// Serializes `grad` into `out`. `grad` must be sorted by key with
   /// strictly increasing keys; returns InvalidArgument otherwise.
-  common::Status Encode(const common::SparseGradient& grad,
-                        EncodedGradient* out);
+  [[nodiscard]] common::Status Encode(const common::SparseGradient& grad,
+                                      EncodedGradient* out);
 
   /// Reconstructs a gradient from `in`. Keys are exact; values are exact
   /// iff `IsLossless()`.
@@ -65,8 +65,8 @@ class GradientCodec {
   /// messages with "+crc" (ChecksummedCodec) or `common::FrameMessage`
   /// when detection is required. Pinned by tests/fuzz_decode_test.cc for
   /// every registered codec.
-  common::Status Decode(const EncodedGradient& in,
-                        common::SparseGradient* out);
+  [[nodiscard]] common::Status Decode(const EncodedGradient& in,
+                                      common::SparseGradient* out);
 
   /// Returns an independent codec instance for seed lane `lane`, suitable
   /// for concurrent use next to `this` (e.g. one instance per simulated
@@ -127,7 +127,8 @@ class GradientCodec {
 };
 
 /// Validates the shared Encode precondition; used by all implementations.
-common::Status ValidateEncodable(const common::SparseGradient& grad);
+[[nodiscard]] common::Status ValidateEncodable(
+    const common::SparseGradient& grad);
 
 }  // namespace sketchml::compress
 

@@ -14,7 +14,8 @@ constexpr double kResidualFloor = 1e-12;
 
 }  // namespace
 
-common::Status ErrorFeedbackCodec::EncodeImpl(const common::SparseGradient& grad,
+common::Status ErrorFeedbackCodec::EncodeImpl(
+    const common::SparseGradient& grad,
                                           EncodedGradient* out) {
 
   // compensated = gradient + residual (union of keys, sorted).

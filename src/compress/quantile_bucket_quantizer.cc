@@ -34,6 +34,9 @@ QuantileBucketQuantizer::QuantileBucketQuantizer(std::vector<double> splits)
   for (size_t i = 0; i + 1 < splits_.size(); ++i) {
     means_.push_back(0.5 * (splits_[i] + splits_[i + 1]));
   }
+  // Midpoints of sorted split intervals must themselves be monotone;
+  // a violation means the split computation produced a non-bucket.
+  SKETCHML_DCHECK(std::is_sorted(means_.begin(), means_.end()));
 }
 
 int QuantileBucketQuantizer::BucketOf(double value) const {
@@ -43,6 +46,11 @@ int QuantileBucketQuantizer::BucketOf(double value) const {
   const auto it = std::upper_bound(splits_.begin(), splits_.end(), value);
   int idx = static_cast<int>(it - splits_.begin()) - 1;
   const int clamped = std::clamp(idx, 0, num_buckets() - 1);
+  // Bucket-interval contract: value sits in [splits[i], splits[i+1])
+  // whenever it was not clamped to an extreme bucket.
+  SKETCHML_DCHECK(clamped != idx || (splits_[clamped] <= value &&
+                                     (clamped + 1 == num_buckets() ||
+                                      value < splits_[clamped + 1])));
   if (clamped != idx && obs::MetricsEnabled()) {
     // A clamp means the value fell outside the sketch's learned range —
     // the bucket-overflow event the paper's §3.2 error analysis assumes

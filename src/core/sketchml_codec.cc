@@ -198,7 +198,8 @@ common::Status SketchMlCodec::EncodeImpl(const common::SparseGradient& grad,
     writer.WriteBytes(neg_writer.buffer());
     last_space_cost_.bucket_mean_bytes =
         pos_cost.bucket_mean_bytes + neg_cost.bucket_mean_bytes;
-    last_space_cost_.sketch_bytes = pos_cost.sketch_bytes + neg_cost.sketch_bytes;
+    last_space_cost_.sketch_bytes =
+        pos_cost.sketch_bytes + neg_cost.sketch_bytes;
     last_space_cost_.key_bytes = pos_cost.key_bytes + neg_cost.key_bytes;
   } else {
     SKETCHML_RETURN_IF_ERROR(EncodeStream(pos, /*negate=*/false, config_, seed,
@@ -325,7 +326,8 @@ std::unique_ptr<compress::GradientCodec> QuantileOnlyCodec::Fork(
   return std::make_unique<QuantileOnlyCodec>(fork_config);
 }
 
-common::Status QuantileOnlyCodec::DecodeImpl(const compress::EncodedGradient& in,
+common::Status QuantileOnlyCodec::DecodeImpl(
+    const compress::EncodedGradient& in,
                                          common::SparseGradient* out) {
   common::ByteReader reader(in.bytes);
   uint8_t version = 0;

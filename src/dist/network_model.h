@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace sketchml::dist {
@@ -42,8 +43,11 @@ struct NetworkModel {
     return common::Status::Ok();
   }
 
-  /// Seconds to move `bytes` over this link.
+  /// Seconds to move `bytes` over this link. Precondition: `Validate()`
+  /// passed (the trainer checks at construction; ad-hoc users are held to
+  /// it in checked builds — a bad model yields inf/NaN seconds here).
   double TransferSeconds(size_t bytes) const {
+    SKETCHML_DCHECK(Validate().ok()) << Validate().ToString();
     const double effective_bps =
         bandwidth_gbps * 1e9 / 8.0 / congestion_factor;
     return latency_seconds + static_cast<double>(bytes) / effective_bps;

@@ -81,6 +81,7 @@ struct TrainerMetrics {
 
   static const TrainerMetrics& Get() {
     static const TrainerMetrics* metrics = [] {
+      // NOLINTNEXTLINE(sketchml-naked-new): leaked singleton.
       auto* m = new TrainerMetrics;
       auto& registry = obs::MetricsRegistry::Global();
       m->compute_seconds = registry.GetCounter("trainer/compute_seconds");

@@ -36,7 +36,8 @@ struct EpochStats {
 
   // Fault-tolerance accounting (all zero when the FaultPlan is inactive,
   // so fault-free stats stay bit-identical to a build without faults).
-  uint64_t injected_faults = 0;    // Drops+corruptions+stragglers+crashes+stalls.
+  // Drops + corruptions + stragglers + crashes + stalls.
+  uint64_t injected_faults = 0;
   uint64_t retries = 0;            // Retransmit attempts beyond the first.
   uint64_t retransmit_bytes = 0;   // Bytes re-sent by those retries.
   uint64_t lost_messages = 0;      // Undelivered after the retry budget.

@@ -154,7 +154,8 @@ DistributedTrainer::DistributedTrainer(
     }
     for (int s = 0; s < cluster_.num_servers; ++s) {
       fault_metrics_.injected_stall.push_back(registry.GetCounter(
-          "fault/injected", {{"kind", "stall"}, {"server", std::to_string(s)}}));
+          "fault/injected",
+          {{"kind", "stall"}, {"server", std::to_string(s)}}));
     }
     fault_metrics_.lost_messages = registry.GetCounter("net/lost_messages");
     fault_metrics_.quorum = registry.GetGauge("trainer/quorum");
@@ -269,7 +270,13 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         const size_t hint = grad.size() / static_cast<size_t>(servers) + 1;
         for (auto& piece : per_shard) piece.reserve(hint);
         for (const auto& pair : grad) {
-          per_shard[shard_of(pair.key)].push_back(pair);
+          const int dest = shard_of(pair.key);
+          // A key >= dim would compute a shard past the last server and
+          // corrupt the neighbouring vector silently.
+          SKETCHML_DCHECK_GE(dest, 0);
+          SKETCHML_DCHECK_LT(dest, servers)
+              << "gradient key " << pair.key << " outside model dim " << dim;
+          per_shard[dest].push_back(pair);
         }
       }
 

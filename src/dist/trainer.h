@@ -166,13 +166,14 @@ class DistributedTrainer {
   /// reduce loop (single writer), never from worker threads.
   struct FaultMetrics {
     bool enabled = false;
-    std::vector<obs::Counter> injected_drop;      // fault/injected{kind=drop,worker=w}
+    // fault/injected{kind=...,worker=w} per kind, net/* per worker.
+    std::vector<obs::Counter> injected_drop;
     std::vector<obs::Counter> injected_corrupt;   // {kind=corrupt,worker=w}
     std::vector<obs::Counter> injected_straggle;  // {kind=straggle,worker=w}
     std::vector<obs::Counter> injected_crash;     // {kind=crash,worker=w}
     std::vector<obs::Counter> injected_stall;     // {kind=stall,server=s}
     std::vector<obs::Counter> retries;            // net/retries{worker=w}
-    std::vector<obs::Counter> retransmit_bytes;   // net/retransmit_bytes{worker=w}
+    std::vector<obs::Counter> retransmit_bytes;
     obs::Counter lost_messages;                   // net/lost_messages
     obs::Gauge quorum;                            // trainer/quorum (last batch)
   };

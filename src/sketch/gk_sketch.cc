@@ -42,6 +42,24 @@ void GkSketch::Update(double value) {
     Compress();
     since_compress_ = 0;
   }
+  SKETCHML_DCHECK(InvariantsHold());
+}
+
+bool GkSketch::InvariantsHold() const {
+  if (tuples_.empty()) return count_ == 0;
+  if (tuples_.front().delta != 0 || tuples_.back().delta != 0) return false;
+  const uint64_t band = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::floor(2.0 * epsilon_ * static_cast<double>(count_))));
+  uint64_t g_sum = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    const Tuple& t = tuples_[i];
+    if (t.g == 0) return false;                            // Gaps are counts.
+    if (i > 0 && tuples_[i - 1].value > t.value) return false;  // Sorted.
+    if (t.g + t.delta > band) return false;                // GK band bound.
+    g_sum += t.g;
+  }
+  return g_sum == count_;  // No rank mass lost by Compress.
 }
 
 void GkSketch::Compress() {
@@ -74,6 +92,7 @@ void GkSketch::Compress() {
   kept.push_back(tuples_.front());
   std::reverse(kept.begin(), kept.end());
   tuples_ = std::move(kept);
+  SKETCHML_DCHECK(InvariantsHold());
 }
 
 double GkSketch::Quantile(double q) const {
@@ -91,7 +110,8 @@ double GkSketch::Quantile(double q) const {
   for (const Tuple& t : tuples_) {
     rmin += t.g;
     const uint64_t rmax = rmin + t.delta;
-    const double mid = 0.5 * (static_cast<double>(rmin) + static_cast<double>(rmax));
+    const double mid =
+        0.5 * (static_cast<double>(rmin) + static_cast<double>(rmax));
     const double err = std::abs(mid - static_cast<double>(target));
     if (err < best_error) {
       best_error = err;

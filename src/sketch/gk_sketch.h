@@ -32,6 +32,12 @@ class GkSketch : public QuantileSketch {
   /// Number of stored tuples (the sketch's space footprint).
   size_t NumTuples() const { return tuples_.size(); }
 
+  /// O(n) walk of the GK structural invariants: tuples sorted by value,
+  /// Σg == Count(), the exact-min/max boundary tuples carry Δ == 0, and
+  /// every tuple's rank band g + Δ fits within max(1, ⌊2εn⌋). Exercised
+  /// via SKETCHML_DCHECK after insert/compress in checked builds.
+  bool InvariantsHold() const;
+
  private:
   struct Tuple {
     double value;

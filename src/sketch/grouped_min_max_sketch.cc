@@ -35,6 +35,9 @@ void GroupedMinMaxSketch::Insert(uint64_t key, int bucket) {
   SKETCHML_CHECK_LT(bucket, num_buckets_);
   const int group = GroupOf(bucket);
   const int local = bucket - group * group_width_;
+  // The within-group index must fit the group's byte-sized bins.
+  SKETCHML_DCHECK_GE(local, 0);
+  SKETCHML_DCHECK_LT(local, group_width_);
   groups_[group].Insert(key, static_cast<uint8_t>(local));
 }
 
@@ -46,8 +49,16 @@ int GroupedMinMaxSketch::Query(uint64_t key, int group) const {
   // possible when the group spans a full byte) or an uninserted key; both
   // clamp to the group's top index.
   if (local >= group_width_) local = group_width_ - 1;
-  const int bucket = group * group_width_ + local;
-  return std::min(bucket, num_buckets_ - 1);
+  const int bucket = std::min(group * group_width_ + local, num_buckets_ - 1);
+  // Group-bound guarantee (§3.3): the decoded index stays inside the
+  // queried group's bucket range (clamped to the global top index for a
+  // degenerate trailing group), so collision error is < group_width.
+  // The clamp matters: decode iterates wire-declared groups, and a
+  // corrupted message may address a group no honest bucket maps to.
+  SKETCHML_DCHECK_GE(bucket, std::min(group * group_width_, num_buckets_ - 1));
+  SKETCHML_DCHECK_LT(bucket,
+                     std::min((group + 1) * group_width_, num_buckets_));
+  return bucket;
 }
 
 size_t GroupedMinMaxSketch::SizeBytes() const {

@@ -53,6 +53,16 @@ void KllSketch::Update(double value) {
       }
     }
   }
+  SKETCHML_DCHECK(InvariantsHold());
+}
+
+bool KllSketch::InvariantsHold() const {
+  uint64_t weight = 0;
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    weight += static_cast<uint64_t>(levels_[level].size()) << level;
+  }
+  if (weight != count_) return false;  // Compaction lost or forged items.
+  return count_ == 0 || min_ <= max_;
 }
 
 void KllSketch::Compact(int level) {
@@ -166,6 +176,7 @@ void KllSketch::Merge(const KllSketch& other) {
     merges.Increment();
     merge_ns.Record(static_cast<double>(obs::NowNs() - start_ns));
   }
+  SKETCHML_DCHECK(InvariantsHold());
 }
 
 size_t KllSketch::NumRetained() const {

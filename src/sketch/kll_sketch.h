@@ -46,6 +46,13 @@ class KllSketch : public QuantileSketch {
   /// Total retained items across all levels (space footprint).
   size_t NumRetained() const;
 
+  /// Compactor weight conservation: Σ_level |level| · 2^level == Count()
+  /// (a compaction promotes exactly half a level's items with doubled
+  /// weight, so total weight is invariant), plus Min() <= Max() on
+  /// non-empty sketches. Exercised via SKETCHML_DCHECK after
+  /// update/merge in checked builds.
+  bool InvariantsHold() const;
+
  private:
   /// Capacity of `level` (geometrically decreasing with depth below top).
   size_t LevelCapacity(int level) const;

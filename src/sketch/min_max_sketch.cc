@@ -26,6 +26,9 @@ void MinMaxSketch::Insert(uint64_t key, uint8_t value) {
     cell = std::min(cell, value);
   }
   ++insertions_;
+  // Never-overestimate bound (Theorem A.4): every bin of `key` was just
+  // min'd with `value`, so the max over them cannot exceed it.
+  SKETCHML_DCHECK_LE(QueryCell(key), value);
   if (obs::MetricsEnabled()) {
     static const obs::Counter inserts =
         obs::MetricsRegistry::Global().GetCounter("sketch/minmax/inserts");
@@ -33,12 +36,7 @@ void MinMaxSketch::Insert(uint64_t key, uint8_t value) {
   }
 }
 
-uint8_t MinMaxSketch::Query(uint64_t key) const {
-  if (obs::MetricsEnabled()) {
-    static const obs::Counter queries =
-        obs::MetricsRegistry::Global().GetCounter("sketch/minmax/queries");
-    queries.Increment();
-  }
+uint8_t MinMaxSketch::QueryCell(uint64_t key) const {
   uint8_t best = 0;
   bool any = false;
   for (int row = 0; row < rows_; ++row) {
@@ -49,6 +47,15 @@ uint8_t MinMaxSketch::Query(uint64_t key) const {
     }
   }
   return any ? best : kEmpty;
+}
+
+uint8_t MinMaxSketch::Query(uint64_t key) const {
+  if (obs::MetricsEnabled()) {
+    static const obs::Counter queries =
+        obs::MetricsRegistry::Global().GetCounter("sketch/minmax/queries");
+    queries.Increment();
+  }
+  return QueryCell(key);
 }
 
 void MinMaxSketch::Serialize(common::ByteWriter* writer) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/byte_buffer.h"
+#include "common/logging.h"
 #include "common/murmur_hash.h"
 #include "common/status.h"
 
@@ -66,8 +67,16 @@ class MinMaxSketch {
 
  private:
   size_t CellIndex(int row, uint64_t key) const {
-    return static_cast<size_t>(row) * cols_ + hashes_[row].Bucket(key, cols_);
+    const size_t index =
+        static_cast<size_t>(row) * cols_ + hashes_[row].Bucket(key, cols_);
+    SKETCHML_DCHECK_LT(index, table_.size());
+    return index;
   }
+
+  /// Query without the observability counter: safe to call from DCHECK
+  /// conditions, which must leave metrics untouched so checked and
+  /// release runs publish identical counts.
+  uint8_t QueryCell(uint64_t key) const;
 
   int rows_;
   int cols_;

@@ -35,6 +35,25 @@ void WeightedGkSketch::Update(double value, double weight) {
     Compress();
     since_compress_ = 0;
   }
+  SKETCHML_DCHECK(InvariantsHold());
+}
+
+bool WeightedGkSketch::InvariantsHold() const {
+  if (tuples_.empty()) return count_ == 0 && total_weight_ == 0.0;
+  if (tuples_.front().delta != 0.0 || tuples_.back().delta != 0.0) {
+    return false;
+  }
+  double g_sum = 0.0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    const Tuple& t = tuples_[i];
+    if (!(t.g > 0.0) || t.delta < 0.0) return false;
+    if (i > 0 && tuples_[i - 1].value > t.value) return false;  // Sorted.
+    g_sum += t.g;
+  }
+  // Compress folds gaps in a different order than Update accumulated
+  // total_weight_, so allow relative float error.
+  const double tolerance = 1e-9 * std::max(1.0, total_weight_);
+  return std::abs(g_sum - total_weight_) <= tolerance;
 }
 
 void WeightedGkSketch::Compress() {
@@ -58,6 +77,7 @@ void WeightedGkSketch::Compress() {
   kept.push_back(tuples_.front());
   std::reverse(kept.begin(), kept.end());
   tuples_ = std::move(kept);
+  SKETCHML_DCHECK(InvariantsHold());
 }
 
 double WeightedGkSketch::Quantile(double q) const {

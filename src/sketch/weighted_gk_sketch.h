@@ -39,6 +39,13 @@ class WeightedGkSketch {
   /// Stored tuples (space footprint).
   size_t NumTuples() const { return tuples_.size(); }
 
+  /// O(n) walk of the weighted-GK invariants: tuples sorted by value,
+  /// positive gaps, non-negative deltas, exact boundary tuples (Δ == 0),
+  /// and Σg == TotalWeight() up to float accumulation-order error.
+  /// Exercised via SKETCHML_DCHECK after insert/compress in checked
+  /// builds.
+  bool InvariantsHold() const;
+
  private:
   struct Tuple {
     double value;

@@ -1,0 +1,92 @@
+// SKETCHML_DCHECK contract tests, compiled in BOTH configurations:
+//
+//  - default preset (SKETCHML_DCHECK_ENABLED == 0): a failing DCHECK is a
+//    no-op AND its condition is never evaluated — a side-effecting
+//    condition must leave its counter untouched. This is the guarantee
+//    that lets release binaries stay bit-identical to pre-DCHECK builds.
+//  - checked preset (-DSKETCHML_DCHECK=ON): a failing DCHECK dies with
+//    "DCheck failed: <condition>" and a passing one is silent.
+//
+// The same source file asserts both sides via SKETCHML_DCHECK_ENABLED, so
+// running the full suite under build/ and build-checked/ (as CI does)
+// covers the whole contract.
+
+#include "common/logging.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+int g_evaluations = 0;
+
+bool CountingPredicate(bool result) {
+  ++g_evaluations;
+  return result;
+}
+
+TEST(DCheckTest, PassingCheckIsSilent) {
+  SKETCHML_DCHECK(1 + 1 == 2);
+  SKETCHML_DCHECK_EQ(2, 2);
+  SKETCHML_DCHECK_NE(1, 2);
+  SKETCHML_DCHECK_LT(1, 2);
+  SKETCHML_DCHECK_LE(2, 2);
+  SKETCHML_DCHECK_GT(2, 1);
+  SKETCHML_DCHECK_GE(2, 2);
+}
+
+TEST(DCheckTest, StreamsExtraContext) {
+  // The streamed message must compile in both configurations (the
+  // disabled form still type-checks it) and never evaluate when passing.
+  const std::string detail = "context";
+  SKETCHML_DCHECK(true) << "extra " << detail << " " << 42;
+}
+
+#if SKETCHML_DCHECK_ENABLED
+
+TEST(DCheckDeathTest, FailingCheckDiesWithCondition) {
+  EXPECT_DEATH(SKETCHML_DCHECK(CountingPredicate(false)),
+               "DCheck failed: CountingPredicate\\(false\\)");
+}
+
+TEST(DCheckDeathTest, ComparisonMacroDies) {
+  const int lo = 1, hi = 2;
+  EXPECT_DEATH(SKETCHML_DCHECK_GE(lo, hi), "DCheck failed");
+}
+
+TEST(DCheckDeathTest, StreamedMessageReachesTheLog) {
+  EXPECT_DEATH(SKETCHML_DCHECK(false) << "shard 7 out of range",
+               "shard 7 out of range");
+}
+
+TEST(DCheckTest, EnabledCheckEvaluatesOnce) {
+  g_evaluations = 0;
+  SKETCHML_DCHECK(CountingPredicate(true));
+  EXPECT_EQ(g_evaluations, 1);
+}
+
+#else  // !SKETCHML_DCHECK_ENABLED
+
+TEST(DCheckTest, DisabledCheckNeverEvaluatesCondition) {
+  g_evaluations = 0;
+  SKETCHML_DCHECK(CountingPredicate(false));  // Would die if enabled.
+  SKETCHML_DCHECK(CountingPredicate(true));
+  EXPECT_EQ(g_evaluations, 0);
+}
+
+TEST(DCheckTest, DisabledComparisonNeverEvaluatesOperands) {
+  g_evaluations = 0;
+  SKETCHML_DCHECK_EQ(CountingPredicate(true), false);
+  SKETCHML_DCHECK_LT(g_evaluations += 100, 0);  // Side effect must not run.
+  EXPECT_EQ(g_evaluations, 0);
+}
+
+TEST(DCheckTest, DisabledFailingCheckIsANoOp) {
+  SKETCHML_DCHECK(false) << "never printed, never fatal";
+  SKETCHML_DCHECK_EQ(1, 2);
+}
+
+#endif  // SKETCHML_DCHECK_ENABLED
+
+}  // namespace

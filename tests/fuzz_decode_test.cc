@@ -41,7 +41,9 @@ TEST_P(CodecFuzzTest, SurvivesTruncationAtEveryPrefixLength) {
   for (size_t len = 0; len < msg.bytes.size(); len += (len < 64 ? 1 : 7)) {
     EncodedGradient truncated;
     truncated.bytes.assign(msg.bytes.begin(), msg.bytes.begin() + len);
-    codec->Decode(truncated, &decoded);  // Must not crash.
+    // The fuzz contract is only "no crash": a truncated message may fail
+    // with any code, and a prefix that happens to parse is acceptable.
+    (void)codec->Decode(truncated, &decoded);  // NOLINT(sketchml-discarded-status)
   }
 }
 
@@ -80,7 +82,8 @@ TEST_P(CodecFuzzTest, SurvivesRandomGarbage) {
     for (auto& b : garbage.bytes) {
       b = static_cast<uint8_t>(rng.NextBounded(256));
     }
-    codec->Decode(garbage, &decoded);  // Must not crash.
+    // As above: garbage bytes must be survived, not classified.
+    (void)codec->Decode(garbage, &decoded);  // NOLINT(sketchml-discarded-status)
   }
 }
 

@@ -1,0 +1,15 @@
+// Golden fixture: sketchml-banned-random violations.
+// Expected: 3 violations (lines marked VIOLATION).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace sketchml::fixture {
+
+int NondeterministicDraw() {
+  std::random_device rd;          // VIOLATION: nondeterministic seed.
+  srand(time(nullptr));           // VIOLATION x2: srand and time().
+  return static_cast<int>(rd());
+}
+
+}  // namespace sketchml::fixture

@@ -1,0 +1,15 @@
+// Golden fixture: sketchml-discarded-status violations.
+// Expected: 2 violations (lines marked VIOLATION).
+#include "compress/codec.h"
+
+namespace sketchml::fixture {
+
+void DropStatus(compress::GradientCodec* codec,
+                const common::SparseGradient& grad,
+                compress::EncodedGradient* out,
+                common::SparseGradient* decoded) {
+  codec->Encode(grad, out);          // VIOLATION: bare-statement call.
+  (void)codec->Decode(*out, decoded);  // VIOLATION: unjustified (void).
+}
+
+}  // namespace sketchml::fixture

@@ -1,0 +1,13 @@
+// Golden fixture: sketchml-include-hygiene violations.
+// Fixture path models src/bad_include_hygiene.cc whose own header is
+// "bad_include_hygiene.h" — included, but not first.
+// Expected: 2 violations (lines marked VIOLATION).
+#include <vector>  // VIOLATION: before the own header.
+#include <bits/stdc++.h>  // VIOLATION: libstdc++ internal header.
+#include "bad_include_hygiene.h"
+
+namespace sketchml::fixture {
+
+int Size(const std::vector<int>& v) { return static_cast<int>(v.size()); }
+
+}  // namespace sketchml::fixture

@@ -1,0 +1,17 @@
+// Golden fixture: sketchml-naked-new violations (src/ scope).
+// Expected: 2 violations (lines marked VIOLATION).
+
+namespace sketchml::fixture {
+
+struct Node {
+  int value = 0;
+};
+
+int Leaky() {
+  Node* node = new Node;  // VIOLATION: naked new.
+  const int v = node->value;
+  delete node;  // VIOLATION: naked delete.
+  return v;
+}
+
+}  // namespace sketchml::fixture

@@ -1,0 +1,13 @@
+// Golden fixture: sketchml-stdout violations (src/ scope).
+// Expected: 2 violations (lines marked VIOLATION).
+#include <cstdio>
+#include <iostream>
+
+namespace sketchml::fixture {
+
+void Chatty(int value) {
+  std::cout << "value = " << value << "\n";  // VIOLATION: cout in library.
+  printf("value = %d\n", value);             // VIOLATION: printf in library.
+}
+
+}  // namespace sketchml::fixture

@@ -1,0 +1,14 @@
+// Golden fixture: sketchml-wallclock violations.
+// Expected: 2 violations (lines marked VIOLATION).
+#include <chrono>
+
+namespace sketchml::fixture {
+
+double SecondsSinceEpoch() {
+  const auto now = std::chrono::system_clock::now();  // VIOLATION.
+  const auto mono = std::chrono::steady_clock::now();  // VIOLATION.
+  (void)mono;
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace sketchml::fixture

@@ -1,0 +1,17 @@
+// Golden fixture: sketchml-banned-random clean file.
+// Expected: 0 violations. Identifiers containing the banned tokens as
+// substrings (runtime, times, randomize) must not match.
+#include <cstdint>
+#include <random>
+
+namespace sketchml::fixture {
+
+uint64_t DeterministicDraw(uint64_t seed) {
+  std::mt19937_64 rng(seed);  // Seeded engines are fine; seeding isn't.
+  const uint64_t runtime_ns = 0;  // "time" inside an identifier: no match.
+  const int times = 3;            // Ditto.
+  uint64_t randomized = rng();    // "rand" inside an identifier: no match.
+  return randomized + runtime_ns + static_cast<uint64_t>(times);
+}
+
+}  // namespace sketchml::fixture

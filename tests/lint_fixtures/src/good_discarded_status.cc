@@ -1,0 +1,21 @@
+// Golden fixture: sketchml-discarded-status clean file.
+// Expected: 0 violations.
+#include "compress/codec.h"
+
+#include "common/status.h"
+
+namespace sketchml::fixture {
+
+common::Status HandleStatus(compress::GradientCodec* codec,
+                            const common::SparseGradient& grad,
+                            compress::EncodedGradient* out,
+                            common::SparseGradient* decoded) {
+  SKETCHML_RETURN_IF_ERROR(codec->Encode(grad, out));
+  const common::Status status = codec->Decode(*out, decoded);
+  if (!status.ok()) return status;
+  // Justified discard: the fuzz contract only requires "no crash".
+  (void)codec->Decode(*out, decoded);  // NOLINT(sketchml-discarded-status)
+  return common::Status::Ok();
+}
+
+}  // namespace sketchml::fixture

@@ -1,0 +1,11 @@
+// Golden fixture: sketchml-include-hygiene clean file.
+// Expected: 0 violations — own header first, standard headers after.
+#include "good_include_hygiene.h"
+
+#include <vector>
+
+namespace sketchml::fixture {
+
+int Size(const std::vector<int>& v) { return static_cast<int>(v.size()); }
+
+}  // namespace sketchml::fixture

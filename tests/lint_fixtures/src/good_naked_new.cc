@@ -1,0 +1,26 @@
+// Golden fixture: sketchml-naked-new clean file.
+// Expected: 0 violations. make_unique, `= delete`, and identifiers
+// containing "new"/"delete" as substrings must not match.
+#include <memory>
+
+namespace sketchml::fixture {
+
+struct Node {
+  int value = 0;
+
+  Node() = default;
+  Node(const Node&) = delete;  // Deleted special member: no match.
+  Node& operator=(const Node&) = delete;
+};
+
+int Owned() {
+  auto node = std::make_unique<Node>();
+  const int newest = node->value;  // "new" inside an identifier: no match.
+  // NOLINTNEXTLINE(sketchml-naked-new): fixture-exercised escape hatch.
+  Node* raw = new Node;
+  const int v = raw->value;
+  delete raw;  // NOLINT(sketchml-naked-new): paired with the new above.
+  return newest + v;
+}
+
+}  // namespace sketchml::fixture

@@ -1,0 +1,17 @@
+// Golden fixture: sketchml-stdout clean file.
+// Expected: 0 violations. snprintf/fprintf(stderr) are allowed (word
+// boundaries keep them from matching printf), as is logging.
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace sketchml::fixture {
+
+void Quiet(int value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", value);  // Not printf: no match.
+  std::fprintf(stderr, "%s\n", buf);             // stderr is fine.
+  SKETCHML_LOG(Info) << "value = " << value;
+}
+
+}  // namespace sketchml::fixture

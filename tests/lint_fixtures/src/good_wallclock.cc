@@ -1,0 +1,20 @@
+// Golden fixture: sketchml-wallclock clean file.
+// Expected: 0 violations. NOLINT and NOLINTNEXTLINE suppress the rule;
+// mentions inside comments and strings never match.
+#include <chrono>
+#include <string>
+
+namespace sketchml::fixture {
+
+// A comment about std::chrono::system_clock does not trip the rule.
+double JustifiedClockRead() {
+  // NOLINTNEXTLINE(sketchml-wallclock)
+  const auto now = std::chrono::system_clock::now();
+  const auto mono = std::chrono::steady_clock::now();  // NOLINT(sketchml-wallclock)
+  const std::string doc = "steady_clock inside a string literal";
+  (void)doc;
+  (void)mono;
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace sketchml::fixture

@@ -1,0 +1,156 @@
+// Golden-fixture tests for tools/sketchml_lint.
+//
+// Each rule has a pair of fixtures under tests/lint_fixtures/src/: a
+// `bad_<rule>.cc` that must produce exactly the expected diagnostics and
+// a `good_<rule>.cc` that must lint clean (including NOLINT /
+// NOLINTNEXTLINE escape hatches and near-miss identifiers). The tests
+// shell out to the real binary so exit codes and the file:line output
+// format are pinned, not just the rule logic.
+//
+// Paths are injected by CMake: SKETCHML_LINT_BINARY points at the built
+// tool, SKETCHML_LINT_FIXTURE_DIR at tests/lint_fixtures/src.
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#ifndef SKETCHML_LINT_BINARY
+#error "build must define SKETCHML_LINT_BINARY"
+#endif
+#ifndef SKETCHML_LINT_FIXTURE_DIR
+#error "build must define SKETCHML_LINT_FIXTURE_DIR"
+#endif
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;  // stdout (diagnostics + summary line).
+};
+
+LintRun RunLint(const std::string& args) {
+  const std::string cmd =
+      std::string(SKETCHML_LINT_BINARY) + " " + args + " 2>/dev/null";
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buf;
+  size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    run.output.append(buf.data(), n);
+  }
+  const int raw = pclose(pipe);
+  run.exit_code = raw >= 0 ? WEXITSTATUS(raw) : -1;
+  return run;
+}
+
+std::string Fixture(const std::string& name) {
+  return std::string(SKETCHML_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+// A bad fixture must exit 1 and report each expected (line, rule) pair.
+struct ExpectedDiag {
+  int line;
+  const char* rule;
+};
+
+void ExpectViolations(const std::string& fixture,
+                      std::initializer_list<ExpectedDiag> expected) {
+  const LintRun run = RunLint(Fixture(fixture));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  for (const ExpectedDiag& diag : expected) {
+    const std::string needle = fixture + ":" + std::to_string(diag.line) +
+                               ": [" + diag.rule + "]";
+    EXPECT_NE(run.output.find(needle), std::string::npos)
+        << "missing diagnostic " << needle << "\nin output:\n"
+        << run.output;
+  }
+  const std::string count_line =
+      std::to_string(expected.size()) + " violation";
+  EXPECT_NE(run.output.find(count_line), std::string::npos)
+      << "expected exactly " << expected.size() << " violations; got:\n"
+      << run.output;
+}
+
+void ExpectClean(const std::string& fixture) {
+  const LintRun run = RunLint(Fixture(fixture));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("0 violations"), std::string::npos) << run.output;
+}
+
+TEST(LintTest, DiscardedStatus) {
+  ExpectViolations("bad_discarded_status.cc",
+                   {{11, "sketchml-discarded-status"},
+                    {12, "sketchml-discarded-status"}});
+  ExpectClean("good_discarded_status.cc");
+}
+
+TEST(LintTest, BannedRandom) {
+  ExpectViolations("bad_banned_random.cc",
+                   {{10, "sketchml-banned-random"},
+                    {11, "sketchml-banned-random"},
+                    {11, "sketchml-banned-random"}});
+  ExpectClean("good_banned_random.cc");
+}
+
+TEST(LintTest, Wallclock) {
+  ExpectViolations("bad_wallclock.cc", {{8, "sketchml-wallclock"},
+                                        {9, "sketchml-wallclock"}});
+  ExpectClean("good_wallclock.cc");
+}
+
+TEST(LintTest, Stdout) {
+  ExpectViolations("bad_stdout.cc",
+                   {{9, "sketchml-stdout"}, {10, "sketchml-stdout"}});
+  ExpectClean("good_stdout.cc");
+}
+
+TEST(LintTest, IncludeHygiene) {
+  ExpectViolations("bad_include_hygiene.cc",
+                   {{5, "sketchml-include-hygiene"},
+                    {6, "sketchml-include-hygiene"}});
+  ExpectClean("good_include_hygiene.cc");
+}
+
+TEST(LintTest, NakedNew) {
+  ExpectViolations("bad_naked_new.cc", {{11, "sketchml-naked-new"},
+                                        {13, "sketchml-naked-new"}});
+  ExpectClean("good_naked_new.cc");
+}
+
+// --rule= restricts checking to one rule: the banned-random fixture has
+// no wallclock violations, so filtering by sketchml-wallclock is clean.
+TEST(LintTest, RuleFilter) {
+  const LintRun filtered =
+      RunLint("--rule=sketchml-wallclock " + Fixture("bad_banned_random.cc"));
+  EXPECT_EQ(filtered.exit_code, 0) << filtered.output;
+}
+
+TEST(LintTest, ListRules) {
+  const LintRun run = RunLint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const char* rule :
+       {"sketchml-discarded-status", "sketchml-banned-random",
+        "sketchml-wallclock", "sketchml-stdout", "sketchml-include-hygiene",
+        "sketchml-naked-new"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos) << run.output;
+  }
+}
+
+TEST(LintTest, UsageErrors) {
+  EXPECT_EQ(RunLint("").exit_code, 2);                       // No paths.
+  EXPECT_EQ(RunLint("--rule=no-such-rule x.cc").exit_code, 2);
+  EXPECT_EQ(RunLint("/no/such/path.cc").exit_code, 2);
+}
+
+// Directory scans skip lint_fixtures/ so the bad fixtures never fail the
+// tree-wide gate; explicit file arguments always lint.
+TEST(LintTest, FixtureDirectorySkippedInScan) {
+  const LintRun scan = RunLint(std::string(SKETCHML_LINT_FIXTURE_DIR));
+  EXPECT_EQ(scan.exit_code, 0) << scan.output;
+  EXPECT_NE(scan.output.find("0 files"), std::string::npos) << scan.output;
+}
+
+}  // namespace

@@ -1,0 +1,736 @@
+// sketchml_lint — the repo's own correctness linter.
+//
+// A standalone analyzer (no libclang dependency) that tokenizes each
+// source file just enough to strip comments and string/char literals,
+// then enforces repo-specific rules that generic tooling cannot know:
+//
+//   sketchml-discarded-status   no bare-statement or (void)-cast calls to
+//                               known Status/Result-returning APIs
+//   sketchml-banned-random      no std::rand/srand/random_device/time()
+//                               seeding outside common/random
+//   sketchml-wallclock          no raw clock reads outside the timing
+//                               infrastructure (stopwatch/trace)
+//   sketchml-stdout             no std::cout / printf / puts in src/
+//                               libraries (logging or snprintf only)
+//   sketchml-include-hygiene    a .cc includes its own header first; no
+//                               <bits/...> internal headers anywhere
+//   sketchml-naked-new          no naked new/delete in src/ (containers
+//                               and smart pointers own memory)
+//
+// Escape hatch: `// NOLINT(sketchml-<rule>)` on the offending line or
+// `// NOLINTNEXTLINE(sketchml-<rule>)` on the line above. A bare
+// `// NOLINT` without a rule list suppresses every rule on that line.
+// Suppressions should carry a justification comment; the rule catalog
+// lives in docs/static_analysis.md.
+//
+// Usage:
+//   sketchml_lint [--rule=<id>] [--list-rules] [--quiet] <paths...>
+// Directories are scanned recursively for .h/.cc files (paths containing
+// "lint_fixtures" are skipped unless named explicitly, so the golden
+// violation fixtures in tests/ never fail the tree-wide gate).
+// Exit code: 0 clean, 1 violations found, 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string rationale;
+};
+
+const std::vector<RuleInfo>& RuleCatalog() {
+  static const std::vector<RuleInfo> rules = {
+      {"sketchml-discarded-status",
+       "a dropped Status/Result silently swallows decode/validate failures; "
+       "handle it, propagate it, or justify the discard next to a NOLINT"},
+      {"sketchml-banned-random",
+       "codec/sketch/dist paths must draw randomness from common::Rng seed "
+       "lanes so runs replay bit-identically; std::rand/random_device/time "
+       "seeding breaks determinism"},
+      {"sketchml-wallclock",
+       "raw clock reads outside common/stopwatch and common/trace make "
+       "results depend on wall time; route timing through Stopwatch or the "
+       "obs layer"},
+      {"sketchml-stdout",
+       "library code must not write to stdout; use SKETCHML_LOG or return "
+       "data to the caller (tools/tests/bench may print)"},
+      {"sketchml-include-hygiene",
+       "a .cc includes its own header first (proves the header is "
+       "self-contained); <bits/...> headers are libstdc++ internals"},
+      {"sketchml-naked-new",
+       "hot paths use containers/smart pointers; naked new/delete risks "
+       "leaks on early Status returns (intentional leaked singletons get a "
+       "NOLINT with justification)"},
+  };
+  return rules;
+}
+
+bool IsRuleId(const std::string& id) {
+  const auto& rules = RuleCatalog();
+  return std::any_of(rules.begin(), rules.end(),
+                     [&](const RuleInfo& r) { return r.id == id; });
+}
+
+// ---------------------------------------------------------------------------
+// Source model: one file split into lines, with comments and string/char
+// literal *contents* blanked out (replaced by spaces) so rules never match
+// inside them, plus the raw comment text per line for NOLINT handling.
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string path;       // As reported in diagnostics.
+  std::string rel;        // Repo-relative with forward slashes, for scoping.
+  std::vector<std::string> code;      // Line with comments/strings blanked.
+  std::vector<std::string> comments;  // Comment text on each line ("" if none).
+  std::vector<std::string> raw;       // Untouched source lines (for matching
+                                      // quoted #include paths).
+};
+
+// Blanks comments and literal contents, preserving line structure and
+// column positions. Tracks enough state for //, /* */, "...", '...', and
+// raw strings R"delim(...)delim".
+SourceFile StripToCode(const std::string& path, const std::string& rel,
+                       const std::string& text) {
+  SourceFile out;
+  out.path = path;
+  out.rel = rel;
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // For kRawString: the )delim" terminator.
+  std::string code_line, comment_line;
+
+  const auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated ordinary literals cannot span lines; reset defensively.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_line += "//";
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_line += "/*";
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string? Look back for R / u8R / LR / UR / uR.
+          const bool raw =
+              !code_line.empty() && code_line.back() == 'R' &&
+              (code_line.size() < 2 ||
+               !(std::isalnum(static_cast<unsigned char>(
+                     code_line[code_line.size() - 2])) ||
+                 code_line[code_line.size() - 2] == '_') ||
+               code_line[code_line.size() - 2] == '8' ||
+               code_line[code_line.size() - 2] == 'u' ||
+               code_line[code_line.size() - 2] == 'U' ||
+               code_line[code_line.size() - 2] == 'L');
+          if (raw) {
+            // Collect the delimiter up to '('.
+            raw_delim = ")";
+            size_t j = i + 1;
+            while (j < text.size() && text[j] != '(' && text[j] != '\n') {
+              raw_delim += text[j];
+              ++j;
+            }
+            raw_delim += '"';
+            state = State::kRawString;
+            code_line += '"';
+          } else {
+            state = State::kString;
+            code_line += '"';
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        code_line += ' ';
+        comment_line += c;
+        if (c == '*' && next == '/') {
+          comment_line += '/';
+          code_line += ' ';
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k < raw_delim.size(); ++k) {
+            if (text[i + k] == '\n') {
+              flush_line();
+            } else {
+              code_line += ' ';
+            }
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+    }
+  }
+  if (!code_line.empty() || !comment_line.empty()) flush_line();
+  // Raw lines, aligned with code/comments (padded if the file ends in '\n').
+  std::string raw_line;
+  for (const char c : text) {
+    if (c == '\n') {
+      out.raw.push_back(std::move(raw_line));
+      raw_line.clear();
+    } else {
+      raw_line += c;
+    }
+  }
+  if (!raw_line.empty()) out.raw.push_back(std::move(raw_line));
+  out.raw.resize(out.code.size());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Matching helpers (token-boundary aware).
+// ---------------------------------------------------------------------------
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when `needle` occurs in `line` at a token boundary (no identifier
+// character on either side).
+bool ContainsToken(std::string_view line, std::string_view needle) {
+  size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + needle.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+// True when `needle` occurs at a token boundary and is immediately
+// followed (modulo spaces) by an opening parenthesis — i.e. a call.
+bool ContainsCall(std::string_view line, std::string_view needle) {
+  size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t end = pos + needle.size();
+    while (end < line.size() && line[end] == ' ') ++end;
+    if (left_ok && end < line.size() && line[end] == '(') return true;
+    pos += 1;
+  }
+  return false;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+// NOLINT lookup: rule suppressed on `line_idx` if that line's comment (or
+// the previous line's via NOLINTNEXTLINE) names it — or names no rule.
+bool Suppressed(const SourceFile& file, size_t line_idx,
+                const std::string& rule) {
+  const auto mentions = [&](const std::string& comment,
+                            std::string_view marker) {
+    const size_t pos = comment.find(marker);
+    if (pos == std::string::npos) return false;
+    const size_t after = pos + marker.size();
+    if (after >= comment.size() || comment[after] != '(') return true;  // Bare.
+    const size_t close = comment.find(')', after);
+    if (close == std::string::npos) return true;
+    const std::string list = comment.substr(after + 1, close - after - 1);
+    return list.find(rule) != std::string::npos;
+  };
+  const std::string& own = file.comments[line_idx];
+  // NOLINTNEXTLINE also contains "NOLINT"; check the longer marker first
+  // and only accept a plain NOLINT that is not a NOLINTNEXTLINE.
+  if (own.find("NOLINT") != std::string::npos &&
+      own.find("NOLINTNEXTLINE") == std::string::npos &&
+      mentions(own, "NOLINT")) {
+    return true;
+  }
+  if (line_idx > 0 && mentions(file.comments[line_idx - 1], "NOLINTNEXTLINE")) {
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+using RuleFn = void (*)(const SourceFile&, std::vector<Violation>*);
+
+void Report(const SourceFile& file, size_t line_idx, const std::string& rule,
+            std::string message, std::vector<Violation>* out) {
+  if (Suppressed(file, line_idx, rule)) return;
+  out->push_back({file.path, line_idx + 1, rule, std::move(message)});
+}
+
+bool InSrc(const SourceFile& f) { return StartsWith(f.rel, "src/"); }
+
+bool PathIsOneOf(const SourceFile& f,
+                 std::initializer_list<std::string_view> stems) {
+  for (std::string_view stem : stems) {
+    if (f.rel.find(stem) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// sketchml-banned-random: nondeterminism sources outside common/random.
+void CheckBannedRandom(const SourceFile& file, std::vector<Violation>* out) {
+  if (PathIsOneOf(file, {"common/random."})) return;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    if (ContainsToken(line, "random_device")) {
+      Report(file, i, "sketchml-banned-random",
+             "std::random_device is nondeterministic; derive seeds from "
+             "common::Rng / LaneSeed",
+             out);
+    }
+    if (ContainsCall(line, "rand") || ContainsCall(line, "srand")) {
+      Report(file, i, "sketchml-banned-random",
+             "C PRNG breaks seed-lane determinism; use common::Rng", out);
+    }
+    if (ContainsCall(line, "time")) {
+      Report(file, i, "sketchml-banned-random",
+             "time() seeding makes runs unreplayable; use a fixed or "
+             "flag-provided seed",
+             out);
+    }
+  }
+}
+
+// sketchml-wallclock: clock reads outside the timing infrastructure.
+void CheckWallclock(const SourceFile& file, std::vector<Violation>* out) {
+  // Stopwatch and the trace ring are *the* sanctioned clock owners.
+  if (PathIsOneOf(file, {"common/stopwatch.", "common/trace."})) return;
+  static const char* kClocks[] = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "localtime", "gmtime",
+  };
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (const char* clock : kClocks) {
+      if (ContainsToken(line, clock)) {
+        Report(file, i, "sketchml-wallclock",
+               std::string(clock) +
+                   " read outside stopwatch/trace; route timing through "
+                   "common::Stopwatch or obs::NowNs",
+               out);
+      }
+    }
+  }
+}
+
+// sketchml-stdout: library code must not print to stdout.
+void CheckStdout(const SourceFile& file, std::vector<Violation>* out) {
+  if (!InSrc(file)) return;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    if (ContainsToken(line, "cout")) {
+      Report(file, i, "sketchml-stdout",
+             "std::cout in library code; use SKETCHML_LOG or return data",
+             out);
+    }
+    if (ContainsCall(line, "printf") || ContainsCall(line, "puts")) {
+      Report(file, i, "sketchml-stdout",
+             "printf/puts writes to stdout from library code; use "
+             "SKETCHML_LOG (std::snprintf into a buffer is fine)",
+             out);
+    }
+  }
+}
+
+// sketchml-include-hygiene: own header first, no <bits/...>.
+void CheckIncludeHygiene(const SourceFile& file, std::vector<Violation>* out) {
+  std::string first_include;
+  size_t first_include_line = 0;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    // Detect the directive on the stripped line (so commented-out
+    // includes don't count) but match header names on the raw line — the
+    // stripper blanks quoted include paths like any string literal.
+    if (file.code[i].find("#include") == std::string::npos) continue;
+    const std::string& line = file.raw[i];
+    if (line.find("<bits/") != std::string::npos) {
+      Report(file, i, "sketchml-include-hygiene",
+             "<bits/...> is a libstdc++ internal header; include the "
+             "standard header instead",
+             out);
+    }
+    if (first_include.empty()) {
+      first_include = line;
+      first_include_line = i;
+    }
+  }
+  // Own-header-first applies to library/tool .cc files with a sibling .h.
+  if (file.rel.size() > 3 && StartsWith(file.rel, "src/") &&
+      file.rel.substr(file.rel.size() - 3) == ".cc" && !first_include.empty()) {
+    // src/<dir>/<stem>.cc includes "<dir>/<stem>.h" (project-relative).
+    const std::string project_rel =
+        file.rel.substr(4, file.rel.size() - 4 - 3);  // "<dir>/<stem>"
+    const std::string own_header = "\"" + project_rel + ".h\"";
+    bool has_own_header = false;
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      if (file.code[i].find("#include") != std::string::npos &&
+          file.raw[i].find(own_header) != std::string::npos) {
+        has_own_header = true;
+        break;
+      }
+    }
+    if (has_own_header &&
+        first_include.find(own_header) == std::string::npos) {
+      Report(file, first_include_line, "sketchml-include-hygiene",
+             "a .cc file includes its own header first (found " +
+                 first_include.substr(first_include.find("#include")) +
+                 " before " + own_header + ")",
+             out);
+    }
+  }
+}
+
+// sketchml-naked-new: manual memory management in src/.
+void CheckNakedNew(const SourceFile& file, std::vector<Violation>* out) {
+  if (!InSrc(file)) return;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    if (ContainsToken(line, "new")) {
+      // make_shared/make_unique lines never contain a naked `new` token;
+      // placement new and `new (std::nothrow)` are still flagged.
+      Report(file, i, "sketchml-naked-new",
+             "naked new in library code; use std::make_unique/make_shared "
+             "or a container",
+             out);
+    }
+    if (ContainsToken(line, "delete")) {
+      // `= delete` (deleted special members) is not memory management.
+      size_t pos = line.find("delete");
+      bool deleted_fn = false;
+      while (pos != std::string::npos) {
+        size_t before = pos;
+        while (before > 0 && line[before - 1] == ' ') --before;
+        if (before > 0 && line[before - 1] == '=') deleted_fn = true;
+        pos = line.find("delete", pos + 1);
+      }
+      if (!deleted_fn) {
+        Report(file, i, "sketchml-naked-new",
+               "naked delete in library code; let RAII own the lifetime",
+               out);
+      }
+    }
+  }
+}
+
+// sketchml-discarded-status: bare-statement calls to APIs known to return
+// Status/Result, and (void)-casts silencing [[nodiscard]] without NOLINT.
+//
+// The compiler enforces the general case via [[nodiscard]] on Status and
+// Result; this rule closes the two remaining holes: `(void)` casts added
+// without justification, and calls through names whose declarations live
+// outside the build (scripts, generated code).
+void CheckDiscardedStatus(const SourceFile& file, std::vector<Violation>* out) {
+  // Method/function names whose return is a Status/Result in this repo.
+  static const char* kStatusCalls[] = {
+      "Encode",      "Decode",          "EncodeImpl",    "DecodeImpl",
+      "Deserialize", "DeserializeMeans", "UnframeMessage", "Validate",
+      "ValidateClusterConfig", "ValidateFaultPlan", "ValidateEncodable",
+      "ReadU8",      "ReadU16",  "ReadU32",  "ReadU64",  "ReadI32",
+      "ReadI64",     "ReadFloat", "ReadDouble", "ReadUintN", "ReadVarint",
+      "ReadRaw",     "RunEpoch", "WriteObsOutputs", "WriteLibSvmFile",
+  };
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    // Hole 1: `(void)` cast of a status call.
+    if (line.find("(void)") != std::string::npos) {
+      for (const char* name : kStatusCalls) {
+        const size_t void_pos = line.find("(void)");
+        const size_t call_pos = line.find(name, void_pos);
+        if (call_pos != std::string::npos &&
+            ContainsCall(line.substr(void_pos), name)) {
+          Report(file, i, "sketchml-discarded-status",
+                 std::string("(void)-discarded ") + name +
+                     "() hides a Status; justify with NOLINT or handle it",
+                 out);
+          break;
+        }
+      }
+    }
+    // Hole 2: bare statement `obj.Call(...);` or `Call(...);` whose value
+    // is unused. Heuristic: the trimmed line starts with the call chain
+    // (no assignment/return/guard) and ends the statement on this line or
+    // a later one without the value being consumed.
+    std::string trimmed = line;
+    const size_t start = trimmed.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    trimmed = trimmed.substr(start);
+    for (const char* name : kStatusCalls) {
+      // Candidate shapes: "Name(", "obj.Name(", "ptr->Name(", "ns::Name(".
+      size_t pos = trimmed.find(name);
+      if (pos == std::string::npos) continue;
+      std::string head = trimmed.substr(0, pos);
+      // Head must be only an object path (identifiers, ., ->, ::, *, this).
+      const bool head_is_path =
+          head.find_first_not_of(
+              "abcdefghijklmnopqrstuvwxyz"
+              "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:->()*") ==
+          std::string::npos;
+      if (!head_is_path) continue;
+      if (head.find('=') != std::string::npos) continue;
+      // `(void)`-cast discards are hole 1's job; don't double-report.
+      if (head.find("(void)") != std::string::npos) continue;
+      // `Class::Encode(...)` / `Class::Decode(...)` are the static void
+      // byte-coders (HuffmanByteCoder etc.), not the Status-returning
+      // instance codecs, which are always invoked through an object.
+      if (head.size() >= 2 && head.compare(head.size() - 2, 2, "::") == 0 &&
+          (std::string_view(name) == "Encode" ||
+           std::string_view(name) == "Decode")) {
+        continue;
+      }
+      // The token after the name must open a call.
+      size_t after = pos + std::string(name).size();
+      if (after >= trimmed.size() || trimmed[after] != '(') continue;
+      // Must not itself be consumed: statement ends with ");" and head is
+      // not part of return/if/while/macro-wrapped expressions.
+      if (StartsWith(trimmed, "return") || StartsWith(trimmed, "if") ||
+          StartsWith(trimmed, "while") || StartsWith(trimmed, "for") ||
+          StartsWith(trimmed, "switch")) {
+        continue;
+      }
+      // Walk to the matching close paren (possibly multi-line; cap at 8).
+      int depth = 0;
+      bool terminated_bare = false;
+      size_t scan_line = i;
+      size_t scan_pos = after;
+      for (int hop = 0; hop < 8 && scan_line < file.code.size(); ++hop) {
+        const std::string& l = file.code[scan_line];
+        for (size_t p = scan_pos; p < l.size(); ++p) {
+          if (l[p] == '(') ++depth;
+          if (l[p] == ')') {
+            --depth;
+            if (depth == 0) {
+              size_t q = p + 1;
+              while (q < l.size() && l[q] == ' ') ++q;
+              terminated_bare = q < l.size() && l[q] == ';';
+              hop = 8;  // Done scanning.
+              break;
+            }
+          }
+        }
+        ++scan_line;
+        scan_pos = 0;
+      }
+      if (!terminated_bare) continue;
+      // Declarations ("Status Encode(...) ;" in headers) start with a type
+      // name before the call name — head would contain a space.
+      if (head.find(' ') != std::string::npos) continue;
+      Report(file, i, "sketchml-discarded-status",
+             std::string("result of ") + name +
+                 "() is discarded; assign it, propagate it, or justify "
+                 "with NOLINT",
+             out);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, RuleFn>& Rules() {
+  static const std::map<std::string, RuleFn> rules = {
+      {"sketchml-discarded-status", CheckDiscardedStatus},
+      {"sketchml-banned-random", CheckBannedRandom},
+      {"sketchml-wallclock", CheckWallclock},
+      {"sketchml-stdout", CheckStdout},
+      {"sketchml-include-hygiene", CheckIncludeHygiene},
+      {"sketchml-naked-new", CheckNakedNew},
+  };
+  return rules;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+// Repo-relative path with forward slashes: the longest suffix starting at
+// a known top-level directory, else the whole path.
+std::string RepoRelative(const fs::path& p) {
+  const std::string s = p.generic_string();
+  for (const char* root : {"src/", "tests/", "tools/", "bench/", "examples/"}) {
+    const size_t pos = s.rfind(root);
+    if (pos != std::string::npos) return s.substr(pos);
+  }
+  return s;
+}
+
+int LintFile(const fs::path& path, const std::string& only_rule,
+             std::vector<Violation>* violations) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "sketchml_lint: cannot read " << path.string() << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const SourceFile file =
+      StripToCode(path.string(), RepoRelative(path), buf.str());
+  for (const auto& [id, fn] : Rules()) {
+    if (!only_rule.empty() && id != only_rule) continue;
+    fn(file, violations);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  std::string only_rule;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const RuleInfo& r : RuleCatalog()) {
+        std::cout << r.id << "\n    " << r.rationale << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--rule=", 0) == 0) {
+      only_rule = arg.substr(7);
+      if (!IsRuleId(only_rule)) {
+        std::cerr << "sketchml_lint: unknown rule '" << only_rule
+                  << "' (--list-rules)\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "sketchml_lint: unknown flag " << arg << "\n"
+                << "usage: sketchml_lint [--rule=<id>] [--list-rules] "
+                   "[--quiet] <files-or-dirs...>\n";
+      return 2;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: sketchml_lint [--rule=<id>] [--list-rules] "
+                 "[--quiet] <files-or-dirs...>\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file(ec) || !IsSourceFile(it->path())) continue;
+        // Golden violation fixtures only lint when named explicitly.
+        if (it->path().generic_string().find("lint_fixtures") !=
+            std::string::npos) {
+          continue;
+        }
+        files.push_back(it->path());
+      }
+    } else if (fs::exists(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "sketchml_lint: no such path " << root.string() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  for (const fs::path& f : files) {
+    const int rc = LintFile(f, only_rule, &violations);
+    if (rc != 0) return rc;
+  }
+
+  if (!quiet) {
+    for (const Violation& v : violations) {
+      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+    }
+    std::cout << "sketchml_lint: " << files.size() << " files, "
+              << violations.size() << " violation"
+              << (violations.size() == 1 ? "" : "s") << "\n";
+  }
+  return violations.empty() ? 0 : 1;
+}

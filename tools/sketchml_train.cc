@@ -3,7 +3,7 @@
 //
 // Examples:
 //   sketchml_train --dataset=kdd12 --model=lr --codec=sketchml --epochs=5
-//   sketchml_train --dataset=path/to/data.libsvm --codec=adam-double \
+//   sketchml_train --dataset=path/to/data.libsvm --codec=adam-double
 //       --workers=10 --servers=4 --network=congested --epochs=3
 //   sketchml_train --list-codecs
 
