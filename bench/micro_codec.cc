@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/sparse.h"
 #include "compress/delta_binary_key_codec.h"
+#include "compress/quantile_bucket_quantizer.h"
 #include "core/codec_factory.h"
 
 namespace {
@@ -81,6 +83,108 @@ void BM_DeltaBinaryKeys(benchmark::State& state) {
       static_cast<double>(keys.size());
 }
 BENCHMARK(BM_DeltaBinaryKeys)->Arg(1 << 12)->Arg(1 << 16);
+
+// --- Level-pinned kernel benches -----------------------------------------
+//
+// Each bench pins the dispatch to one level with SetActiveLevel (and
+// restores it on exit), so a single run reports scalar and AVX2 numbers
+// side by side regardless of SKETCHML_SIMD. Unsupported levels are
+// skipped, not failed, so the binary stays runnable on any host.
+
+namespace simd = common::simd;
+
+/// Pins the dispatch level for one benchmark's scope.
+class LevelPin {
+ public:
+  LevelPin(benchmark::State& state, simd::Level level)
+      : saved_(simd::ActiveLevel()) {
+    if (simd::LevelSupported(level)) {
+      simd::SetActiveLevel(level);
+    } else {
+      state.SkipWithError("level not supported on this host");
+      ok_ = false;
+    }
+  }
+  ~LevelPin() { simd::SetActiveLevel(saved_); }
+  explicit operator bool() const { return ok_; }
+
+ private:
+  simd::Level saved_;
+  bool ok_ = true;
+};
+
+void BM_BucketSearch(benchmark::State& state, simd::Level level) {
+  LevelPin pin(state, level);
+  if (!pin) return;
+  const auto grad = MakeGradient(1 << 15, 1 << 22, 3);
+  const auto values = common::Values(grad);
+  const auto quantizer = compress::QuantileBucketQuantizer::Build(
+      values, static_cast<int>(state.range(0)));
+  std::vector<uint16_t> out(values.size());
+  for (auto _ : state) {
+    quantizer.BucketsOf(values, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK_CAPTURE(BM_BucketSearch, scalar, simd::Level::kScalar)
+    ->Arg(16)->Arg(256);
+BENCHMARK_CAPTURE(BM_BucketSearch, avx2, simd::Level::kAvx2)
+    ->Arg(16)->Arg(256);
+
+void BM_HashBuckets(benchmark::State& state, simd::Level level) {
+  LevelPin pin(state, level);
+  if (!pin) return;
+  const auto grad = MakeGradient(1 << 15, 1 << 22, 3);
+  const auto keys = common::Keys(grad);
+  std::vector<uint32_t> out(keys.size());
+  for (auto _ : state) {
+    simd::HashBuckets(keys.data(), keys.size(), /*seed=*/13,
+                      /*num_buckets=*/96, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK_CAPTURE(BM_HashBuckets, scalar, simd::Level::kScalar);
+BENCHMARK_CAPTURE(BM_HashBuckets, avx2, simd::Level::kAvx2);
+
+void BM_DeltaScan(benchmark::State& state, simd::Level level) {
+  LevelPin pin(state, level);
+  if (!pin) return;
+  const auto grad = MakeGradient(1 << 15, 1 << 22, 3);
+  const auto keys = common::Keys(grad);
+  std::vector<uint32_t> deltas(keys.size());
+  std::vector<uint8_t> widths(keys.size());
+  for (auto _ : state) {
+    size_t total = 0;
+    benchmark::DoNotOptimize(simd::DeltaScan(
+        keys.data(), keys.size(), deltas.data(), widths.data(), &total));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK_CAPTURE(BM_DeltaScan, scalar, simd::Level::kScalar);
+BENCHMARK_CAPTURE(BM_DeltaScan, avx2, simd::Level::kAvx2);
+
+void BM_EncodeSketchMlAt(benchmark::State& state, simd::Level level) {
+  LevelPin pin(state, level);
+  if (!pin) return;
+  auto codec = std::move(core::MakeCodec("sketchml")).value();
+  const auto grad = MakeGradient(1 << 15, 1 << 22, 3);
+  compress::EncodedGradient msg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Encode(grad, &msg));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(grad.size()));
+}
+BENCHMARK_CAPTURE(BM_EncodeSketchMlAt, scalar, simd::Level::kScalar);
+BENCHMARK_CAPTURE(BM_EncodeSketchMlAt, avx2, simd::Level::kAvx2);
 
 void BM_BitmapKeys(benchmark::State& state) {
   const auto grad =

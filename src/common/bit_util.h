@@ -1,19 +1,24 @@
 #ifndef SKETCHML_COMMON_BIT_UTIL_H_
 #define SKETCHML_COMMON_BIT_UTIL_H_
 
+#include <bit>
 #include <cstdint>
 
 namespace sketchml::common {
 
 /// Number of whole bytes needed to store `v` (at least 1, at most 8).
 /// A delta of 0..255 needs 1 byte, 256..65535 needs 2 bytes, etc. (§3.4).
-inline int BytesNeeded(uint64_t v) {
-  int n = 1;
-  while (v > 0xff) {
-    v >>= 8;
-    ++n;
-  }
-  return n;
+/// Branchless (lzcnt) — this runs once per key in the delta-binary hot
+/// loop, where the shift-loop version mispredicts on mixed-width deltas.
+constexpr int BytesNeeded(uint64_t v) {
+  return (std::bit_width(v | 1) + 7) / 8;
+}
+
+/// Exact LEB128-encoded size of `v` in bytes (1..10): one byte per
+/// started 7-bit group. Replaces the "write to a probe ByteWriter and
+/// measure" idiom in EncodedSize computations.
+constexpr int VarintSize(uint64_t v) {
+  return (std::bit_width(v | 1) + 6) / 7;
 }
 
 /// Number of bits needed to represent values in [0, n); at least 1.

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace sketchml::common {
@@ -44,6 +46,36 @@ class ByteWriter {
 
   void WriteBytes(const std::vector<uint8_t>& bytes) {
     buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  void WriteSpan(std::span<const uint8_t> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Grows capacity to at least `capacity` total bytes. Callers that can
+  /// size a message exactly (EncodedSize / SerializedSize) reserve once so
+  /// the whole wire buffer is a single allocation.
+  void Reserve(size_t capacity) { buffer_.reserve(capacity); }
+
+  /// Appends `n` zero bytes and returns the offset of the first one.
+  /// Together with `MutableData` this lets batch encoders frame a region
+  /// and fill it in place (e.g. scatter 2-bit flags, write variable-width
+  /// deltas with 8-byte stores into over-allocated slack) instead of
+  /// pushing byte-at-a-time.
+  size_t Extend(size_t n) {
+    const size_t offset = buffer_.size();
+    buffer_.resize(offset + n);
+    return offset;
+  }
+
+  /// Mutable view of the bytes written so far. Invalidated by any
+  /// subsequent write/Extend (the buffer may reallocate).
+  uint8_t* MutableData() { return buffer_.data(); }
+
+  /// Drops bytes past `new_size` (trims Extend slack). Never grows.
+  void Truncate(size_t new_size) {
+    SKETCHML_DCHECK_LE(new_size, buffer_.size());
+    buffer_.resize(new_size);
   }
 
   size_t size() const { return buffer_.size(); }

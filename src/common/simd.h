@@ -1,0 +1,122 @@
+#ifndef SKETCHML_COMMON_SIMD_H_
+#define SKETCHML_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sketchml::common::simd {
+
+/// The runtime-dispatch seam for the codec pipeline's batch kernels
+/// (docs/perf.md).
+///
+/// Every kernel below has a scalar implementation (always compiled, the
+/// reference semantics) and optionally an AVX2 implementation (compiled
+/// only when the toolchain supports `-mavx2`, selected only when the CPU
+/// reports AVX2). The two paths are required to be *bit-identical*: same
+/// outputs, same wire bytes, same metric counts — pinned by
+/// tests/simd_differential_test.cc and the golden regression gate.
+///
+/// Selection order:
+///   1. `SKETCHML_SIMD` environment variable, read once at first use:
+///      "off"/"scalar" pin the scalar path, "avx2" requests AVX2
+///      (falling back to scalar with a warning if unavailable),
+///      "auto"/"on"/unset pick the best detected level.
+///   2. `SetActiveLevel` / `SetActiveLevelFromString` override at runtime
+///      (the tools' `--simd=` flag, and tests pinning both paths).
+///
+/// Raw intrinsics are allowed only in `src/common/simd*` translation
+/// units (enforced by the `sketchml-raw-simd` lint rule) so this seam
+/// stays the single SIMD surface of the repo.
+enum class Level {
+  kScalar = 0,  // Portable reference path; always available.
+  kAvx2 = 1,    // 256-bit x86 path; requires CPU + build support.
+};
+
+/// Human-readable name ("scalar", "avx2").
+const char* LevelName(Level level);
+
+/// Best level supported by this CPU *and* this build (cpuid-checked).
+Level DetectedLevel();
+
+/// True when `level` can be activated on this host.
+bool LevelSupported(Level level);
+
+/// The level the dispatched kernels currently run at.
+Level ActiveLevel();
+
+/// Pins the dispatch to `level`. CHECK-fails if unsupported; use
+/// `LevelSupported` (or `SetActiveLevelFromString`) for recoverable
+/// handling. Thread-safe, but callers should not flip it while encodes
+/// are in flight on other threads.
+void SetActiveLevel(Level level);
+
+/// Parses "auto" | "on" | "off" | "scalar" | "avx2" (the `--simd=` flag
+/// vocabulary) and activates the result. "avx2" on a host without AVX2
+/// is an InvalidArgument; "auto"/"on" select `DetectedLevel()`.
+Status SetActiveLevelFromString(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Batch kernels. All of them dispatch on ActiveLevel().
+// ---------------------------------------------------------------------------
+
+/// Predicated bucket search over a sorted split array (§3.2 quantizer).
+/// For each value: out[i] = clamp(upper_bound(splits, value) - splits - 1,
+/// 0, num_splits - 2) — exactly QuantileBucketQuantizer::BucketOf.
+/// Returns the number of clamped (out-of-range) values, which feeds the
+/// `quantizer/bucket_overflow` metric. `num_splits >= 2`; `out` holds
+/// `count` entries. NaN values land in the top bucket (and count as
+/// clamped), matching upper_bound's comparator semantics.
+size_t BucketSearch(const double* splits, size_t num_splits,
+                    const double* values, size_t count, uint16_t* out);
+
+/// Batch sketch hashing: out[i] = MurmurMix64(keys[i], seed) % num_buckets
+/// — exactly common::HashFunction::Bucket for every key. `num_buckets`
+/// must be in [1, 2^32) so indexes fit uint32.
+void HashBuckets(const uint64_t* keys, size_t count, uint64_t seed,
+                 uint64_t num_buckets, uint32_t* out);
+
+/// Result of a delta-key scan (mirrors the DeltaBinaryKeyCodec::Encode
+/// error contract).
+enum class DeltaScanStatus {
+  kOk = 0,
+  kNotIncreasing,  // keys[i] <= keys[i-1]
+  kDeltaTooWide,   // a delta (or the first key) exceeds 4 bytes
+};
+
+/// Single-pass delta/width scan for §3.4 key coding: deltas[i] =
+/// keys[i] - keys[i-1] (keys[-1] = 0), widths[i] = BytesNeeded(delta)
+/// computed branchlessly, *total_delta_bytes = sum of widths. On error
+/// the scratch contents are unspecified. `deltas`/`widths` hold `count`
+/// entries.
+DeltaScanStatus DeltaScan(const uint64_t* keys, size_t count,
+                          uint32_t* deltas, uint8_t* widths,
+                          size_t* total_delta_bytes);
+
+namespace internal {
+
+/// One kernel table per level. The scalar table is the reference; the
+/// AVX2 table must match it bit for bit.
+struct Kernels {
+  size_t (*bucket_search)(const double*, size_t, const double*, size_t,
+                          uint16_t*);
+  void (*hash_buckets)(const uint64_t*, size_t, uint64_t, uint64_t,
+                       uint32_t*);
+  DeltaScanStatus (*delta_scan)(const uint64_t*, size_t, uint32_t*, uint8_t*,
+                                size_t*);
+};
+
+extern const Kernels kScalarKernels;
+
+/// The AVX2 table, or nullptr when this build lacks `-mavx2` support.
+/// Only call after `__builtin_cpu_supports("avx2")` has confirmed the
+/// CPU (the defining TU is compiled with AVX2 codegen enabled).
+const Kernels* Avx2Kernels();
+
+}  // namespace internal
+
+}  // namespace sketchml::common::simd
+
+#endif  // SKETCHML_COMMON_SIMD_H_

@@ -1,0 +1,299 @@
+#include "common/simd.h"
+
+// AVX2 implementations of the batch codec kernels. This translation unit
+// is the only place (together with the other src/common/simd* files) where
+// raw intrinsics are allowed — the `sketchml-raw-simd` lint rule keeps the
+// dispatch seam the repo's single SIMD surface.
+//
+// The file is compiled with `-mavx2` only when CMake detects compiler
+// support (SKETCHML_SIMD_AVX2_COMPILED); otherwise it degrades to a stub
+// whose Avx2Kernels() returns nullptr and the dispatcher never leaves the
+// scalar path. Every kernel here must be bit-identical to its scalar
+// reference in simd.cc — pinned by tests/simd_differential_test.cc.
+
+#if defined(SKETCHML_SIMD_AVX2_COMPILED)
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <limits>
+
+#include "common/bit_util.h"
+
+namespace sketchml::common::simd {
+namespace internal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket search: branchless predicated search over the sorted split array.
+//
+// pos(v) := #splits s with !(v < s)  ==  upper_bound(splits, v) - splits
+// (the predicate is monotone over a sorted array, and NaN v yields pos ==
+// num_splits, exactly like upper_bound's comparator).
+//
+// Two-level scheme: splits are padded to chunks of 8 (+inf padding) and
+// each chunk's maximum becomes a pivot. Stage 1 counts satisfied pivots
+// for 4 values at once (cf = number of fully-satisfied chunks); stage 2
+// resolves the one partial chunk with two compares and a popcount. The
+// predicated compare-and-accumulate never branches on the data, so the
+// ~50%-mispredict binary search this replaces is the only victim.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kChunk = 8;
+// Covers every wire configuration (<= 257 splits) with a stack buffer;
+// larger split arrays (possible through the public quantizer API) fall
+// back to the scalar kernel.
+constexpr size_t kMaxSplits = 2048;
+constexpr size_t kMaxChunks = kMaxSplits / kChunk + 1;
+
+size_t BucketSearchAvx2(const double* splits, size_t num_splits,
+                        const double* values, size_t count, uint16_t* out) {
+  if (num_splits < 2 || num_splits > kMaxSplits) {
+    return kScalarKernels.bucket_search(splits, num_splits, values, count,
+                                        out);
+  }
+  const size_t num_chunks = (num_splits + kChunk - 1) / kChunk;
+  alignas(32) double padded[kMaxChunks * kChunk];
+  alignas(32) double pivots[kMaxChunks];
+  std::memcpy(padded, splits, num_splits * sizeof(double));
+  for (size_t i = num_splits; i < num_chunks * kChunk; ++i) {
+    padded[i] = std::numeric_limits<double>::infinity();
+  }
+  for (size_t j = 0; j < num_chunks; ++j) {
+    pivots[j] = padded[j * kChunk + kChunk - 1];
+  }
+
+  const int top = static_cast<int>(num_splits) - 2;  // num_buckets - 1
+  size_t clamped_count = 0;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    // Stage 1: per-lane count of pivots with !(v < pivot). An all-ones
+    // compare mask is -1 as an integer, so subtracting it accumulates.
+    __m256i full_chunks = _mm256_setzero_si256();
+    for (size_t j = 0; j < num_chunks; ++j) {
+      const __m256d pivot = _mm256_broadcast_sd(&pivots[j]);
+      const __m256d mask = _mm256_cmp_pd(v, pivot, _CMP_NLT_UQ);
+      full_chunks =
+          _mm256_sub_epi64(full_chunks, _mm256_castpd_si256(mask));
+    }
+    alignas(32) int64_t cf[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(cf), full_chunks);
+    // Stage 2: resolve each lane's partial chunk.
+    for (int lane = 0; lane < 4; ++lane) {
+      const size_t chunk = static_cast<size_t>(cf[lane]);
+      size_t pos;
+      if (chunk >= num_chunks) {
+        // Every pivot satisfied: only possible for NaN (or a +inf value
+        // meeting the +inf pad pivot) — upper_bound lands at the end.
+        pos = num_splits;
+      } else {
+        const __m256d vv = _mm256_broadcast_sd(values + i + lane);
+        const __m256d lo = _mm256_load_pd(padded + chunk * kChunk);
+        const __m256d hi = _mm256_load_pd(padded + chunk * kChunk + 4);
+        const int mask =
+            _mm256_movemask_pd(_mm256_cmp_pd(vv, lo, _CMP_NLT_UQ)) |
+            (_mm256_movemask_pd(_mm256_cmp_pd(vv, hi, _CMP_NLT_UQ)) << 4);
+        pos = chunk * kChunk +
+              static_cast<size_t>(__builtin_popcount(
+                  static_cast<unsigned>(mask)));
+      }
+      const int idx = static_cast<int>(pos) - 1;
+      const int clamped = idx < 0 ? 0 : (idx > top ? top : idx);
+      clamped_count += static_cast<size_t>(clamped != idx);
+      out[i + lane] = static_cast<uint16_t>(clamped);
+    }
+  }
+  if (i < count) {
+    clamped_count += kScalarKernels.bucket_search(
+        splits, num_splits, values + i, count - i, out + i);
+  }
+  return clamped_count;
+}
+
+// ---------------------------------------------------------------------------
+// Sketch hashing: 4-lane MurmurMix64 plus an exact division-free modulo.
+// ---------------------------------------------------------------------------
+
+// Low 64 bits of a 64x64 multiply per lane (AVX2 has only 32x32->64).
+inline __m256i MulLo64(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i hi = _mm256_add_epi64(
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(hi, 32));
+}
+
+inline __m256i XorShift33(__m256i h) {
+  return _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
+}
+
+// Exact n % d without the hardware divider: q_hat = floor(n * magic /
+// 2^(64+shift)) with magic = floor(2^(64+shift) / d) underestimates
+// floor(n/d) by at most a couple, so a subtract-correct loop lands the
+// exact remainder. Bit-identical to `%` for every n (differential-tested).
+struct InvariantDivisor {
+  uint64_t d;
+  uint64_t magic = 0;
+  int shift = 0;
+  bool pow2;
+
+  explicit InvariantDivisor(uint64_t divisor)
+      : d(divisor), pow2((divisor & (divisor - 1)) == 0) {
+    if (!pow2) {
+      shift = 63 - __builtin_clzll(d);
+      magic = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(1) << (64 + shift)) / d);
+    }
+  }
+
+  uint64_t Mod(uint64_t n) const {
+    if (pow2) return n & (d - 1);
+    const uint64_t q = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(n) * magic) >> 64) >> shift;
+    uint64_t r = n - q * d;
+    while (r >= d) r -= d;
+    return r;
+  }
+};
+
+void HashBucketsAvx2(const uint64_t* keys, size_t count, uint64_t seed,
+                     uint64_t num_buckets, uint32_t* out) {
+  const InvariantDivisor div(num_buckets);
+  const __m256i seed_mix =
+      _mm256_set1_epi64x(static_cast<int64_t>(seed * 0x9e3779b97f4a7c15ULL));
+  const __m256i c1 =
+      _mm256_set1_epi64x(static_cast<int64_t>(0xff51afd7ed558ccdULL));
+  const __m256i c2 =
+      _mm256_set1_epi64x(static_cast<int64_t>(0xc4ceb9fe1a85ec53ULL));
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256i h = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + i));
+    h = _mm256_xor_si256(h, seed_mix);
+    h = XorShift33(h);
+    h = MulLo64(h, c1);
+    h = XorShift33(h);
+    h = MulLo64(h, c2);
+    h = XorShift33(h);
+    alignas(32) uint64_t hashed[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(hashed), h);
+    out[i + 0] = static_cast<uint32_t>(div.Mod(hashed[0]));
+    out[i + 1] = static_cast<uint32_t>(div.Mod(hashed[1]));
+    out[i + 2] = static_cast<uint32_t>(div.Mod(hashed[2]));
+    out[i + 3] = static_cast<uint32_t>(div.Mod(hashed[3]));
+  }
+  if (i < count) {
+    kScalarKernels.hash_buckets(keys + i, count - i, seed, num_buckets,
+                                out + i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta scan: vector deltas, branchless widths via three unsigned
+// threshold compares (1 + [d>0xff] + [d>0xffff] + [d>0xffffff] bytes).
+// ---------------------------------------------------------------------------
+
+DeltaScanStatus DeltaScanAvx2(const uint64_t* keys, size_t count,
+                              uint32_t* deltas, uint8_t* widths,
+                              size_t* total_delta_bytes) {
+  if (count == 0) {
+    *total_delta_bytes = 0;
+    return DeltaScanStatus::kOk;
+  }
+  // First element scalar (its "previous" is the implicit 0).
+  if (keys[0] > 0xffffffffULL) return DeltaScanStatus::kDeltaTooWide;
+  deltas[0] = static_cast<uint32_t>(keys[0]);
+  widths[0] = static_cast<uint8_t>(BytesNeeded(keys[0]));
+  size_t total = widths[0];
+
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<int64_t>(0x8000000000000000ULL));
+  const __m256i wide_bias = _mm256_set1_epi64x(
+      static_cast<int64_t>(0xffffffffULL ^ 0x8000000000000000ULL));
+  const __m256i t1 = _mm256_set1_epi64x(0xff);
+  const __m256i t2 = _mm256_set1_epi64x(0xffff);
+  const __m256i t3 = _mm256_set1_epi64x(0xffffff);
+  const __m256i one = _mm256_set1_epi64x(1);
+  __m256i violation = _mm256_setzero_si256();
+
+  size_t i = 1;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i cur = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i prev = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + i - 1));
+    const __m256i d = _mm256_sub_epi64(cur, prev);
+    // Unsigned compares via the sign-flip trick. Not strictly
+    // increasing, or a delta wider than 4 bytes, poisons `violation`;
+    // the scalar kernel then re-derives the precise error kind.
+    const __m256i cur_b = _mm256_xor_si256(cur, sign);
+    const __m256i prev_b = _mm256_xor_si256(prev, sign);
+    const __m256i increasing = _mm256_cmpgt_epi64(cur_b, prev_b);
+    const __m256i too_wide =
+        _mm256_cmpgt_epi64(_mm256_xor_si256(d, sign), wide_bias);
+    violation = _mm256_or_si256(
+        violation,
+        _mm256_or_si256(too_wide, _mm256_andnot_si256(increasing,
+                                                      _mm256_set1_epi64x(-1))));
+    // Valid deltas fit 32 bits, so the signed threshold compares are safe
+    // (garbage lanes only occur on the violation path, which discards
+    // every output).
+    __m256i w = one;
+    w = _mm256_sub_epi64(w, _mm256_cmpgt_epi64(d, t1));
+    w = _mm256_sub_epi64(w, _mm256_cmpgt_epi64(d, t2));
+    w = _mm256_sub_epi64(w, _mm256_cmpgt_epi64(d, t3));
+    alignas(32) uint64_t dd[4];
+    alignas(32) uint64_t ww[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dd), d);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(ww), w);
+    for (int lane = 0; lane < 4; ++lane) {
+      deltas[i + lane] = static_cast<uint32_t>(dd[lane]);
+      widths[i + lane] = static_cast<uint8_t>(ww[lane]);
+      total += static_cast<size_t>(ww[lane]);
+    }
+  }
+  if (_mm256_movemask_epi8(violation) != 0) {
+    // Rare error path: rerun the scalar kernel for the exact error kind
+    // (and its first-offender semantics).
+    return kScalarKernels.delta_scan(keys, count, deltas, widths,
+                                     total_delta_bytes);
+  }
+  uint64_t previous = keys[i - 1];
+  for (; i < count; ++i) {
+    const uint64_t key = keys[i];
+    if (key <= previous) return DeltaScanStatus::kNotIncreasing;
+    const uint64_t delta = key - previous;
+    if (delta > 0xffffffffULL) return DeltaScanStatus::kDeltaTooWide;
+    const int nbytes = BytesNeeded(delta);
+    deltas[i] = static_cast<uint32_t>(delta);
+    widths[i] = static_cast<uint8_t>(nbytes);
+    total += static_cast<size_t>(nbytes);
+    previous = key;
+  }
+  *total_delta_bytes = total;
+  return DeltaScanStatus::kOk;
+}
+
+const Kernels kAvx2Kernels = {
+    &BucketSearchAvx2,
+    &HashBucketsAvx2,
+    &DeltaScanAvx2,
+};
+
+}  // namespace
+
+const Kernels* Avx2Kernels() { return &kAvx2Kernels; }
+
+}  // namespace internal
+}  // namespace sketchml::common::simd
+
+#else  // !SKETCHML_SIMD_AVX2_COMPILED
+
+namespace sketchml::common::simd::internal {
+
+const Kernels* Avx2Kernels() { return nullptr; }
+
+}  // namespace sketchml::common::simd::internal
+
+#endif  // SKETCHML_SIMD_AVX2_COMPILED

@@ -1,38 +1,54 @@
 #include "compress/delta_binary_key_codec.h"
 
+#include <cstring>
 #include <limits>
 
 #include "common/bit_util.h"
+#include "common/simd.h"
 
 namespace sketchml::compress {
 
 common::Status DeltaBinaryKeyCodec::Encode(const std::vector<uint64_t>& keys,
-                                           common::ByteWriter* writer) {
+                                           common::ByteWriter* writer,
+                                           EncodeScratch* scratch) {
   writer->WriteVarint(keys.size());
   if (keys.empty()) return common::Status::Ok();
 
-  common::TwoBitWriter flags;
-  std::vector<std::pair<uint64_t, int>> deltas;  // (delta, nbytes)
-  deltas.reserve(keys.size());
-  uint64_t previous = 0;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    if (i > 0 && keys[i] <= previous) {
+  const size_t count = keys.size();
+  scratch->deltas.resize(count);
+  scratch->widths.resize(count);
+  size_t total_delta_bytes = 0;
+  switch (common::simd::DeltaScan(keys.data(), count, scratch->deltas.data(),
+                                  scratch->widths.data(),
+                                  &total_delta_bytes)) {
+    case common::simd::DeltaScanStatus::kOk:
+      break;
+    case common::simd::DeltaScanStatus::kNotIncreasing:
       return common::Status::InvalidArgument(
           "keys must be strictly increasing");
-    }
-    const uint64_t delta = keys[i] - previous;
-    if (delta > std::numeric_limits<uint32_t>::max()) {
+    case common::simd::DeltaScanStatus::kDeltaTooWide:
       return common::Status::OutOfRange("key delta exceeds 4 bytes");
-    }
-    const int nbytes = common::BytesNeeded(delta);
-    flags.Append(static_cast<uint8_t>(nbytes - 1));
-    deltas.emplace_back(delta, nbytes);
-    previous = keys[i];
   }
-  writer->WriteBytes(flags.bytes());
-  for (const auto& [delta, nbytes] : deltas) {
-    writer->WriteUintN(delta, nbytes);
+
+  // Scatter the 2-bit flags into the zero-initialized flag region, then
+  // lay the variable-width deltas down with full 8-byte stores running
+  // into Extend slack — same wire bytes as the old TwoBitWriter +
+  // WriteUintN loops, without the staging vector or per-byte appends.
+  const size_t flags_offset = writer->Extend(common::CeilDiv(count, 4));
+  uint8_t* flags = writer->MutableData() + flags_offset;
+  for (size_t i = 0; i < count; ++i) {
+    flags[i >> 2] |= static_cast<uint8_t>((scratch->widths[i] - 1)
+                                          << ((i & 3) * 2));
   }
+  const size_t delta_offset =
+      writer->Extend(total_delta_bytes + sizeof(uint64_t) - 1);
+  uint8_t* cursor = writer->MutableData() + delta_offset;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t delta = scratch->deltas[i];
+    std::memcpy(cursor, &delta, sizeof(delta));  // Little-endian host.
+    cursor += scratch->widths[i];
+  }
+  writer->Truncate(delta_offset + total_delta_bytes);
   return common::Status::Ok();
 }
 
@@ -42,10 +58,12 @@ common::Status DeltaBinaryKeyCodec::Decode(common::ByteReader* reader,
   SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&count));
   keys->clear();
   if (count == 0) return common::Status::Ok();
-  // Every key costs at least 1 delta byte plus its flag bits; a count
-  // that cannot fit in the remaining buffer is corruption, and checking
-  // before reserve() prevents adversarial giant allocations.
-  if (count > reader->remaining()) {
+  // Every key costs at least 1 delta byte *plus* a quarter byte of flag
+  // stream; a count that cannot fit in the remaining buffer is
+  // corruption, and checking before reserve() prevents adversarial giant
+  // allocations. (The first clause keeps the arithmetic overflow-free.)
+  if (count > reader->remaining() ||
+      count + common::CeilDiv(count, 4) > reader->remaining()) {
     return common::Status::CorruptedData("implausible key count");
   }
   keys->reserve(count);
@@ -79,15 +97,14 @@ common::Status DeltaBinaryKeyCodec::Decode(common::ByteReader* reader,
 }
 
 size_t DeltaBinaryKeyCodec::EncodedSize(const std::vector<uint64_t>& keys) {
-  common::ByteWriter probe;
-  probe.WriteVarint(keys.size());
-  size_t total = probe.size() + common::CeilDiv(keys.size(), 4);
+  size_t total = static_cast<size_t>(common::VarintSize(keys.size())) +
+                 common::CeilDiv(keys.size(), 4);
   uint64_t previous = 0;
   for (uint64_t key : keys) {
-    total += common::BytesNeeded(key - previous);
+    total += static_cast<size_t>(common::BytesNeeded(key - previous));
     previous = key;
   }
-  return keys.empty() ? probe.size() : total;
+  return keys.empty() ? common::VarintSize(0) : total;
 }
 
 common::Status BitmapKeyCodec::Encode(const std::vector<uint64_t>& keys,
@@ -139,9 +156,8 @@ common::Status BitmapKeyCodec::Decode(common::ByteReader* reader,
 }
 
 size_t BitmapKeyCodec::EncodedSize(uint64_t dim) {
-  common::ByteWriter probe;
-  probe.WriteVarint(dim);
-  return probe.size() + common::CeilDiv(dim, 8);
+  return static_cast<size_t>(common::VarintSize(dim)) +
+         common::CeilDiv(dim, 8);
 }
 
 }  // namespace sketchml::compress

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/obs.h"
+#include "common/simd.h"
 #include "sketch/gk_sketch.h"
 #include "sketch/kll_sketch.h"
 
@@ -60,6 +61,35 @@ int QuantileBucketQuantizer::BucketOf(double value) const {
     overflow.Increment();
   }
   return clamped;
+}
+
+void QuantileBucketQuantizer::BucketsOf(std::span<const double> values,
+                                        uint16_t* out) const {
+  SKETCHML_CHECK(!splits_.empty()) << "means-only quantizer cannot bucket";
+  SKETCHML_CHECK_LE(means_.size(), size_t{1} << 16)
+      << "batch bucket indexes must fit uint16";
+  if (values.empty()) return;
+  const size_t clamped = common::simd::BucketSearch(
+      splits_.data(), splits_.size(), values.data(), values.size(), out);
+#if SKETCHML_DCHECK_ENABLED
+  // Batch/scalar equivalence: every index must match the metrics-free
+  // per-element search BucketOf is defined by (the counter stays
+  // untouched here so checked and release runs publish identical counts).
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto it =
+        std::upper_bound(splits_.begin(), splits_.end(), values[i]);
+    const int idx = static_cast<int>(it - splits_.begin()) - 1;
+    SKETCHML_DCHECK_EQ(static_cast<int>(out[i]),
+                       std::clamp(idx, 0, num_buckets() - 1));
+  }
+#endif
+  if (clamped > 0 && obs::MetricsEnabled()) {
+    // Same lazily-created counter, same total as per-element BucketOf:
+    // one overflow event per clamped value (§3.2 rarity assumption).
+    static const obs::Counter overflow =
+        obs::MetricsRegistry::Global().GetCounter("quantizer/bucket_overflow");
+    overflow.Add(static_cast<double>(clamped));
+  }
 }
 
 void QuantileBucketQuantizer::SerializeMeans(

@@ -2,6 +2,7 @@
 #define SKETCHML_COMPRESS_QUANTILE_BUCKET_QUANTIZER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/byte_buffer.h"
@@ -43,6 +44,15 @@ class QuantileBucketQuantizer {
 
   /// Bucket index of `value` in [0, num_buckets).
   int BucketOf(double value) const;
+
+  /// Batch BucketOf: fills `out[i]` with the bucket index of `values[i]`
+  /// for the whole span in one dispatched kernel call (simd::BucketSearch;
+  /// a branchless predicated scan on AVX2 hosts). Result and metric
+  /// effects are bit-identical to calling BucketOf per element. `out`
+  /// must hold `values.size()` entries (caller-owned so the encode hot
+  /// path reuses one scratch buffer across calls); requires
+  /// num_buckets() <= 65536 so indexes fit uint16.
+  void BucketsOf(std::span<const double> values, uint16_t* out) const;
 
   /// Representative (mean) value of `bucket`.
   double MeanOf(int bucket) const { return means_[bucket]; }

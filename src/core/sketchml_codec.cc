@@ -58,16 +58,22 @@ int EffectiveBuckets(const SketchMlConfig& config, size_t stream_size) {
 /// Encodes one sign stream. When `negate` is set the stream holds
 /// negative values and is quantized on magnitude, so bucket index 0 is
 /// the bucket nearest zero and MinMax decay always shrinks magnitudes.
-/// `scratch` is caller-owned value storage, reused across streams and
+/// `scratch` is caller-owned buffer storage, reused across streams and
 /// Encode calls so the hot path stays allocation-free.
+///
+/// Batch pipeline: one BucketsOf call buckets every value, the pairs are
+/// partitioned per group, and each group's keys are inserted and
+/// delta-encoded as a block. Min-updates commute and key order within a
+/// group is preserved, so the wire bytes are identical to the historical
+/// element-at-a-time loop.
 common::Status EncodeStream(const common::SparseGradient& stream, bool negate,
                             const SketchMlConfig& config, uint64_t seed,
-                            std::vector<double>* scratch,
+                            SketchMlCodec::EncodeScratch* scratch,
                             common::ByteWriter* writer, SpaceCost* cost) {
   writer->WriteVarint(stream.size());
   if (stream.empty()) return common::Status::Ok();
 
-  std::vector<double>& values = *scratch;
+  std::vector<double>& values = scratch->values;
   values.clear();
   values.reserve(stream.size());
   for (const auto& pair : stream) {
@@ -82,12 +88,40 @@ common::Status EncodeStream(const common::SparseGradient& stream, bool negate,
                                         TotalCols(config, stream.size()),
                                         seed);
 
-  std::vector<std::vector<uint64_t>> group_keys(groups);
-  for (size_t i = 0; i < stream.size(); ++i) {
-    const int bucket = quantizer.BucketOf(values[i]);
-    mm_sketch.Insert(stream[i].key, bucket);
-    group_keys[mm_sketch.GroupOf(bucket)].push_back(stream[i].key);
+  scratch->buckets.resize(stream.size());
+  quantizer.BucketsOf(values, scratch->buckets.data());
+
+  auto& group_keys = scratch->group_keys;
+  auto& group_locals = scratch->group_locals;
+  group_keys.resize(groups);
+  group_locals.resize(groups);
+  for (int g = 0; g < groups; ++g) {
+    group_keys[g].clear();
+    group_locals[g].clear();
   }
+  const int width = mm_sketch.group_width();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const int bucket = scratch->buckets[i];
+    const int g = bucket / width;
+    group_keys[g].push_back(stream[i].key);
+    group_locals[g].push_back(static_cast<uint8_t>(bucket - g * width));
+  }
+  for (int g = 0; g < groups; ++g) {
+    mm_sketch.InsertGroupBatch(g, group_keys[g], group_locals[g],
+                               &scratch->hash_idx);
+  }
+
+  // Size the remainder exactly and reserve once: everything below lands
+  // in a single allocation (EncodedSize's extra delta scan is noise next
+  // to the quantile build and sketch hashing above).
+  size_t key_bytes = 0;
+  for (const auto& keys : group_keys) {
+    key_bytes += compress::DeltaBinaryKeyCodec::EncodedSize(keys);
+  }
+  const size_t num_means = quantizer.means().size();
+  writer->Reserve(writer->size() + common::VarintSize(num_means) +
+                  num_means * sizeof(float) + mm_sketch.SerializedSize() +
+                  key_bytes + sizeof(uint64_t) - 1);  // Encode slack.
 
   size_t mark = writer->size();
   quantizer.SerializeMeans(writer);
@@ -100,7 +134,7 @@ common::Status EncodeStream(const common::SparseGradient& stream, bool negate,
   mark = writer->size();
   for (const auto& keys : group_keys) {
     SKETCHML_RETURN_IF_ERROR(
-        compress::DeltaBinaryKeyCodec::Encode(keys, writer));
+        compress::DeltaBinaryKeyCodec::Encode(keys, writer, &scratch->delta));
   }
   cost->key_bytes += writer->size() - mark;
   return common::Status::Ok();
@@ -131,12 +165,17 @@ common::Status DecodeStream(common::ByteReader* reader, double sign,
 
   uint64_t decoded = 0;
   std::vector<uint64_t> keys;
+  std::vector<int> buckets;
+  std::vector<uint32_t> idx_scratch;
+  std::vector<uint8_t> local_scratch;
   for (int group = 0; group < mm_sketch.num_groups(); ++group) {
     SKETCHML_RETURN_IF_ERROR(
         compress::DeltaBinaryKeyCodec::Decode(reader, &keys));
-    for (uint64_t key : keys) {
-      const int bucket = mm_sketch.Query(key, group);
-      out->push_back({key, sign * quantizer.MeanOf(bucket)});
+    buckets.resize(keys.size());
+    mm_sketch.QueryGroupBatch(group, keys, buckets.data(), &idx_scratch,
+                              &local_scratch);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      out->push_back({keys[i], sign * quantizer.MeanOf(buckets[i])});
     }
     decoded += keys.size();
   }
@@ -183,14 +222,14 @@ common::Status SketchMlCodec::EncodeImpl(const common::SparseGradient& grad,
     common::ByteWriter pos_writer(pos.size() * 2 + 64);
     SpaceCost pos_cost;
     auto pos_task = pool_->Submit([&pos, this, seed, &pos_writer, &pos_cost] {
-      std::vector<double> scratch;
+      EncodeScratch scratch;
       return EncodeStream(pos, /*negate=*/false, config_, seed, &scratch,
                           &pos_writer, &pos_cost);
     });
     common::ByteWriter neg_writer(neg.size() * 2 + 64);
     SpaceCost neg_cost;
     const common::Status neg_status =
-        EncodeStream(neg, /*negate=*/true, config_, seed + 1, &values_scratch_,
+        EncodeStream(neg, /*negate=*/true, config_, seed + 1, &scratch_,
                      &neg_writer, &neg_cost);
     SKETCHML_RETURN_IF_ERROR(pos_task.Get());
     SKETCHML_RETURN_IF_ERROR(neg_status);
@@ -203,10 +242,10 @@ common::Status SketchMlCodec::EncodeImpl(const common::SparseGradient& grad,
     last_space_cost_.key_bytes = pos_cost.key_bytes + neg_cost.key_bytes;
   } else {
     SKETCHML_RETURN_IF_ERROR(EncodeStream(pos, /*negate=*/false, config_, seed,
-                                          &values_scratch_, &writer,
+                                          &scratch_, &writer,
                                           &last_space_cost_));
     SKETCHML_RETURN_IF_ERROR(EncodeStream(neg, /*negate=*/true, config_,
-                                          seed + 1, &values_scratch_, &writer,
+                                          seed + 1, &scratch_, &writer,
                                           &last_space_cost_));
   }
   out->bytes = writer.TakeBuffer();
@@ -311,8 +350,12 @@ common::Status QuantileOnlyCodec::EncodeImpl(const common::SparseGradient& grad,
     quantizer.SerializeMeans(&writer);
     SKETCHML_RETURN_IF_ERROR(compress::DeltaBinaryKeyCodec::Encode(
         common::Keys(stream), &writer));
-    for (double v : values) {
-      writer.WriteU8(static_cast<uint8_t>(quantizer.BucketOf(v)));
+    std::vector<uint16_t> bucket_idx(values.size());
+    quantizer.BucketsOf(values, bucket_idx.data());
+    const size_t offset = writer.Extend(values.size());
+    uint8_t* out_bytes = writer.MutableData() + offset;
+    for (size_t i = 0; i < values.size(); ++i) {
+      out_bytes[i] = static_cast<uint8_t>(bucket_idx[i]);
     }
   }
   out->bytes = writer.TakeBuffer();

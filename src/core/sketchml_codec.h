@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "compress/codec.h"
+#include "compress/delta_binary_key_codec.h"
 #include "core/sketchml_config.h"
 
 namespace sketchml::core {
@@ -76,12 +77,24 @@ class SketchMlCodec : public compress::GradientCodec {
   common::Status DecodeImpl(const compress::EncodedGradient& in,
                             common::SparseGradient* out) override;
 
+ public:
+  /// Caller-owned scratch threaded through the batch encode pipeline so
+  /// the hot path reuses one set of buffers across streams and calls.
+  struct EncodeScratch {
+    std::vector<double> values;
+    std::vector<uint16_t> buckets;           // Quantizer batch output.
+    std::vector<uint32_t> hash_idx;          // Sketch hashed indices.
+    std::vector<std::vector<uint64_t>> group_keys;
+    std::vector<std::vector<uint8_t>> group_locals;
+    compress::DeltaBinaryKeyCodec::EncodeScratch delta;
+  };
+
  private:
   SketchMlConfig config_;
   SpaceCost last_space_cost_;
   uint64_t encode_calls_ = 0;
   common::ThreadPool* pool_ = nullptr;
-  std::vector<double> values_scratch_;  // Reused across streams and calls.
+  EncodeScratch scratch_;  // Reused across streams and calls.
 };
 
 /// "Adam+Key" ablation stage of Figure 8: delta-binary keys, raw double

@@ -61,9 +61,58 @@ int GroupedMinMaxSketch::Query(uint64_t key, int group) const {
   return bucket;
 }
 
+void GroupedMinMaxSketch::InsertGroupBatch(
+    int group, std::span<const uint64_t> keys,
+    std::span<const uint8_t> locals, std::vector<uint32_t>* idx_scratch) {
+  SKETCHML_CHECK_GE(group, 0);
+  SKETCHML_CHECK_LT(group, num_groups_);
+  if (keys.empty()) return;
+#if SKETCHML_DCHECK_ENABLED
+  // Same contract per pair as Insert: the caller-computed local index
+  // must address a bucket of this group (and fit the byte-sized bins).
+  for (size_t i = 0; i < locals.size(); ++i) {
+    SKETCHML_DCHECK_LT(static_cast<int>(locals[i]), group_width_);
+    SKETCHML_DCHECK_LT(group * group_width_ + static_cast<int>(locals[i]),
+                       num_buckets_);
+  }
+#endif
+  groups_[group].InsertBatch(keys, locals, idx_scratch);
+}
+
+void GroupedMinMaxSketch::QueryGroupBatch(
+    int group, std::span<const uint64_t> keys, int* buckets_out,
+    std::vector<uint32_t>* idx_scratch,
+    std::vector<uint8_t>* local_scratch) const {
+  SKETCHML_CHECK_GE(group, 0);
+  SKETCHML_CHECK_LT(group, num_groups_);
+  if (keys.empty()) return;
+  local_scratch->resize(keys.size());
+  groups_[group].QueryBatch(keys, local_scratch->data(), idx_scratch);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    int local = (*local_scratch)[i];
+    if (local >= group_width_) local = group_width_ - 1;
+    const int bucket =
+        std::min(group * group_width_ + local, num_buckets_ - 1);
+    // Same group-bound guarantee the per-element Query asserts (§3.3).
+    SKETCHML_DCHECK_GE(bucket,
+                       std::min(group * group_width_, num_buckets_ - 1));
+    SKETCHML_DCHECK_LT(bucket,
+                       std::min((group + 1) * group_width_, num_buckets_));
+    buckets_out[i] = bucket;
+  }
+}
+
 size_t GroupedMinMaxSketch::SizeBytes() const {
   size_t total = 0;
   for (const auto& g : groups_) total += g.SizeBytes();
+  return total;
+}
+
+size_t GroupedMinMaxSketch::SerializedSize() const {
+  size_t total = static_cast<size_t>(
+      common::VarintSize(static_cast<uint64_t>(num_buckets_)) +
+      common::VarintSize(static_cast<uint64_t>(num_groups_)));
+  for (const auto& g : groups_) total += g.SerializedSize();
   return total;
 }
 

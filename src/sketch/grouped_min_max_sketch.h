@@ -2,6 +2,7 @@
 #define SKETCHML_SKETCH_GROUPED_MIN_MAX_SKETCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/byte_buffer.h"
@@ -40,12 +41,31 @@ class GroupedMinMaxSketch {
   /// range (error < num_buckets / num_groups).
   int Query(uint64_t key, int group) const;
 
+  /// Batch Insert of a block of keys that all map to `group`, with their
+  /// *local* (within-group) indexes — the caller has already bucketed and
+  /// grouped them, so this just forwards to the group sketch's batch path.
+  /// Table bytes and metrics are bit-identical to per-element Insert.
+  /// `idx_scratch` as in MinMaxSketch::InsertBatch.
+  void InsertGroupBatch(int group, std::span<const uint64_t> keys,
+                        std::span<const uint8_t> locals,
+                        std::vector<uint32_t>* idx_scratch);
+
+  /// Batch Query: `buckets_out[i]` = Query(keys[i], group). `buckets_out`
+  /// must hold `keys.size()` entries; `local_scratch` is caller-owned
+  /// storage for the raw group-sketch answers.
+  void QueryGroupBatch(int group, std::span<const uint64_t> keys,
+                       int* buckets_out, std::vector<uint32_t>* idx_scratch,
+                       std::vector<uint8_t>* local_scratch) const;
+
   int num_buckets() const { return num_buckets_; }
   int num_groups() const { return num_groups_; }
   int group_width() const { return group_width_; }
 
   /// Total bytes of bin storage across groups.
   size_t SizeBytes() const;
+
+  /// Exact size Serialize will append, for reserve-exact assembly.
+  size_t SerializedSize() const;
 
   /// Wire format: shape header + each group's sketch.
   void Serialize(common::ByteWriter* writer) const;

@@ -19,16 +19,22 @@ constexpr size_t kMinLevelCapacity = 8;
 KllSketch::KllSketch(int k, uint64_t seed) : k_(k), rng_(seed) {
   SKETCHML_CHECK_GE(k, 8);
   levels_.emplace_back();
+  RefreshCapacities();
   levels_[0].reserve(LevelCapacity(0));
 }
 
-size_t KllSketch::LevelCapacity(int level) const {
+void KllSketch::RefreshCapacities() {
   // The highest levels get capacity k; deeper (younger) levels decay
-  // geometrically. `level` counts from 0 = youngest, so decay by the
-  // distance from the top level.
-  const int depth = static_cast<int>(levels_.size()) - 1 - level;
-  double cap = static_cast<double>(k_) * std::pow(kLevelDecay, depth);
-  return std::max<size_t>(kMinLevelCapacity, static_cast<size_t>(cap));
+  // geometrically. Level 0 is youngest, so decay by the distance from the
+  // top level.
+  capacities_.resize(levels_.size());
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    const int depth = static_cast<int>(levels_.size()) - 1 -
+                      static_cast<int>(level);
+    const double cap = static_cast<double>(k_) * std::pow(kLevelDecay, depth);
+    capacities_[level] =
+        std::max<size_t>(kMinLevelCapacity, static_cast<size_t>(cap));
+  }
 }
 
 void KllSketch::Update(double value) {
@@ -76,6 +82,7 @@ void KllSketch::Compact(int level) {
   // reallocate and would otherwise dangle them.
   if (level + 1 >= static_cast<int>(levels_.size())) {
     levels_.emplace_back();
+    RefreshCapacities();
   }
   auto& buf = levels_[level];
   auto& next = levels_[level + 1];
@@ -83,17 +90,17 @@ void KllSketch::Compact(int level) {
   // Random phase: keep either the even- or odd-indexed half.
   const size_t phase = rng_.NextBounded(2);
   // If the buffer has odd size, one item stays behind at this level so
-  // total weight is conserved.
-  std::vector<double> leftover;
+  // total weight is conserved. Shrink in place rather than swapping in a
+  // fresh vector: this runs every few inserts at level 0, and keeping the
+  // buffer's capacity keeps the hot path allocation-free.
   size_t n = buf.size();
-  if (n % 2 == 1) {
-    leftover.push_back(buf.back());
-    --n;
-  }
+  const bool odd = (n % 2 == 1);
+  if (odd) --n;
   for (size_t i = phase; i < n; i += 2) {
     next.push_back(buf[i]);
   }
-  buf = std::move(leftover);
+  if (odd) buf[0] = buf[n];
+  buf.resize(odd ? 1 : 0);
 }
 
 std::vector<std::pair<double, uint64_t>> KllSketch::SortedItems() const {
@@ -122,6 +129,47 @@ double KllSketch::Quantile(double q) const {
     if (static_cast<double>(cumulative) >= target) return v;
   }
   return max_;
+}
+
+std::vector<double> KllSketch::EqualDepthSplits(int num_splits) const {
+  SKETCHML_CHECK_GT(num_splits, 0);
+  SKETCHML_CHECK_GT(count_, 0u);
+  // One gather-and-sort answers every rank; each split is then a binary
+  // search over the prefix weights. Must stay bit-identical to the base
+  // class (Quantile per split): Quantile(q) returns the first item whose
+  // cumulative weight reaches q * total, which is exactly the
+  // lower_bound below, and the interior q values are in (0, 1) so the
+  // min/max shortcuts never fire.
+  const auto items = SortedItems();
+  std::vector<double> cumulative;
+  cumulative.reserve(items.size());
+  uint64_t running = 0;
+  for (const auto& [v, w] : items) {
+    running += w;
+    cumulative.push_back(static_cast<double>(running));
+  }
+  const double total_weight = cumulative.empty() ? 0.0 : cumulative.back();
+
+  std::vector<double> splits;
+  splits.reserve(num_splits + 1);
+  splits.push_back(Min());
+  for (int i = 1; i < num_splits; ++i) {
+    const double q = static_cast<double>(i) / num_splits;
+    const double target = q * total_weight;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), target);
+    double v = it == cumulative.end()
+                   ? max_
+                   : items[static_cast<size_t>(it - cumulative.begin())].first;
+    // Quantile estimates can jitter below the running maximum of previous
+    // splits; enforce monotonicity so bucket thresholds are well ordered.
+    if (v < splits.back()) v = splits.back();
+    splits.push_back(v);
+  }
+  double hi = Max();
+  if (hi < splits.back()) hi = splits.back();
+  splits.push_back(hi);
+  return splits;
 }
 
 double KllSketch::Rank(double value) const {
@@ -158,7 +206,10 @@ void KllSketch::Merge(const KllSketch& other) {
     max_ = std::max(max_, other.max_);
   }
   count_ += other.count_;
-  while (levels_.size() < other.levels_.size()) levels_.emplace_back();
+  if (levels_.size() < other.levels_.size()) {
+    levels_.resize(other.levels_.size());
+    RefreshCapacities();
+  }
   for (size_t level = 0; level < other.levels_.size(); ++level) {
     auto& dst = levels_[level];
     const auto& src = other.levels_[level];

@@ -34,6 +34,12 @@ class KllSketch : public QuantileSketch {
   double Min() const override;
   double Max() const override;
 
+  /// One SortedItems() pass + prefix weights for all ranks instead of a
+  /// fresh gather-and-sort per Quantile call. Bit-identical to the base
+  /// implementation (pinned by tests), ~num_splits times cheaper — this
+  /// sits on the encode hot path via QuantileBucketQuantizer::Build.
+  std::vector<double> EqualDepthSplits(int num_splits) const override;
+
   /// Merges `other` into this sketch. Equivalent to having updated this
   /// sketch with other's entire stream.
   void Merge(const KllSketch& other);
@@ -55,7 +61,13 @@ class KllSketch : public QuantileSketch {
 
  private:
   /// Capacity of `level` (geometrically decreasing with depth below top).
-  size_t LevelCapacity(int level) const;
+  /// Served from `capacities_`: every capacity depends on the level count,
+  /// so they are recomputed only when a level is added (Update sits on the
+  /// encode hot path and must not pay a std::pow per item).
+  size_t LevelCapacity(int level) const { return capacities_[level]; }
+
+  /// Recomputes `capacities_` for the current level count.
+  void RefreshCapacities();
 
   /// Sorts and compacts `level`, promoting half its items.
   void Compact(int level);
@@ -70,6 +82,7 @@ class KllSketch : public QuantileSketch {
   common::Rng rng_;
   // levels_[i] holds items of weight 2^i; level 0 is unsorted.
   std::vector<std::vector<double>> levels_;
+  std::vector<size_t> capacities_;  // capacities_[i] = capacity of level i.
 };
 
 }  // namespace sketchml::sketch

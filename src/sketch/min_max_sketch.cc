@@ -1,10 +1,13 @@
 #include "sketch/min_max_sketch.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "common/bit_util.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/obs.h"
+#include "common/simd.h"
 
 namespace sketchml::sketch {
 
@@ -33,6 +36,75 @@ void MinMaxSketch::Insert(uint64_t key, uint8_t value) {
     static const obs::Counter inserts =
         obs::MetricsRegistry::Global().GetCounter("sketch/minmax/inserts");
     inserts.Increment();
+  }
+}
+
+void MinMaxSketch::InsertBatch(std::span<const uint64_t> keys,
+                               std::span<const uint8_t> values,
+                               std::vector<uint32_t>* idx_scratch) {
+  SKETCHML_CHECK_EQ(keys.size(), values.size());
+  const size_t count = keys.size();
+  if (count == 0) return;
+  // All hashed indices first (the vectorizable part), row-major so each
+  // row's table slice is applied in one contiguous pass.
+  idx_scratch->resize(static_cast<size_t>(rows_) * count);
+  for (int row = 0; row < rows_; ++row) {
+    common::simd::HashBuckets(keys.data(), count, hashes_[row].seed(),
+                              static_cast<uint64_t>(cols_),
+                              idx_scratch->data() + row * count);
+  }
+  for (int row = 0; row < rows_; ++row) {
+    uint8_t* row_bins = table_.data() + static_cast<size_t>(row) * cols_;
+    const uint32_t* idx = idx_scratch->data() + row * count;
+    for (size_t i = 0; i < count; ++i) {
+      uint8_t& cell = row_bins[idx[i]];
+      cell = std::min(cell, values[i]);
+    }
+  }
+  insertions_ += count;
+#if SKETCHML_DCHECK_ENABLED
+  // Never-overestimate bound (Theorem A.4) per inserted pair, via the
+  // metrics-free recomputation, exactly as the per-element path checks.
+  for (size_t i = 0; i < count; ++i) {
+    SKETCHML_DCHECK_LE(QueryCell(keys[i]), values[i]);
+  }
+#endif
+  if (obs::MetricsEnabled()) {
+    static const obs::Counter inserts =
+        obs::MetricsRegistry::Global().GetCounter("sketch/minmax/inserts");
+    inserts.Add(static_cast<double>(count));
+  }
+}
+
+void MinMaxSketch::QueryBatch(std::span<const uint64_t> keys, uint8_t* out,
+                              std::vector<uint32_t>* idx_scratch) const {
+  const size_t count = keys.size();
+  if (count == 0) return;
+  idx_scratch->resize(static_cast<size_t>(rows_) * count);
+  for (int row = 0; row < rows_; ++row) {
+    common::simd::HashBuckets(keys.data(), count, hashes_[row].seed(),
+                              static_cast<uint64_t>(cols_),
+                              idx_scratch->data() + row * count);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint8_t best = 0;
+    bool any = false;
+    for (int row = 0; row < rows_; ++row) {
+      const uint8_t cell =
+          table_[static_cast<size_t>(row) * cols_ +
+                 (*idx_scratch)[static_cast<size_t>(row) * count + i]];
+      if (cell != kEmpty) {
+        best = std::max(best, cell);
+        any = true;
+      }
+    }
+    out[i] = any ? best : kEmpty;
+    SKETCHML_DCHECK_EQ(out[i], QueryCell(keys[i]));
+  }
+  if (obs::MetricsEnabled()) {
+    static const obs::Counter queries =
+        obs::MetricsRegistry::Global().GetCounter("sketch/minmax/queries");
+    queries.Add(static_cast<double>(count));
   }
 }
 
@@ -65,14 +137,25 @@ void MinMaxSketch::Serialize(common::ByteWriter* writer) const {
   writer->WriteBytes(table_);
 }
 
+size_t MinMaxSketch::SerializedSize() const {
+  return static_cast<size_t>(
+             common::VarintSize(static_cast<uint64_t>(rows_)) +
+             common::VarintSize(static_cast<uint64_t>(cols_))) +
+         sizeof(uint64_t) + table_.size();
+}
+
 common::Status MinMaxSketch::Deserialize(common::ByteReader* reader,
                                          MinMaxSketch* out) {
   uint64_t rows = 0, cols = 0, seed = 0;
   SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&rows));
   SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&cols));
   SKETCHML_RETURN_IF_ERROR(reader->ReadU64(&seed));
+  // Divide instead of multiplying: `rows * cols` can wrap uint64_t for a
+  // corrupt header (e.g. cols = 2^63) and dodge the bound; and `cols` must
+  // fit `int` before the constructor cast below.
   if (rows == 0 || cols == 0 || rows > 64 ||
-      rows * cols > reader->remaining()) {
+      cols > reader->remaining() / rows ||
+      cols > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
     return common::Status::CorruptedData("implausible MinMaxSketch shape");
   }
   MinMaxSketch sketch(static_cast<int>(rows), static_cast<int>(cols), seed);

@@ -2,6 +2,7 @@
 #define SKETCHML_SKETCH_MIN_MAX_SKETCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/byte_buffer.h"
@@ -50,6 +51,23 @@ class MinMaxSketch {
   /// inserted returns kEmpty.
   uint8_t Query(uint64_t key) const;
 
+  /// Batch Insert: hashes a whole block of keys row-major through the
+  /// dispatched simd::HashBuckets kernel, then applies the min-updates.
+  /// Min-updates commute, so the resulting table (and every metric) is
+  /// bit-identical to inserting the pairs one at a time in any order.
+  /// `keys` and `values` must have equal length. `idx_scratch` is
+  /// caller-owned hashed-index storage (resized to rows * count), reused
+  /// across calls so the encode hot path stays allocation-free.
+  void InsertBatch(std::span<const uint64_t> keys,
+                   std::span<const uint8_t> values,
+                   std::vector<uint32_t>* idx_scratch);
+
+  /// Batch Query: `out[i]` = Query(keys[i]), bit-identical results and
+  /// metrics. `out` must hold `keys.size()` entries; `idx_scratch` as in
+  /// InsertBatch.
+  void QueryBatch(std::span<const uint64_t> keys, uint8_t* out,
+                  std::vector<uint32_t>* idx_scratch) const;
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   uint64_t seed() const { return seed_; }
@@ -57,6 +75,9 @@ class MinMaxSketch {
 
   /// Bytes of bin storage (the wire size of the table).
   size_t SizeBytes() const { return table_.size(); }
+
+  /// Exact size Serialize will append, for reserve-exact assembly.
+  size_t SerializedSize() const;
 
   /// Appends rows/cols/seed and the bin table to `writer` (wire format).
   void Serialize(common::ByteWriter* writer) const;

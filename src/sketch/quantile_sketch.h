@@ -38,7 +38,9 @@ class QuantileSketch {
   /// Quantile(1)} used by quantile-bucket quantification (§3.2 step 1).
   /// `num_splits` is the paper's `q`; the result has `num_splits + 1`
   /// strictly non-decreasing entries with exact min/max at the ends.
-  std::vector<double> EqualDepthSplits(int num_splits) const;
+  /// Virtual so sketches can answer all `q` ranks from one sorted pass;
+  /// overrides must return exactly what the default implementation would.
+  virtual std::vector<double> EqualDepthSplits(int num_splits) const;
 };
 
 }  // namespace sketchml::sketch

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <span>
 #include <vector>
+
+#include "common/bit_util.h"
 
 namespace sketchml::common {
 namespace {
@@ -100,6 +104,70 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL, 16384ULL,
                       (1ULL << 32) - 1, 1ULL << 32, (1ULL << 56) + 123,
                       std::numeric_limits<uint64_t>::max()));
+
+// VarintSize is the closed-form replacement for the old probe-a-writer
+// idiom; it must match what WriteVarint actually emits, especially at
+// every 7-bit group boundary where the byte count steps up.
+TEST(VarintTest, VarintSizeMatchesWrittenBytesAtBoundaries) {
+  std::vector<uint64_t> probes = {0, 1, 0x7e};
+  for (int group = 1; group <= 9; ++group) {
+    const uint64_t step_up = uint64_t{1} << (7 * group);  // Needs group+1.
+    probes.push_back(step_up - 1);  // Last value of `group` bytes.
+    probes.push_back(step_up);      // First value of `group` + 1 bytes.
+  }
+  probes.push_back(std::numeric_limits<uint64_t>::max());
+  for (uint64_t v : probes) {
+    ByteWriter w;
+    w.WriteVarint(v);
+    EXPECT_EQ(static_cast<size_t>(VarintSize(v)), w.size()) << "v=" << v;
+  }
+  // Spot-check the closed form itself.
+  static_assert(VarintSize(0) == 1);
+  static_assert(VarintSize(127) == 1);
+  static_assert(VarintSize(128) == 2);
+  static_assert(VarintSize((uint64_t{1} << 63) - 1) == 9);
+  static_assert(VarintSize(uint64_t{1} << 63) == 10);
+  static_assert(VarintSize(std::numeric_limits<uint64_t>::max()) == 10);
+}
+
+TEST(BytesNeededTest, BranchlessFormMatchesDefinition) {
+  static_assert(BytesNeeded(0) == 1);
+  static_assert(BytesNeeded(0xff) == 1);
+  static_assert(BytesNeeded(0x100) == 2);
+  static_assert(BytesNeeded(0xffff) == 2);
+  static_assert(BytesNeeded(0x10000) == 3);
+  static_assert(BytesNeeded(0xffffff) == 3);
+  static_assert(BytesNeeded(0x1000000) == 4);
+  static_assert(BytesNeeded(0xffffffffULL) == 4);
+  static_assert(BytesNeeded(0x100000000ULL) == 5);
+  static_assert(BytesNeeded(std::numeric_limits<uint64_t>::max()) == 8);
+}
+
+TEST(ByteWriterTest, ExtendTruncateAndMutableData) {
+  ByteWriter w;
+  w.WriteU8(0xaa);
+  const size_t offset = w.Extend(4);
+  EXPECT_EQ(offset, 1u);
+  EXPECT_EQ(w.size(), 5u);
+  // Extended region is zero-filled and writable in place.
+  std::vector<uint8_t> expected = {0xaa, 0, 0, 0, 0};
+  EXPECT_EQ(w.buffer(), expected);
+  const uint32_t patch = 0xdeadbeef;
+  std::memcpy(w.MutableData() + offset, &patch, sizeof(patch));
+  w.Truncate(3);  // Drop the trailing slack.
+  expected = {0xaa, 0xef, 0xbe};
+  EXPECT_EQ(w.buffer(), expected);
+}
+
+TEST(ByteWriterTest, WriteSpanAndReserve) {
+  ByteWriter w;
+  w.Reserve(64);  // Capacity hint only: size stays 0.
+  EXPECT_EQ(w.size(), 0u);
+  const std::vector<uint8_t> payload = {1, 2, 3};
+  w.WriteSpan(std::span<const uint8_t>(payload));
+  w.WriteSpan(std::span<const uint8_t>());  // Empty span is a no-op.
+  EXPECT_EQ(w.buffer(), payload);
+}
 
 TEST(VarintTest, TruncatedVarintFails) {
   std::vector<uint8_t> buf = {0x80, 0x80};  // Continuation with no end.

@@ -109,6 +109,41 @@ TEST(DeltaBinaryKeyCodecTest, DecodeDetectsTruncation) {
             common::StatusCode::kCorruptedData);
 }
 
+// Regression for the tightened count bound: a declared count small enough
+// that `count <= remaining` but whose mandatory flag stream alone
+// (ceil(count/4) bytes on top of >= 1 delta byte per key) cannot fit must
+// be rejected before any allocation, not discovered mid-read.
+TEST(DeltaBinaryKeyCodecTest, DecodeRejectsCountThatOnlyFitsWithoutFlags) {
+  // count = 8 needs 8 delta bytes + 2 flag bytes = 10; give it exactly 8.
+  common::ByteWriter writer;
+  writer.WriteVarint(8);
+  for (int i = 0; i < 8; ++i) writer.WriteU8(0x01);
+  common::ByteReader reader(writer.buffer());
+  std::vector<uint64_t> decoded;
+  EXPECT_EQ(DeltaBinaryKeyCodec::Decode(&reader, &decoded).code(),
+            common::StatusCode::kCorruptedData);
+
+  // One extra byte short of the flag overhead still fails...
+  common::ByteWriter writer2;
+  writer2.WriteVarint(8);
+  for (int i = 0; i < 9; ++i) writer2.WriteU8(0x01);
+  common::ByteReader reader2(writer2.buffer());
+  EXPECT_EQ(DeltaBinaryKeyCodec::Decode(&reader2, &decoded).code(),
+            common::StatusCode::kCorruptedData);
+
+  // ...while the exact minimum (2 flag bytes of all-"1-byte" symbols + 8
+  // nonzero deltas) decodes.
+  common::ByteWriter writer3;
+  writer3.WriteVarint(8);
+  writer3.WriteU8(0x00);
+  writer3.WriteU8(0x00);
+  for (int i = 0; i < 8; ++i) writer3.WriteU8(0x01);
+  common::ByteReader reader3(writer3.buffer());
+  ASSERT_TRUE(DeltaBinaryKeyCodec::Decode(&reader3, &decoded).ok());
+  const std::vector<uint64_t> expected = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(decoded, expected);
+}
+
 class DeltaKeyDensityTest
     : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
 

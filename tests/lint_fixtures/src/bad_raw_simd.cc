@@ -1,0 +1,14 @@
+// Golden fixture: sketchml-raw-simd violations (intrinsics outside the
+// src/common/simd* dispatch seam).
+#include <immintrin.h>
+
+namespace sketchml::fixture {
+
+double SumLanes(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);  // VIOLATION: raw intrinsic use.
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, v);  // VIOLATION: raw intrinsic use.
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+}  // namespace sketchml::fixture

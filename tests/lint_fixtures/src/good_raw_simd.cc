@@ -1,0 +1,21 @@
+// Golden fixture: sketchml-raw-simd clean file. Batch code calls the
+// dispatch seam; near-miss identifiers with an identifier character
+// before the prefix do not match; a justified escape hatch uses NOLINT.
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.h"
+
+namespace sketchml::fixture {
+
+size_t x_mm256_lookalike = 0;  // Ident char on the left: not a match.
+
+size_t Buckets(const double* splits, size_t num_splits, const double* values,
+               size_t count, uint16_t* out) {
+  return common::simd::BucketSearch(splits, num_splits, values, count, out);
+}
+
+// NOLINTNEXTLINE(sketchml-raw-simd): name-alike in a stub declaration.
+struct __m256_stub;
+
+}  // namespace sketchml::fixture

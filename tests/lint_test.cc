@@ -120,6 +120,13 @@ TEST(LintTest, NakedNew) {
   ExpectClean("good_naked_new.cc");
 }
 
+TEST(LintTest, RawSimd) {
+  ExpectViolations("bad_raw_simd.cc", {{3, "sketchml-raw-simd"},
+                                       {8, "sketchml-raw-simd"},
+                                       {10, "sketchml-raw-simd"}});
+  ExpectClean("good_raw_simd.cc");
+}
+
 // --rule= restricts checking to one rule: the banned-random fixture has
 // no wallclock violations, so filtering by sketchml-wallclock is clean.
 TEST(LintTest, RuleFilter) {
@@ -134,7 +141,7 @@ TEST(LintTest, ListRules) {
   for (const char* rule :
        {"sketchml-discarded-status", "sketchml-banned-random",
         "sketchml-wallclock", "sketchml-stdout", "sketchml-include-hygiene",
-        "sketchml-naked-new"}) {
+        "sketchml-naked-new", "sketchml-raw-simd"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << run.output;
   }
 }

@@ -142,6 +142,39 @@ TEST(MinMaxSketchTest, DeserializeRejectsTruncatedTable) {
             common::StatusCode::kCorruptedData);
 }
 
+// Regression: a corrupt header whose rows * cols wraps uint64_t (e.g.
+// rows=2, cols=2^63) used to dodge the size bound and attempt a giant
+// allocation; same for cols that fit the bound but overflow the `int`
+// constructor parameter.
+TEST(MinMaxSketchTest, DeserializeRejectsOverflowingShape) {
+  const auto try_shape = [](uint64_t rows, uint64_t cols) {
+    common::ByteWriter writer;
+    writer.WriteVarint(rows);
+    writer.WriteVarint(cols);
+    writer.WriteU64(13);  // Seed.
+    // A little "table" so the header itself is not truncated.
+    writer.WriteBytes(std::vector<uint8_t>(16, 0xff));
+    common::ByteReader reader(writer.buffer());
+    MinMaxSketch out(1, 1);
+    return MinMaxSketch::Deserialize(&reader, &out);
+  };
+  // rows * cols == 2^64 exactly: wraps to 0.
+  EXPECT_EQ(try_shape(2, uint64_t{1} << 63).code(),
+            common::StatusCode::kCorruptedData);
+  // Wraps to a small plausible-looking product (17 * (2^64/17 rounded)).
+  EXPECT_EQ(try_shape(17, 0xf0f0f0f0f0f0f0fULL + 1).code(),
+            common::StatusCode::kCorruptedData);
+  // Fits uint64_t but cols overflows int.
+  EXPECT_EQ(try_shape(1, uint64_t{1} << 32).code(),
+            common::StatusCode::kCorruptedData);
+  // Zero dimensions and absurd row counts are equally corrupt.
+  EXPECT_EQ(try_shape(0, 10).code(), common::StatusCode::kCorruptedData);
+  EXPECT_EQ(try_shape(10, 0).code(), common::StatusCode::kCorruptedData);
+  EXPECT_EQ(try_shape(65, 1).code(), common::StatusCode::kCorruptedData);
+  // Sanity: an honest small shape with a complete table still loads.
+  EXPECT_TRUE(try_shape(2, 8).ok());
+}
+
 // Correctness rate (Appendix A.2, Eq. 2): the fraction of keys whose query
 // is exact matches the closed form within sampling noise.
 class MinMaxCorrectnessRateTest

@@ -1,0 +1,421 @@
+// Scalar-vs-SIMD differential property tests for the dispatch seam
+// (src/common/simd.h).
+//
+// The contract under test is strict: every compiled kernel level must be
+// *bit-identical* to the scalar reference — same bucket indexes, same
+// clamp counts, same hashed bins, same wire bytes — not merely
+// equivalent. Each property is exercised on every level DetectedLevel()
+// allows, so on an AVX2 host this covers both paths in one binary (and
+// the forced-scalar ctest entries re-run the rest of the suite with
+// SKETCHML_SIMD=off for the dispatch-default path).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/murmur_hash.h"
+#include "common/simd.h"
+#include "compress/delta_binary_key_codec.h"
+#include "compress/quantile_bucket_quantizer.h"
+#include "core/sketchml_codec.h"
+#include "gtest/gtest.h"
+#include "sketch/min_max_sketch.h"
+
+namespace sketchml {
+namespace {
+
+namespace simd = common::simd;
+
+std::vector<simd::Level> CompiledLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::LevelSupported(simd::Level::kAvx2)) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+/// Pins the dispatch to one level for a scope, restoring the previous
+/// level on exit so tests stay order-independent.
+class LevelGuard {
+ public:
+  explicit LevelGuard(simd::Level level) : saved_(simd::ActiveLevel()) {
+    simd::SetActiveLevel(level);
+  }
+  ~LevelGuard() { simd::SetActiveLevel(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+/// Element-at-a-time oracle: the exact upper_bound + clamp definition
+/// BucketOf has always used.
+std::pair<std::vector<uint16_t>, size_t> BucketOracle(
+    const std::vector<double>& splits, const std::vector<double>& values) {
+  std::vector<uint16_t> out(values.size());
+  size_t clamped_count = 0;
+  const int top = static_cast<int>(splits.size()) - 2;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto it =
+        std::upper_bound(splits.begin(), splits.end(), values[i]);
+    const int idx = static_cast<int>(it - splits.begin()) - 1;
+    const int clamped = std::clamp(idx, 0, top);
+    clamped_count += static_cast<size_t>(clamped != idx);
+    out[i] = static_cast<uint16_t>(clamped);
+  }
+  return {out, clamped_count};
+}
+
+std::vector<double> RandomGradientValues(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> small(0.0, 0.05);
+  std::normal_distribution<double> large(0.0, 2.0);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng() % 10 == 0 ? large(rng) : small(rng);
+  return values;
+}
+
+TEST(SimdDifferentialTest, BucketSearchMatchesOracleOnEveryLevel) {
+  // Split-array sizes straddling the AVX2 chunking (8), the wire maximum
+  // (257 = 256 buckets), and the stack-buffer fallback bound (> 2048).
+  for (size_t num_splits : {2u, 3u, 7u, 8u, 9u, 16u, 17u, 129u, 257u,
+                            300u, 2048u, 2049u, 4096u}) {
+    std::vector<double> splits(num_splits);
+    for (size_t i = 0; i < num_splits; ++i) {
+      splits[i] = -3.0 + 6.0 * static_cast<double>(i) /
+                             static_cast<double>(num_splits - 1);
+    }
+    std::vector<double> values = RandomGradientValues(1003, num_splits);
+    // Extremes, exact split hits, and non-finite values.
+    values[0] = std::numeric_limits<double>::quiet_NaN();
+    values[1] = std::numeric_limits<double>::infinity();
+    values[2] = -std::numeric_limits<double>::infinity();
+    values[3] = splits.front();
+    values[4] = splits.back();
+    values[5] = splits[num_splits / 2];
+    values[6] = std::nextafter(splits.back(), 1e308);
+    values[7] = std::nextafter(splits.front(), -1e308);
+
+    const auto [expected, expected_clamped] = BucketOracle(splits, values);
+    for (simd::Level level : CompiledLevels()) {
+      LevelGuard guard(level);
+      std::vector<uint16_t> out(values.size(), 0xbeef);
+      const size_t clamped =
+          simd::BucketSearch(splits.data(), splits.size(), values.data(),
+                             values.size(), out.data());
+      EXPECT_EQ(out, expected) << "level=" << simd::LevelName(level)
+                               << " num_splits=" << num_splits;
+      EXPECT_EQ(clamped, expected_clamped)
+          << "level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, BucketSearchDegenerateAndTinyBatches) {
+  // All-equal splits (a constant stream collapses every quantile) and
+  // duplicated interior splits; empty and 1-element batches.
+  const std::vector<std::vector<double>> split_sets = {
+      {0.0, 0.0},
+      {1.5, 1.5, 1.5, 1.5, 1.5},
+      {-1.0, 0.0, 0.0, 0.0, 2.0},
+      {0.0, 1.0},
+  };
+  for (const auto& splits : split_sets) {
+    const std::vector<std::vector<double>> batches = {
+        {},
+        {0.0},
+        {1.5},
+        {-7.0},
+        {7.0},
+        {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0},
+        {1.5, 1.5, 1.5, 1.5},
+    };
+    for (const auto& values : batches) {
+      const auto [expected, expected_clamped] = BucketOracle(splits, values);
+      for (simd::Level level : CompiledLevels()) {
+        LevelGuard guard(level);
+        std::vector<uint16_t> out(values.size());
+        const size_t clamped =
+            simd::BucketSearch(splits.data(), splits.size(), values.data(),
+                               values.size(), out.data());
+        EXPECT_EQ(out, expected) << "level=" << simd::LevelName(level);
+        EXPECT_EQ(clamped, expected_clamped);
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, HashBucketsMatchesHashFunction) {
+  std::mt19937_64 rng(99);
+  std::vector<uint64_t> keys(517);
+  for (auto& k : keys) k = rng();
+  keys[0] = 0;
+  keys[1] = std::numeric_limits<uint64_t>::max();
+  for (uint64_t num_buckets :
+       {uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{64}, uint64_t{97},
+        uint64_t{1} << 16, (uint64_t{1} << 16) + 1, uint64_t{1} << 32}) {
+    for (uint64_t seed : {uint64_t{0}, uint64_t{13}, uint64_t{0x9E3779B9}}) {
+      const common::HashFunction oracle(seed);
+      for (simd::Level level : CompiledLevels()) {
+        LevelGuard guard(level);
+        std::vector<uint32_t> out(keys.size());
+        simd::HashBuckets(keys.data(), keys.size(), seed, num_buckets,
+                          out.data());
+        for (size_t i = 0; i < keys.size(); ++i) {
+          ASSERT_EQ(out[i], oracle.Bucket(keys[i], num_buckets))
+              << "level=" << simd::LevelName(level) << " key=" << keys[i]
+              << " buckets=" << num_buckets;
+        }
+      }
+    }
+  }
+}
+
+/// Reimplementation of the pre-batch staged delta encoder (TwoBitWriter +
+/// (delta, nbytes) pairs + WriteUintN), kept as the wire-format oracle.
+common::Status StagedOracleEncode(const std::vector<uint64_t>& keys,
+                                  common::ByteWriter* writer) {
+  writer->WriteVarint(keys.size());
+  if (keys.empty()) return common::Status::Ok();
+  common::TwoBitWriter flags;
+  std::vector<std::pair<uint64_t, int>> deltas;
+  uint64_t previous = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0 && keys[i] <= previous) {
+      return common::Status::InvalidArgument(
+          "keys must be strictly increasing");
+    }
+    const uint64_t delta = keys[i] - previous;
+    if (delta > std::numeric_limits<uint32_t>::max()) {
+      return common::Status::OutOfRange("key delta exceeds 4 bytes");
+    }
+    int nbytes = 1;
+    for (uint64_t v = delta; v > 0xff; v >>= 8) ++nbytes;
+    flags.Append(static_cast<uint8_t>(nbytes - 1));
+    deltas.emplace_back(delta, nbytes);
+    previous = keys[i];
+  }
+  writer->WriteBytes(flags.bytes());
+  for (const auto& [delta, nbytes] : deltas) {
+    writer->WriteUintN(delta, nbytes);
+  }
+  return common::Status::Ok();
+}
+
+std::vector<uint64_t> RandomAscendingKeys(size_t n, uint64_t seed,
+                                          uint64_t max_step) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> keys(n);
+  uint64_t k = rng() % 4;  // Sometimes start at 0.
+  for (auto& key : keys) {
+    k += 1 + rng() % max_step;
+    key = k;
+  }
+  return keys;
+}
+
+TEST(SimdDifferentialTest, DeltaEncodeMatchesStagedOracle) {
+  std::vector<std::vector<uint64_t>> cases = {
+      {},
+      {0},
+      {1},
+      {0xffffffffULL},
+      // Every width boundary back to back.
+      {0xff, 0xff + 0x100, 0xff + 0x100 + 0xffff,
+       0xff + 0x100 + 0xffff + 0x10000,
+       0xff + 0x100 + 0xffff + 0x10000 + 0xffffff,
+       0xff + 0x100 + 0xffff + 0x10000 + 0xffffffULL + 0x1000000,
+       0xff + 0x100 + 0xffff + 0x10000 + 0xffffffULL + 0x1000000 +
+           0xffffffffULL},
+  };
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const uint64_t max_step = seed % 4 == 0 ? 90'000'000 : 1'000;
+    cases.push_back(RandomAscendingKeys(seed * 13 % 600, seed, max_step));
+  }
+  for (const auto& keys : cases) {
+    common::ByteWriter expected;
+    const common::Status oracle_status = StagedOracleEncode(keys, &expected);
+    ASSERT_TRUE(oracle_status.ok());
+    for (simd::Level level : CompiledLevels()) {
+      LevelGuard guard(level);
+      common::ByteWriter writer;
+      ASSERT_TRUE(
+          compress::DeltaBinaryKeyCodec::Encode(keys, &writer).ok());
+      EXPECT_EQ(writer.buffer(), expected.buffer())
+          << "level=" << simd::LevelName(level) << " n=" << keys.size();
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, DeltaEncodeErrorsMatchOnEveryLevel) {
+  // Unsorted / duplicate keys and >4-byte deltas must fail identically —
+  // including when the offending element sits mid-vector-block or in the
+  // scalar tail.
+  std::vector<std::vector<uint64_t>> bad = {
+      {5, 4},
+      {1, 1},
+      {1, 2, 3, 4, 5, 6, 7, 3},
+      {0x1'00000000ULL},
+      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 12},
+      {1, 1ULL << 40},
+      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 13ULL + (1ULL << 33)},
+  };
+  for (const auto& keys : bad) {
+    common::ByteWriter oracle_writer;
+    const auto expected = StagedOracleEncode(keys, &oracle_writer);
+    ASSERT_FALSE(expected.ok());
+    for (simd::Level level : CompiledLevels()) {
+      LevelGuard guard(level);
+      common::ByteWriter writer;
+      const common::Status status =
+          compress::DeltaBinaryKeyCodec::Encode(keys, &writer);
+      EXPECT_EQ(status.code(), expected.code())
+          << "level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, QuantizerBucketsOfMatchesBucketOf) {
+  const std::vector<double> build_values = RandomGradientValues(4096, 7);
+  for (int num_buckets : {1, 2, 16, 256}) {
+    const auto quantizer = compress::QuantileBucketQuantizer::Build(
+        build_values, num_buckets);
+    std::vector<double> probe = RandomGradientValues(777, 11);
+    probe[0] = std::numeric_limits<double>::infinity();
+    probe[1] = -std::numeric_limits<double>::infinity();
+    probe.push_back(0.0);
+    for (simd::Level level : CompiledLevels()) {
+      LevelGuard guard(level);
+      std::vector<uint16_t> batch(probe.size());
+      quantizer.BucketsOf(probe, batch.data());
+      for (size_t i = 0; i < probe.size(); ++i) {
+        ASSERT_EQ(static_cast<int>(batch[i]), quantizer.BucketOf(probe[i]))
+            << "level=" << simd::LevelName(level) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, MinMaxBatchMatchesPerElement) {
+  std::mt19937_64 rng(21);
+  const size_t n = 700;
+  std::vector<uint64_t> keys(n);
+  std::vector<uint8_t> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = rng() % 5000;  // Force collisions and repeated keys.
+    values[i] = static_cast<uint8_t>(rng() % 256);
+  }
+  for (simd::Level level : CompiledLevels()) {
+    LevelGuard guard(level);
+    sketch::MinMaxSketch batch_sketch(3, 97, 13);
+    sketch::MinMaxSketch scalar_sketch(3, 97, 13);
+    std::vector<uint32_t> scratch;
+    batch_sketch.InsertBatch(keys, values, &scratch);
+    for (size_t i = 0; i < n; ++i) scalar_sketch.Insert(keys[i], values[i]);
+    common::ByteWriter batch_bytes, scalar_bytes;
+    batch_sketch.Serialize(&batch_bytes);
+    scalar_sketch.Serialize(&scalar_bytes);
+    EXPECT_EQ(batch_bytes.buffer(), scalar_bytes.buffer())
+        << "level=" << simd::LevelName(level);
+    EXPECT_EQ(batch_sketch.NumInsertions(), scalar_sketch.NumInsertions());
+
+    std::vector<uint64_t> probe(keys);
+    probe.push_back(999'999);  // Never inserted: must stay kEmpty.
+    std::vector<uint8_t> answers(probe.size());
+    batch_sketch.QueryBatch(probe, answers.data(), &scratch);
+    for (size_t i = 0; i < probe.size(); ++i) {
+      ASSERT_EQ(answers[i], scalar_sketch.Query(probe[i]))
+          << "level=" << simd::LevelName(level) << " i=" << i;
+    }
+    // Empty batches are no-ops.
+    batch_sketch.InsertBatch({}, {}, &scratch);
+    batch_sketch.QueryBatch({}, answers.data(), &scratch);
+    EXPECT_EQ(batch_sketch.NumInsertions(), n);
+  }
+}
+
+common::SparseGradient MakeGradient(size_t n, uint64_t dim, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> small(0.0, 0.05);
+  std::normal_distribution<double> large(0.0, 2.0);
+  common::SparseGradient grad(n);
+  uint64_t key = 0;
+  const uint64_t max_step = std::max<uint64_t>(1, dim / (n + 1));
+  for (auto& pair : grad) {
+    key += 1 + rng() % max_step;
+    pair.key = key;
+    pair.value = rng() % 10 == 0 ? large(rng) : small(rng);
+  }
+  return grad;
+}
+
+TEST(SimdDifferentialTest, SketchMlEncodeBytesIdenticalAcrossLevels) {
+  const auto levels = CompiledLevels();
+  for (uint64_t seed : {uint64_t{7}, uint64_t{21}}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{2000}}) {
+      const common::SparseGradient grad = MakeGradient(n, 1 << 22, seed);
+      std::vector<std::vector<uint8_t>> encodings;
+      for (simd::Level level : levels) {
+        LevelGuard guard(level);
+        core::SketchMlConfig config;
+        config.seed = seed;
+        core::SketchMlCodec codec(config);
+        compress::EncodedGradient encoded;
+        ASSERT_TRUE(codec.Encode(grad, &encoded).ok());
+        encodings.push_back(encoded.bytes);
+        // The encode must decode on every level too (decode queries the
+        // sketch through the same dispatched kernels).
+        common::SparseGradient decoded;
+        ASSERT_TRUE(codec.Decode(encoded, &decoded).ok());
+        ASSERT_EQ(decoded.size(), grad.size());
+      }
+      for (size_t i = 1; i < encodings.size(); ++i) {
+        EXPECT_EQ(encodings[i], encodings[0])
+            << "level " << simd::LevelName(levels[i])
+            << " bytes differ from scalar for n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, QuantileOnlyEncodeBytesIdenticalAcrossLevels) {
+  const auto levels = CompiledLevels();
+  const common::SparseGradient grad = MakeGradient(1500, 1 << 20, 5);
+  std::vector<std::vector<uint8_t>> encodings;
+  for (simd::Level level : levels) {
+    LevelGuard guard(level);
+    core::QuantileOnlyCodec codec;
+    compress::EncodedGradient encoded;
+    ASSERT_TRUE(codec.Encode(grad, &encoded).ok());
+    encodings.push_back(encoded.bytes);
+  }
+  for (size_t i = 1; i < encodings.size(); ++i) {
+    EXPECT_EQ(encodings[i], encodings[0])
+        << "level " << simd::LevelName(levels[i]);
+  }
+}
+
+TEST(SimdDifferentialTest, SetActiveLevelFromStringVocabulary) {
+  LevelGuard guard(simd::Level::kScalar);  // Restore point.
+  EXPECT_TRUE(simd::SetActiveLevelFromString("off").ok());
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  EXPECT_TRUE(simd::SetActiveLevelFromString("scalar").ok());
+  EXPECT_TRUE(simd::SetActiveLevelFromString("auto").ok());
+  EXPECT_EQ(simd::ActiveLevel(), simd::DetectedLevel());
+  EXPECT_TRUE(simd::SetActiveLevelFromString("on").ok());
+  EXPECT_EQ(simd::ActiveLevel(), simd::DetectedLevel());
+  EXPECT_FALSE(simd::SetActiveLevelFromString("avx512-please").ok());
+  if (simd::LevelSupported(simd::Level::kAvx2)) {
+    EXPECT_TRUE(simd::SetActiveLevelFromString("avx2").ok());
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kAvx2);
+  } else {
+    EXPECT_FALSE(simd::SetActiveLevelFromString("avx2").ok());
+  }
+}
+
+}  // namespace
+}  // namespace sketchml

@@ -82,6 +82,11 @@ const std::vector<RuleInfo>& RuleCatalog() {
        "hot paths use containers/smart pointers; naked new/delete risks "
        "leaks on early Status returns (intentional leaked singletons get a "
        "NOLINT with justification)"},
+      {"sketchml-raw-simd",
+       "raw vector intrinsics outside src/common/simd* bypass the runtime "
+       "dispatch seam: they crash older CPUs the scalar path supports and "
+       "dodge the scalar/SIMD differential tests; add a kernel to the seam "
+       "instead"},
   };
   return rules;
 }
@@ -273,6 +278,18 @@ bool ContainsToken(std::string_view line, std::string_view needle) {
     const size_t end = pos + needle.size();
     const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
     if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+// True when `prefix` begins an identifier in `line` (no identifier
+// character to its left); the token may continue to the right, matching
+// whole intrinsic families like _mm256_* or __m128/__m128d/__m128i.
+bool ContainsTokenPrefix(std::string_view line, std::string_view prefix) {
+  size_t pos = 0;
+  while ((pos = line.find(prefix, pos)) != std::string_view::npos) {
+    if (pos == 0 || !IsIdentChar(line[pos - 1])) return true;
     pos += 1;
   }
   return false;
@@ -491,6 +508,48 @@ void CheckNakedNew(const SourceFile& file, std::vector<Violation>* out) {
   }
 }
 
+// sketchml-raw-simd: vector intrinsics only inside the dispatch seam
+// (src/common/simd*), keeping scalar/SIMD parity testable in one place.
+void CheckRawSimd(const SourceFile& file, std::vector<Violation>* out) {
+  if (PathIsOneOf(file, {"common/simd"})) return;
+  static const char* kIntrinHeaders[] = {
+      "immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
+      "pmmintrin.h", "smmintrin.h", "tmmintrin.h", "nmmintrin.h",
+      "wmmintrin.h", "avxintrin.h", "avx2intrin.h", "arm_neon.h",
+  };
+  static const char* kIntrinPrefixes[] = {
+      "_mm_", "_mm256_", "_mm512_", "__m128", "__m256", "__m512",
+  };
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    if (line.find("#include") != std::string::npos) {
+      // Angle-bracket paths survive stripping, but match against the raw
+      // line so quoted includes are covered too.
+      for (const char* header : kIntrinHeaders) {
+        if (file.raw[i].find(header) != std::string::npos) {
+          Report(file, i, "sketchml-raw-simd",
+                 std::string(header) +
+                     " included outside src/common/simd*; add a kernel to "
+                     "the dispatch seam instead",
+                 out);
+          break;
+        }
+      }
+      continue;
+    }
+    for (const char* prefix : kIntrinPrefixes) {
+      if (ContainsTokenPrefix(line, prefix)) {
+        Report(file, i, "sketchml-raw-simd",
+               std::string(prefix) +
+                   "* intrinsic outside src/common/simd*; add a kernel to "
+                   "the dispatch seam instead",
+               out);
+        break;  // One diagnostic per line.
+      }
+    }
+  }
+}
+
 // sketchml-discarded-status: bare-statement calls to APIs known to return
 // Status/Result, and (void)-casts silencing [[nodiscard]] without NOLINT.
 //
@@ -615,6 +674,7 @@ const std::map<std::string, RuleFn>& Rules() {
       {"sketchml-stdout", CheckStdout},
       {"sketchml-include-hygiene", CheckIncludeHygiene},
       {"sketchml-naked-new", CheckNakedNew},
+      {"sketchml-raw-simd", CheckRawSimd},
   };
   return rules;
 }

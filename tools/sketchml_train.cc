@@ -13,6 +13,7 @@
 #include "common/flags.h"
 #include "common/metrics_registry.h"
 #include "common/obs_flags.h"
+#include "common/simd.h"
 #include "core/sketchml.h"
 #include "dist/trainer.h"
 #include "ml/synthetic.h"
@@ -42,6 +43,10 @@ constexpr char kUsage[] = R"(sketchml_train [flags]
                         (default 0 = one per hardware core; results are
                         bit-identical at any thread count)
   --crc                 wrap the codec in a CRC-32 frame
+  --simd=LEVEL          auto | off | avx2 — kernel dispatch level for the
+                        codec hot loops (default auto = best supported;
+                        also settable via SKETCHML_SIMD). Output bytes and
+                        metrics are bit-identical at every level
   --fault-seed=N        fault-injection seed (default 1); a fixed seed
                         replays the identical fault sequence
   --fault-drop=P        P(gather message attempt lost in transit)
@@ -110,6 +115,11 @@ int main(int argc, char** argv) {
   if (!threads.ok()) return Fail(threads.status());
   const std::string network_name = flags.GetString("network", "lab");
   const bool use_crc = flags.GetBool("crc", false);
+  if (flags.Has("simd")) {
+    const auto simd_status =
+        common::simd::SetActiveLevelFromString(flags.GetString("simd", ""));
+    if (!simd_status.ok()) return Fail(simd_status);
+  }
   auto fault_plan = dist::FaultPlanFromFlags(flags);
   if (!fault_plan.ok()) return Fail(fault_plan.status());
   auto obs_config = obs::ConfigureFromFlags(flags);
