@@ -100,6 +100,71 @@ void BM_TraceSpanDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceSpanDisabled);
 
+// The causal-context ops added for cross-node tracing ride the same
+// disabled-path budget as spans: with tracing off, capturing the current
+// context and adopting one on another thread must stay a load + branch.
+void BM_CurrentSpanContextDisabled(benchmark::State& state) {
+  obs::SetTracingEnabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::CurrentSpanContext());
+  }
+}
+BENCHMARK(BM_CurrentSpanContextDisabled);
+
+void BM_TraceContextScopeDisabled(benchmark::State& state) {
+  obs::SetTracingEnabled(false);
+  const obs::SpanContext ctx;  // Invalid — what a disabled capture yields.
+  for (auto _ : state) {
+    obs::TraceContextScope scope(ctx);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceContextScopeDisabled);
+
+void BM_TraceContextScopeEnabled(benchmark::State& state) {
+  obs::SetTracingEnabled(true);
+  obs::SpanContext ctx;
+  {
+    obs::TraceSpan parent("bench", "parent");
+    ctx = parent.context();
+  }
+  for (auto _ : state) {
+    obs::TraceContextScope scope(ctx);
+    benchmark::ClobberMemory();
+  }
+  obs::SetTracingEnabled(false);
+  obs::TraceLog::Global().Reset();
+}
+BENCHMARK(BM_TraceContextScopeEnabled);
+
+// A span whose category the --trace-categories filter excludes: records
+// nothing, but still pays the filter lookup — the cost of leaving
+// instrumentation in place while sampling a single subsystem.
+void BM_TraceSpanFilteredOut(benchmark::State& state) {
+  obs::SetTracingEnabled(true);
+  obs::SetTraceCategories("trainer");
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "span");
+    benchmark::ClobberMemory();
+  }
+  obs::SetTraceCategories("");
+  obs::SetTracingEnabled(false);
+  obs::TraceLog::Global().Reset();
+}
+BENCHMARK(BM_TraceSpanFilteredOut);
+
+void BM_EmitSpanEnabled(benchmark::State& state) {
+  obs::SetTracingEnabled(true);
+  uint64_t ts = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::EmitSpan("bench", "modeled", ts += 10, 5,
+                                           {{"attempt", 1.0}, {"bytes", 64.0}}));
+  }
+  obs::SetTracingEnabled(false);
+  obs::TraceLog::Global().Reset();
+}
+BENCHMARK(BM_EmitSpanEnabled);
+
 common::SparseGradient MakeGradient(size_t nnz) {
   common::Rng rng(5);
   common::SparseGradient grad;

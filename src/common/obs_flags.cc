@@ -21,6 +21,14 @@ common::Result<ObsConfig> ConfigureFromFlags(const common::FlagParser& flags) {
         "--sample-interval must be >= 0 seconds");
   }
   config.sample_interval = *interval;
+  config.trace_categories = flags.GetString("trace-categories", "");
+  auto sample_every = flags.GetInt("trace-sample-every", 1);
+  if (!sample_every.ok()) return sample_every.status();
+  if (*sample_every < 1) {
+    return common::Status::InvalidArgument(
+        "--trace-sample-every must be >= 1");
+  }
+  config.trace_sample_every = static_cast<int>(*sample_every);
   const std::string mode = flags.GetString("obs", "auto");
 
   const bool any_output = !config.trace_out.empty() ||
@@ -50,6 +58,7 @@ common::Result<ObsConfig> ConfigureFromFlags(const common::FlagParser& flags) {
 
   SetMetricsEnabled(config.metrics);
   SetTracingEnabled(config.tracing);
+  SetTraceCategories(config.trace_categories);
   return config;
 }
 

@@ -20,6 +20,8 @@ struct ObsConfig {
   std::string series_out;   // Time-series JSONL path ("" = no sampler).
   double sample_interval = 0.0;  // Seconds between periodic samples
                                  // (0 = epoch-boundary samples only).
+  std::string trace_categories;  // CSV span-category filter ("" = all).
+  int trace_sample_every = 1;    // Causal batch-tree sampling stride.
 };
 
 /// Reads the shared observability flags and applies them process-wide:
@@ -34,6 +36,13 @@ struct ObsConfig {
 ///                        via MetricsSampler
 ///   --sample-interval=S  periodic sample cadence in seconds (default 0:
 ///                        only epoch-boundary samples)
+///   --trace-categories=CSV  record only the listed span categories
+///                        (e.g. "trainer,network"; default: all). Applied
+///                        process-wide via SetTraceCategories.
+///   --trace-sample-every=N  record the per-batch causal tree only for
+///                        every Nth global batch (default 1: all batches;
+///                        see TrainerConfig::trace_sample_every). Parsed
+///                        here, applied by the tool's trainer config.
 ///
 /// Tracing is enabled only when a trace is actually requested; metrics
 /// are enabled for any of the opt-ins (including --series-out).

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
 #include <iosfwd>
 #include <string_view>
 #include <vector>
@@ -29,19 +30,80 @@ struct TraceEvent {
   };
   Arg args[kMaxArgs];
   uint8_t num_args = 0;
+
+  // Causal identity. trace_id groups one causal tree (e.g. one epoch);
+  // parent_span_id == 0 marks the tree root. All three are 0 on events
+  // recorded without causal context (pre-causal callers, filtered spans).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
+
+/// Identity of a live (or completed) span, used to parent other spans:
+/// either implicitly via the calling thread's context stack, or
+/// explicitly handed across threads / simulated nodes (capture it on the
+/// sending side, adopt it with TraceContextScope on the receiving side).
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The calling thread's innermost active span (invalid when the thread
+/// has no open span and no adopted context).
+SpanContext CurrentSpanContext();
+
+/// RAII cross-thread / cross-node context hand-off: makes `ctx` the
+/// calling thread's current span for the scope's lifetime, so spans
+/// opened inside (on a pool thread, say) become causal children of a
+/// span that lives on another thread. No-op for an invalid context or
+/// while tracing is off.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(SpanContext ctx);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+/// One key/value argument attached to an emitted span. `key` must be a
+/// short string literal (truncated to TraceEvent::kArgKeyCapacity).
+struct SpanArg {
+  const char* key;
+  double value;
+};
+
+/// Restricts span recording to the listed categories (comma-separated,
+/// e.g. "trainer,network"). An empty filter (the default) records every
+/// category. Applies to spans that *begin* after the call; category
+/// checks compare the literal's text, not its address. Like
+/// SetTracingEnabled, not meant to race with recording threads.
+void SetTraceCategories(std::string_view csv);
+
+/// True when `category` passes the current filter (always true when no
+/// filter is set). One relaxed atomic load in the no-filter case.
+bool TraceCategoryEnabled(const char* category);
 
 /// RAII phase marker: records begin on construction and appends one
 /// completed event to the calling thread's ring buffer on destruction.
 /// Inactive (and free apart from one branch) when `TracingEnabled()` is
-/// false at construction time. Spans nest naturally — inner spans simply
-/// complete (and are appended) first.
+/// false at construction time, or when the category is filtered out.
+/// Spans nest naturally — inner spans simply complete (and are appended)
+/// first — and the nesting *is* the causal tree: an active span is
+/// pushed on its thread's context stack, so inner spans (and spans on
+/// threads that adopted this span via TraceContextScope) record it as
+/// their parent. A span that begins with no current context roots a new
+/// trace.
 class TraceSpan {
  public:
   /// `category` must be a string literal (stored by pointer); `name` is
   /// copied (truncated to TraceEvent::kNameCapacity).
   TraceSpan(const char* category, std::string_view name) {
-    if (!TracingEnabled()) return;
+    if (!TracingEnabled() || !TraceCategoryEnabled(category)) return;
     Begin(category, name);
   }
   ~TraceSpan() {
@@ -61,6 +123,14 @@ class TraceSpan {
     arg.value = value;
   }
 
+  /// This span's causal identity, for parenting work handed to another
+  /// thread (capture before the hand-off, adopt with TraceContextScope).
+  /// Invalid while the span is inactive.
+  SpanContext context() const {
+    if (!active_) return SpanContext{};
+    return SpanContext{event_.trace_id, event_.span_id};
+  }
+
  private:
   void Begin(const char* category, std::string_view name);
   void End();
@@ -71,10 +141,29 @@ class TraceSpan {
 
 /// Appends an already-timed span (e.g. the trainer's *modeled* network
 /// transfers, whose durations come from NetworkModel rather than a
-/// clock). `ts_ns`/`dur_ns` are on the NowNs() timeline.
-void EmitSpan(const char* category, std::string_view name, uint64_t ts_ns,
-              uint64_t dur_ns, std::string_view arg_key = {},
-              double arg_value = 0.0);
+/// clock). `ts_ns`/`dur_ns` are on the NowNs() timeline. The span is
+/// parented under the calling thread's current context and the returned
+/// SpanContext identifies it, so further synthetic spans can chain off
+/// it. Up to TraceEvent::kMaxArgs key/value arguments stick; extras are
+/// dropped. Returns an invalid context when tracing is off or the
+/// category is filtered.
+SpanContext EmitSpan(const char* category, std::string_view name,
+                     uint64_t ts_ns, uint64_t dur_ns,
+                     std::initializer_list<SpanArg> args = {});
+
+/// EmitSpan with an explicit parent (instead of the thread's current
+/// context) — for synthetic spans emitted on a thread other than the one
+/// that owns their causal parent.
+SpanContext EmitSpanWithParent(const char* category, std::string_view name,
+                               uint64_t ts_ns, uint64_t dur_ns,
+                               SpanContext parent,
+                               std::initializer_list<SpanArg> args = {});
+
+/// Per-thread drop accounting, exposed for collection-time publication.
+struct ThreadDroppedEvents {
+  uint32_t tid = 0;
+  uint64_t dropped = 0;
+};
 
 /// Process-wide collector of per-thread trace rings.
 class TraceLog {
@@ -91,17 +180,25 @@ class TraceLog {
   std::vector<TraceEvent> CollectEvents() const;
 
   /// Serializes every retained event as Chrome `trace_event` JSON
-  /// (load via chrome://tracing or https://ui.perfetto.dev).
+  /// (load via chrome://tracing or https://ui.perfetto.dev). Spans with
+  /// causal ids carry trace_id/span_id/parent_span_id args, and every
+  /// parent→child edge that crosses threads additionally emits a flow
+  /// event pair (ph "s"/"f") so the viewer draws the cross-node arrows.
   void WriteChromeTrace(std::ostream& out) const;
 
   /// Events lost to ring wraparound since the last Reset.
   uint64_t DroppedEvents() const;
 
+  /// Same accounting per thread (live rings + retired ones), sorted by
+  /// tid; threads that dropped nothing are omitted.
+  std::vector<ThreadDroppedEvents> DroppedEventsByThread() const;
+
   /// Publishes `DroppedEvents()` into the metrics registry as the
-  /// `trace/dropped_events` gauge so silent span loss shows up in metric
-  /// dumps and time-series, not just in the trace file footer. Called by
-  /// the obs output writers and the sampler; no-op while metrics are
-  /// disabled.
+  /// `trace/dropped_events` gauge — plus one `trace/dropped_events
+  /// {thread=N}` gauge per thread that actually dropped — so silent span
+  /// loss shows up in metric dumps and time-series, not just in the
+  /// trace file footer. Called by the obs output writers and the
+  /// sampler; no-op while metrics are disabled.
   void PublishDroppedEvents() const;
 
   /// Discards all retained events. Like MetricsRegistry::Reset, callers

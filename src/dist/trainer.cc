@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 
 #include "common/framing.h"
@@ -234,6 +235,24 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     };
     const uint64_t gbatch = batches_run_;
     const bool faults = faults_active_;
+
+    // Causal root of this batch. Each worker chain (compute → encode →
+    // per-attempt transfer → decode) adopts this context on whatever
+    // thread executes it, so the batch reconstructs as one rooted tree
+    // even across pool threads. Sampling keys on the *global* batch
+    // counter, so the sampled set is deterministic across thread counts;
+    // an invalid context simply elides the causal spans below and never
+    // touches the measured phases or byte streams.
+    std::optional<obs::TraceSpan> batch_span;
+    if (obs::TracingEnabled() &&
+        (config_.trace_sample_every <= 1 ||
+         gbatch % static_cast<uint64_t>(config_.trace_sample_every) == 0)) {
+      batch_span.emplace("trainer", "batch");
+      batch_span->Arg("batch", static_cast<double>(gbatch));
+    }
+    const obs::SpanContext batch_ctx =
+        batch_span ? batch_span->context() : obs::SpanContext{};
+
     const auto run_worker = [&, this](int w, size_t lo, size_t hi) {
       WorkerResult r;
       r.shard_bytes.assign(servers, 0);
@@ -250,11 +269,26 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
           faults ? injector_.StraggleFactor(gbatch, w) : 1.0;
       r.straggled = straggle > 1.0;
       compress::GradientCodec* codec = WorkerCodec(w);
+      // Cross-thread hand-off: this task may run on a pool thread, so
+      // adopt the batch's context and open this worker's push span under
+      // it. Inner spans (compute below, the codec's encode/decode, the
+      // modeled transfer attempts) then chain off the push span through
+      // the thread-local context stack.
+      obs::TraceContextScope batch_scope(batch_ctx);
+      std::optional<obs::TraceSpan> push_span;
+      if (batch_ctx.valid()) {
+        push_span.emplace("trainer", "push");
+        push_span->Arg("worker", static_cast<double>(w));
+        push_span->Arg("batch", static_cast<double>(gbatch));
+      }
       common::Stopwatch task_watch;
       common::SparseGradient grad;
       {
-        obs::TraceSpan span("trainer", "compute");
-        span.Arg("worker", static_cast<double>(w));
+        std::optional<obs::TraceSpan> span;
+        if (batch_ctx.valid()) {
+          span.emplace("trainer", "compute");
+          span->Arg("worker", static_cast<double>(w));
+        }
         grad = ml::ComputeBatchGradient(*loss_, optimizer_->weights(), *train_,
                                         lo, hi, config_.lambda);
       }
@@ -317,6 +351,17 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
           r.shard_decode_seconds[s] = decode_elapsed;
           if (metrics_.enabled) accumulate_recovery(per_shard[s], decoded);
           r.decoded.insert(r.decoded.end(), decoded.begin(), decoded.end());
+          if (batch_ctx.valid()) {
+            // Modeled clean transfer of this shard message (single
+            // attempt), parented under the push span via the context
+            // stack. Emitted outside the decode timing window.
+            obs::EmitSpan(
+                "network", "transfer", obs::NowNs(),
+                static_cast<uint64_t>(
+                    cluster_.network.TransferSeconds(msg.size()) * 1e9),
+                {{"attempt", 0.0},
+                 {"bytes", static_cast<double>(msg.size())}});
+          }
           continue;
         }
 
@@ -343,6 +388,19 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
               cluster_.network.TransferSeconds(framed.size());
           if (attempt > 0) {
             r.shard_link_seconds[s] += injector_.BackoffSeconds(attempt);
+          }
+          if (batch_ctx.valid()) {
+            // Modeled wire time for this delivery attempt (retries also
+            // include the backoff wait that preceded them), one span per
+            // attempt so retry amplification is visible in the tree.
+            obs::EmitSpan(
+                "network", "transfer", obs::NowNs(),
+                static_cast<uint64_t>(
+                    (cluster_.network.TransferSeconds(framed.size()) +
+                     (attempt > 0 ? injector_.BackoffSeconds(attempt) : 0.0)) *
+                    1e9),
+                {{"attempt", static_cast<double>(attempt)},
+                 {"bytes", static_cast<double>(framed.size())}});
           }
           if (injector_.ShouldDrop(gbatch, w, s, attempt)) {
             ++r.injected_drops;
@@ -418,6 +476,9 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     // EpochStats exactly (see EntityMetrics in trainer.h).
     double compute_sum = 0.0, encode_sum = 0.0, decode_sum = 0.0;
     double batch_retry_seconds = 0.0;
+    uint64_t batch_bytes_up = 0;          // This batch's gather traffic.
+    uint64_t batch_retransmit_bytes = 0;  // Retry amplification, this batch.
+    uint64_t batch_retries = 0;
     int contributing = 0;
     std::fill(shard_gather_seconds.begin(), shard_gather_seconds.end(), 0.0);
     for (int w = 0; w < active_workers; ++w) {
@@ -432,6 +493,7 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       for (int s = 0; s < servers; ++s) {
         if (r.shard_bytes[s] == 0) continue;
         stats.bytes_up += r.shard_bytes[s];
+        batch_bytes_up += r.shard_bytes[s];
         // On the fault path the worker already modeled its link time
         // (every retransmit attempt plus backoff waits); fault-free, one
         // clean transfer of the message.
@@ -444,6 +506,8 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
                                  (r.straggled ? 1 : 0) + (r.crashed ? 1 : 0);
         stats.retries += r.retries;
         stats.retransmit_bytes += r.retransmit_bytes;
+        batch_retries += r.retries;
+        batch_retransmit_bytes += r.retransmit_bytes;
         stats.lost_messages += r.lost;
         batch_retry_seconds += r.retry_seconds;
         if (fault_metrics_.enabled) {
@@ -516,10 +580,13 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       }
       if (obs::TracingEnabled() && batch_retry_seconds > 0.0) {
         // Modeled recovery time (retransmits + backoff), same convention
-        // as the "gather" span below.
+        // as the "gather" span below. The batch span is still open on
+        // this thread, so the analyzer can charge retry amplification to
+        // its batch.
         obs::EmitSpan("network", "retry", obs::NowNs(),
                       static_cast<uint64_t>(batch_retry_seconds * 1e9),
-                      "batch", static_cast<double>(gbatch));
+                      {{"attempt", static_cast<double>(batch_retries)},
+                       {"bytes", static_cast<double>(batch_retransmit_bytes)}});
       }
     }
 
@@ -540,8 +607,8 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       // Modeled, not measured: the span's duration is what NetworkModel
       // says the gather would have taken on the simulated links.
       obs::EmitSpan("network", "gather", obs::NowNs(),
-                    static_cast<uint64_t>(gather_seconds * 1e9), "bytes",
-                    static_cast<double>(stats.bytes_up));
+                    static_cast<uint64_t>(gather_seconds * 1e9),
+                    {{"bytes", static_cast<double>(batch_bytes_up)}});
     }
 
     // Phase 3b: average and apply the optimizer step. Aggregation is
@@ -612,6 +679,7 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     // broadcast in parallel so the slowest bounds the phase.
     double slowest_broadcast = 0.0;
     double driver_encode_seconds = 0.0, driver_decode_seconds = 0.0;
+    uint64_t batch_bytes_down = 0;
     {
       obs::TraceSpan broadcast_span("trainer", "broadcast");
       std::vector<common::SparseGradient> update_shards(servers);
@@ -633,6 +701,8 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         driver_encode_seconds += broadcast_encode;
 
         stats.bytes_down +=
+            static_cast<uint64_t>(update_msg.size()) * active_workers;
+        batch_bytes_down +=
             static_cast<uint64_t>(update_msg.size()) * active_workers;
         // Spark-style torrent broadcast: the server emits the update once
         // and executors propagate copies peer-to-peer in parallel, so the
@@ -672,8 +742,8 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     if (obs::TracingEnabled() && slowest_broadcast > 0.0) {
       // Modeled torrent-broadcast time, same convention as "gather".
       obs::EmitSpan("network", "broadcast", obs::NowNs(),
-                    static_cast<uint64_t>(slowest_broadcast * 1e9), "bytes",
-                    static_cast<double>(stats.bytes_down));
+                    static_cast<uint64_t>(slowest_broadcast * 1e9),
+                    {{"bytes", static_cast<double>(batch_bytes_down)}});
     }
 
     // Workers compute/encode in parallel: charge the mean per worker.

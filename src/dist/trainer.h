@@ -81,6 +81,17 @@ struct TrainerConfig {
   /// every worker owns a forked codec on its own seed lane and the driver
   /// reduces gradients in fixed worker order, so only wall-clock changes.
   int num_threads = 1;
+
+  /// Causal-trace sampling: while tracing is enabled, record the
+  /// per-batch causal tree (batch root, per-worker push chains, modeled
+  /// per-attempt network transfers) only for batches whose global index
+  /// is a multiple of this value. 1 (default) traces every batch; N > 1
+  /// bounds tracing overhead on long runs. The epoch span and the
+  /// driver-side aggregate/update/broadcast phase spans are always
+  /// recorded; batches are sampled on the *global* batch counter, so the
+  /// sampled set is deterministic across thread counts. No effect while
+  /// tracing is off (the disabled path stays bit-identical).
+  int trace_sample_every = 1;
 };
 
 /// Data-parallel mini-batch SGD with a pluggable gradient codec — the

@@ -1,0 +1,20 @@
+// Golden fixture: sketchml-trace-category violations.
+// Expected: 4 violations (lines marked VIOLATION).
+#include <optional>
+#include <string>
+
+#include "common/trace.h"
+
+namespace sketchml::fixture {
+
+void RecordSpans(const char* dynamic_category, uint64_t now) {
+  obs::TraceSpan span("gradients", "encode");        // VIOLATION: unknown category.
+  obs::EmitSpan(dynamic_category, "transfer",        // VIOLATION: not a literal.
+                now, 1000);
+  obs::EmitSpanWithParent("net", "retry", now, 500,  // VIOLATION: unknown category.
+                          obs::SpanContext{});
+  std::optional<obs::TraceSpan> batch_span;
+  batch_span.emplace("batches", "batch");            // VIOLATION: unknown category.
+}
+
+}  // namespace sketchml::fixture

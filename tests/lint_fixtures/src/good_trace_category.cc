@@ -1,0 +1,37 @@
+// Golden fixture: sketchml-trace-category clean file. Allowlisted
+// literals pass in every call shape (including the literal on the line
+// after a wrapped open paren); type uses of TraceSpan, non-span emplace
+// receivers, and mentions inside comments or strings never match; a
+// justified category experiment uses NOLINT.
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/trace.h"
+
+namespace sketchml::fixture {
+
+// A comment about TraceSpan("bogus", ...) does not trip the rule.
+void RecordSpans(uint64_t now) {
+  obs::TraceSpan span("trainer", "epoch");
+  obs::EmitSpan("network", "transfer", now, 1000);
+  obs::EmitSpan(
+      "codec", "encode/sketchml", now, 250);
+  obs::EmitSpanWithParent("test", "synthetic", now, 500, obs::SpanContext{});
+
+  std::optional<obs::TraceSpan> batch_span;  // Type use: no category here.
+  batch_span.emplace("bench", "batch");
+
+  std::map<std::string, int> counts;
+  counts.emplace("gradients", 1);  // Non-span receiver: not a category.
+
+  const std::string doc = "EmitSpan(\"bogus\", ...) inside a string literal";
+  (void)doc;
+
+  // NOLINTNEXTLINE(sketchml-trace-category): experiment-local category.
+  obs::TraceSpan experiment("scratch", "probe");
+}
+
+void Consume(const obs::TraceSpan& span);  // Parameter use: no category.
+
+}  // namespace sketchml::fixture

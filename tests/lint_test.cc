@@ -127,6 +127,15 @@ TEST(LintTest, RawSimd) {
   ExpectClean("good_raw_simd.cc");
 }
 
+TEST(LintTest, TraceCategory) {
+  ExpectViolations("bad_trace_category.cc",
+                   {{11, "sketchml-trace-category"},
+                    {12, "sketchml-trace-category"},
+                    {14, "sketchml-trace-category"},
+                    {17, "sketchml-trace-category"}});
+  ExpectClean("good_trace_category.cc");
+}
+
 // --rule= restricts checking to one rule: the banned-random fixture has
 // no wallclock violations, so filtering by sketchml-wallclock is clean.
 TEST(LintTest, RuleFilter) {
@@ -141,7 +150,8 @@ TEST(LintTest, ListRules) {
   for (const char* rule :
        {"sketchml-discarded-status", "sketchml-banned-random",
         "sketchml-wallclock", "sketchml-stdout", "sketchml-include-hygiene",
-        "sketchml-naked-new", "sketchml-raw-simd"}) {
+        "sketchml-naked-new", "sketchml-raw-simd",
+        "sketchml-trace-category"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << run.output;
   }
 }

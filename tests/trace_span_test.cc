@@ -220,7 +220,7 @@ TEST(TraceSpanTest, RingWraparoundKeepsNewestAndCountsDropped) {
 
 TEST(TraceSpanTest, EmitSpanRecordsSyntheticDuration) {
   ScopedTracing scoped;
-  EmitSpan("network", "modeled", 1000, 5000, "bytes", 42.0);
+  EmitSpan("network", "modeled", 1000, 5000, {{"bytes", 42.0}});
   const auto events = TraceLog::Global().CollectEvents();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].ts_ns, 1000u);

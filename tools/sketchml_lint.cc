@@ -16,6 +16,10 @@
 //                               <bits/...> internal headers anywhere
 //   sketchml-naked-new          no naked new/delete in src/ (containers
 //                               and smart pointers own memory)
+//   sketchml-raw-simd           vector intrinsics only inside the
+//                               src/common/simd* dispatch seam
+//   sketchml-trace-category     TraceSpan/EmitSpan categories are string
+//                               literals from the documented allowlist
 //
 // Escape hatch: `// NOLINT(sketchml-<rule>)` on the offending line or
 // `// NOLINTNEXTLINE(sketchml-<rule>)` on the line above. A bare
@@ -87,6 +91,12 @@ const std::vector<RuleInfo>& RuleCatalog() {
        "dispatch seam: they crash older CPUs the scalar path supports and "
        "dodge the scalar/SIMD differential tests; add a kernel to the seam "
        "instead"},
+      {"sketchml-trace-category",
+       "span categories must be string literals from the allowlist in "
+       "docs/observability.md: TraceEvent stores the category by pointer "
+       "(a computed string dangles) and both --trace-categories and the "
+       "critical-path analyzer compare exact names, so a novel category "
+       "silently vanishes from every report"},
   };
   return rules;
 }
@@ -550,6 +560,119 @@ void CheckRawSimd(const SourceFile& file, std::vector<Violation>* out) {
   }
 }
 
+// sketchml-trace-category: span categories are literals from the documented
+// allowlist. Covers TraceSpan constructions, EmitSpan/EmitSpanWithParent
+// calls, and optional<TraceSpan>::emplace through span-named receivers
+// (the trainer's conditional spans). common/trace.* declares the API and
+// is exempt.
+void CheckTraceCategory(const SourceFile& file, std::vector<Violation>* out) {
+  if (PathIsOneOf(file, {"common/trace."})) return;
+  static const char* kAllowed[] = {"trainer", "codec", "network", "test",
+                                   "bench"};
+  const auto allowed = [](std::string_view category) {
+    for (const char* c : kAllowed) {
+      if (category == c) return true;
+    }
+    return false;
+  };
+
+  // Checks the first argument of a span construction whose '(' sits at
+  // (line_idx, paren). The argument may start on a following line
+  // (clang-format wraps long EmitSpan calls after the open paren); the
+  // literal text is read from the raw line because the stripper blanks
+  // literal contents while preserving columns.
+  const auto check_first_arg = [&](size_t line_idx, size_t paren) {
+    size_t li = line_idx;
+    size_t pos = paren + 1;
+    for (int hop = 0; hop < 3 && li < file.code.size(); ++hop) {
+      const std::string& code = file.code[li];
+      pos = code.find_first_not_of(' ', pos);
+      if (pos == std::string::npos) {
+        ++li;
+        pos = 0;
+        continue;
+      }
+      if (code[pos] == ')') return;  // Empty argument list: a declaration.
+      if (code[pos] != '"') {
+        Report(file, li, "sketchml-trace-category",
+               "span category is not a string literal; the trace ring "
+               "stores the category pointer and filters compare exact "
+               "names — pass a literal from the docs/observability.md "
+               "allowlist",
+               out);
+        return;
+      }
+      // Literal contents are blanked in `code`, so the next '"' closes it.
+      const size_t close = code.find('"', pos + 1);
+      if (close == std::string::npos || li >= file.raw.size() ||
+          close >= file.raw[li].size()) {
+        return;  // Malformed or misaligned; nothing safe to check.
+      }
+      const std::string category =
+          file.raw[li].substr(pos + 1, close - pos - 1);
+      if (!allowed(category)) {
+        Report(file, li, "sketchml-trace-category",
+               "span category \"" + category +
+                   "\" is not in the documented allowlist (trainer, codec, "
+                   "network, test, bench); use an existing category or "
+                   "extend docs/observability.md and this rule together",
+               out);
+      }
+      return;
+    }
+  };
+
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (std::string_view token :
+         {std::string_view("TraceSpan"), std::string_view("EmitSpan"),
+          std::string_view("EmitSpanWithParent")}) {
+      size_t pos = 0;
+      while ((pos = line.find(token, pos)) != std::string::npos) {
+        const size_t end = pos + token.size();
+        const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+        const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+        pos = end;
+        if (!left_ok || !right_ok) continue;
+        size_t after = line.find_first_not_of(' ', end);
+        if (after == std::string::npos) continue;
+        if (token == "TraceSpan" && IsIdentChar(line[after])) {
+          // `TraceSpan name(...)`: a named local; skip the variable name.
+          while (after < line.size() && IsIdentChar(line[after])) ++after;
+          after = line.find_first_not_of(' ', after);
+          if (after == std::string::npos) continue;
+        }
+        // Anything but '(' here is a type use (optional<TraceSpan>,
+        // `const TraceSpan&`, a plain declaration), not a construction.
+        if (line[after] != '(') continue;
+        check_first_arg(i, after);
+      }
+    }
+    // optional<TraceSpan>::emplace — tie to span-named receivers so
+    // unrelated container emplace calls never match.
+    size_t epos = 0;
+    while ((epos = line.find("emplace", epos)) != std::string::npos) {
+      const size_t eend = epos + 7;
+      const bool is_call = epos > 0 &&
+                           (line[epos - 1] == '.' || line[epos - 1] == '>') &&
+                           eend < line.size() && line[eend] == '(';
+      epos = eend;
+      if (!is_call) continue;
+      size_t rcv_end = eend - 7 - (line[eend - 8] == '>' ? 2 : 1);
+      size_t rcv_begin = rcv_end;
+      while (rcv_begin > 0 && IsIdentChar(line[rcv_begin - 1])) --rcv_begin;
+      const std::string_view receiver =
+          std::string_view(line).substr(rcv_begin, rcv_end - rcv_begin);
+      const bool span_receiver =
+          receiver == "span" ||
+          (receiver.size() >= 5 &&
+           (receiver.substr(receiver.size() - 5) == "_span" ||
+            receiver.substr(receiver.size() - 4) == "Span"));
+      if (span_receiver) check_first_arg(i, eend);
+    }
+  }
+}
+
 // sketchml-discarded-status: bare-statement calls to APIs known to return
 // Status/Result, and (void)-casts silencing [[nodiscard]] without NOLINT.
 //
@@ -675,6 +798,7 @@ const std::map<std::string, RuleFn>& Rules() {
       {"sketchml-include-hygiene", CheckIncludeHygiene},
       {"sketchml-naked-new", CheckNakedNew},
       {"sketchml-raw-simd", CheckRawSimd},
+      {"sketchml-trace-category", CheckTraceCategory},
   };
   return rules;
 }

@@ -75,6 +75,12 @@ constexpr char kUsage[] = R"(sketchml_train [flags]
                         per epoch boundary (analyze with sketchml_report)
   --sample-interval=S   also sample every S seconds of wall time while
                         training (default 0 = epoch boundaries only)
+  --trace-categories=CSV  record only the listed span categories, e.g.
+                        "trainer,network" (default: all; the allowlist is
+                        documented in docs/observability.md)
+  --trace-sample-every=N  record the per-batch causal tree only for every
+                        Nth global batch (default 1 = every batch; epoch
+                        and driver phase spans are always recorded)
 )";
 
 int Fail(const common::Status& status) {
@@ -183,6 +189,7 @@ int main(int argc, char** argv) {
   config.learning_rate = *lr;
   config.adam_epsilon = *adam_eps;
   config.num_threads = *threads;
+  config.trace_sample_every = obs_config->trace_sample_every;
 
   std::printf("dataset=%s (%zu train / %zu test, D=%llu, ~%.0f nnz) "
               "model=%s codec=%s W=%lld S=%lld threads=%d\n",
