@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# SLO gate: replays a pinned seeded training run and diffs its latency
+# sketch quantiles against the checked-in golden with sketchml_report.
+#
+# The gate runs under --ignore-times, so measured wall-clock sketches
+# (e.g. trainer/compute_latency_seconds) are skipped and only the
+# deterministic modeled-time sketches (trainer/push_modeled_seconds) are
+# quantile-compared. The diff is sketch-error aware: a quantile counts as
+# regressed only when the candidate's value at rank q-2eps exceeds the
+# baseline's at q+2eps, i.e. beyond what two KLL sketches with +-eps rank
+# error can disagree by. Record-count drift always fails (the per-batch
+# record cadence is fixed-seed deterministic).
+#
+# Usage:
+#   scripts/check_slo_gate.sh [TRAIN_BIN] [REPORT_BIN] [GOLDEN]
+# Defaults assume a ./build tree. Regenerate the golden after an
+# intended behavior change with:
+#   scripts/check_slo_gate.sh --regen [TRAIN_BIN]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+# Pinned configuration: keep in sync with the golden snapshot. Three
+# epochs so the windowed quantiles retire at least two epoch windows.
+run_train() {
+  local train_bin="$1" out="$2"
+  "$train_bin" --dataset=synthetic --model=lr --codec=sketchml \
+    --epochs=3 --workers=3 --servers=2 --threads=2 --seed=7 \
+    --obs=on --series-out="$out" >/dev/null
+}
+
+golden_default="$repo_root/bench/golden/slo_gate.series.jsonl"
+
+if [[ "${1:-}" == "--regen" ]]; then
+  train_bin="${2:-$repo_root/build/tools/sketchml_train}"
+  run_train "$train_bin" "$golden_default"
+  echo "regenerated $golden_default"
+  exit 0
+fi
+
+train_bin="${1:-$repo_root/build/tools/sketchml_train}"
+report_bin="${2:-$repo_root/build/tools/sketchml_report}"
+golden="${3:-$golden_default}"
+
+for bin in "$train_bin" "$report_bin"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built" >&2
+    exit 2
+  fi
+done
+if [[ ! -f "$golden" ]]; then
+  echo "error: golden snapshot $golden missing" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+candidate="$workdir/candidate.series.jsonl"
+
+run_train "$train_bin" "$candidate"
+
+# --allow-simd-mismatch: like the bench gate, the golden may have been
+# regenerated on a machine with a different SIMD level; the compared
+# metrics and modeled sketches are dispatch-invariant.
+if "$report_bin" --baseline="$golden" --candidate="$candidate" \
+    --ignore-times --threshold=0.01 --allow-simd-mismatch; then
+  echo "slo gate: PASS"
+else
+  status=$?
+  echo "slo gate: FAIL (sketch quantiles drifted beyond the KLL error" \
+    "bound — run scripts/check_slo_gate.sh --regen if the change is" \
+    "intended)" >&2
+  exit "$status"
+fi

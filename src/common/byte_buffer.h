@@ -39,6 +39,17 @@ class ByteWriter {
   /// LEB128 variable-length encoding (7 bits per byte).
   void WriteVarint(uint64_t v);
 
+  /// Encoded length of `WriteVarint(v)` in bytes — lets SerializedSize
+  /// implementations stay exact without writing anything.
+  static size_t VarintSize(uint64_t v) {
+    size_t n = 1;
+    while (v >= 0x80) {
+      v >>= 7;
+      ++n;
+    }
+    return n;
+  }
+
   void WriteRaw(const void* data, size_t len) {
     const uint8_t* bytes = static_cast<const uint8_t*>(data);
     buffer_.insert(buffer_.end(), bytes, bytes + len);

@@ -310,10 +310,35 @@ Histogram MetricsRegistry::GetHistogram(std::string_view base,
   return GetHistogram(LabeledName(base, labels));
 }
 
+namespace {
+// Seam to the sketch library (see metrics_registry.h). Plain atomics so
+// installation from the sketch registry's first-use path needs no lock.
+std::atomic<SketchSummarySource> g_sketch_summary_source{nullptr};
+std::atomic<SketchResetHook> g_sketch_reset_hook{nullptr};
+}  // namespace
+
+void SetSketchSummarySource(SketchSummarySource source) {
+  g_sketch_summary_source.store(source, std::memory_order_release);
+}
+
+std::vector<SketchHistogramSummary> CollectSketchSummaries() {
+  const SketchSummarySource source =
+      g_sketch_summary_source.load(std::memory_order_acquire);
+  if (source == nullptr) return {};
+  return source();
+}
+
+void SetSketchResetHook(SketchResetHook hook) {
+  g_sketch_reset_hook.store(hook, std::memory_order_release);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
   MetricsSnapshot snap;
+  // The sketch registry has its own lock; collect outside ours so the two
+  // never nest.
+  snap.sketches = CollectSketchSummaries();
+  std::lock_guard<std::mutex> lock(impl.mutex);
 
   snap.counters.resize(impl.counter_names.size());
   for (size_t i = 0; i < impl.counter_names.size(); ++i) {
@@ -359,6 +384,12 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 
 void MetricsRegistry::Reset() {
   Impl& impl = GetImpl();
+  // Clear sketch slots first, outside our lock (the hook takes the sketch
+  // registry's own lock and must never nest with ours).
+  if (const SketchResetHook hook =
+          g_sketch_reset_hook.load(std::memory_order_acquire)) {
+    hook();
+  }
   std::lock_guard<std::mutex> lock(impl.mutex);
   impl.retired = RetiredTotals();
   for (auto& gauge : impl.gauges) {
@@ -442,6 +473,14 @@ const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
   return nullptr;
 }
 
+const SketchHistogramSummary* MetricsSnapshot::FindSketch(
+    std::string_view name) const {
+  for (const auto& s : sketches) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
 namespace {
 
 /// Emits `,"labels":{...}` for canonical labeled names, nothing for
@@ -504,6 +543,34 @@ void MetricsSnapshot::WriteJsonl(std::ostream& out) const {
     }
     out << "]";
     AppendParsedLabels(out, h.name);
+    out << "}\n";
+  }
+  for (const auto& s : sketches) {
+    if (s.count == 0) continue;
+    out << "{\"type\":\"sketch_histogram\",\"name\":";
+    AppendJsonString(out, s.name);
+    out << ",\"count\":" << s.count << ",\"min\":";
+    AppendJsonNumber(out, s.min);
+    out << ",\"max\":";
+    AppendJsonNumber(out, s.max);
+    out << ",\"eps\":";
+    AppendJsonNumber(out, s.eps);
+    const struct {
+      const char* key;
+      const SketchQuantile& q;
+    } grid[] = {{"p50", s.p50}, {"p90", s.p90}, {"p99", s.p99},
+                {"p999", s.p999}, {"wp50", s.wp50}, {"wp99", s.wp99}};
+    for (const auto& [key, q] : grid) {
+      out << ",\"" << key << "\":";
+      AppendJsonNumber(out, q.value);
+      out << ",\"" << key << "_lo\":";
+      AppendJsonNumber(out, q.lo);
+      out << ",\"" << key << "_hi\":";
+      AppendJsonNumber(out, q.hi);
+    }
+    out << ",\"window_count\":" << s.window_count
+        << ",\"windows\":" << s.windows;
+    AppendParsedLabels(out, s.name);
     out << "}\n";
   }
 }

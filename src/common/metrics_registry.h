@@ -88,6 +88,52 @@ class Histogram {
   int id_ = -1;
 };
 
+/// One estimated quantile from a sketch-backed histogram together with
+/// its sketch-error window: the true order statistic at rank `q` lies in
+/// [value at q-2ε, value at q+2ε] with high confidence, so `lo`/`hi` are
+/// the values a consumer may legally compare against without exceeding
+/// the sketch's accuracy (the SLO diff in sketchml_report flags a
+/// regression only when candidate `lo` exceeds baseline `hi`).
+struct SketchQuantile {
+  double value = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// JSON-ready summary of one `obs::SketchHistogram` (KLL-backed) slot.
+/// Defined here — not in the sketch library — so the sampler and report
+/// layers can carry these without a link-time dependency on
+/// `sketchml_sketch`; the sketch library fills them in via the
+/// `SetSketchSummarySource` seam below.
+struct SketchHistogramSummary {
+  std::string name;  // Canonical labeled name, same scheme as counters.
+  uint64_t count = 0;
+  double min = 0.0;  // Meaningful only when count > 0.
+  double max = 0.0;
+  double eps = 0.0;  // Normalized rank-error bound of the backing sketch.
+  SketchQuantile p50, p90, p99, p999;  // Lifetime quantiles.
+  // Windowed view: quantiles over the last `windows` retired epochs plus
+  // the not-yet-retired tail — "p99 over the last N batches".
+  uint64_t window_count = 0;
+  int windows = 0;
+  SketchQuantile wp50, wp99;
+};
+
+/// Seam through which the sketch library publishes sketch-histogram
+/// summaries into snapshots. `sketchml_common` cannot link against
+/// `sketchml_sketch` (the dependency runs the other way), so the
+/// KLL-backed registry installs these hooks when it is first used; until
+/// then `CollectSketchSummaries` returns empty and snapshots simply have
+/// no `sketches` section.
+using SketchSummarySource = std::vector<SketchHistogramSummary> (*)();
+void SetSketchSummarySource(SketchSummarySource source);
+std::vector<SketchHistogramSummary> CollectSketchSummaries();
+
+/// Companion hook: `MetricsRegistry::Reset()` also clears sketch slots so
+/// tests and benches that reset metrics get a clean telemetry state.
+using SketchResetHook = void (*)();
+void SetSketchResetHook(SketchResetHook hook);
+
 /// Point-in-time aggregation of every registered metric (all thread
 /// shards summed). Plain data: safe to copy, diff, and serialize.
 struct MetricsSnapshot {
@@ -126,12 +172,14 @@ struct MetricsSnapshot {
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
+  std::vector<SketchHistogramSummary> sketches;
 
   /// Value of the named counter/gauge, 0 when absent. `name` is the full
   /// canonical name (use `LabeledName` for labeled metrics).
   double CounterValueOf(std::string_view name) const;
   double GaugeValueOf(std::string_view name) const;
   const HistogramValue* FindHistogram(std::string_view name) const;
+  const SketchHistogramSummary* FindSketch(std::string_view name) const;
 
   /// Sum of every counter whose base name is `base` and whose labels
   /// contain all of `want` (subset match; `{}` matches every instance of

@@ -1,5 +1,6 @@
 #include "common/metrics_sampler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -44,7 +45,125 @@ void AppendJsonNumber(std::ostream& out, double v) {
   }
 }
 
+/// Prom metric-name charset: [a-zA-Z0-9_:]. Slashes (our namespace
+/// separator) and anything else become '_'; a "sketchml_" prefix
+/// namespaces the exporter.
+std::string PromName(std::string_view base) {
+  std::string out = "sketchml_";
+  out.reserve(out.size() + base.size());
+  for (char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}` label block (empty string when no labels), with
+/// prom escaping of label values. `extra` appends one more pair, used
+/// for `le`/`quantile`.
+std::string PromLabels(const MetricLabels& labels, std::string_view extra_key,
+                       std::string_view extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  const auto append = [&](std::string_view key, std::string_view value) {
+    if (!first) out += ',';
+    first = false;
+    out.append(key);
+    out += "=\"";
+    for (char c : value) {
+      if (c == '\\' || c == '"') out += '\\';
+      out += c;
+    }
+    out += '"';
+  };
+  for (const auto& [key, value] : labels) append(key, value);
+  if (!extra_key.empty()) append(extra_key, extra_value);
+  out += '}';
+  return out;
+}
+
+std::string PromNumber(double v) {
+  if (!std::isfinite(v)) {
+    return v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN");
+  }
+  if (v == std::floor(v) && std::abs(v) < 9e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Emits the `# TYPE` line once per metric family (several labeled
+/// instances share one family).
+void PromTypeLine(std::ostream& out, std::vector<std::string>* seen,
+                  const std::string& family, std::string_view type) {
+  if (std::find(seen->begin(), seen->end(), family) != seen->end()) return;
+  seen->push_back(family);
+  out << "# TYPE " << family << ' ' << type << '\n';
+}
+
 }  // namespace
+
+void WritePromExposition(const MetricsSnapshot& snapshot, std::ostream& out) {
+  std::vector<std::string> seen;
+  for (const auto& c : snapshot.counters) {
+    if (c.value == 0.0) continue;
+    const ParsedMetricName parsed = ParseMetricName(c.name);
+    const std::string family = PromName(parsed.base);
+    PromTypeLine(out, &seen, family, "counter");
+    out << family << PromLabels(parsed.labels, "", "") << ' '
+        << PromNumber(c.value) << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    const ParsedMetricName parsed = ParseMetricName(g.name);
+    const std::string family = PromName(parsed.base);
+    PromTypeLine(out, &seen, family, "gauge");
+    out << family << PromLabels(parsed.labels, "", "") << ' '
+        << PromNumber(g.value) << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    if (h.count == 0) continue;
+    const ParsedMetricName parsed = ParseMetricName(h.name);
+    const std::string family = PromName(parsed.base);
+    PromTypeLine(out, &seen, family, "histogram");
+    uint64_t cumulative = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      out << family << "_bucket"
+          << PromLabels(parsed.labels, "le", PromNumber(std::ldexp(1.0, b)))
+          << ' ' << cumulative << '\n';
+    }
+    out << family << "_bucket" << PromLabels(parsed.labels, "le", "+Inf")
+        << ' ' << h.count << '\n';
+    out << family << "_sum" << PromLabels(parsed.labels, "", "") << ' '
+        << PromNumber(h.sum) << '\n';
+    out << family << "_count" << PromLabels(parsed.labels, "", "") << ' '
+        << h.count << '\n';
+  }
+  for (const auto& s : snapshot.sketches) {
+    if (s.count == 0) continue;
+    const ParsedMetricName parsed = ParseMetricName(s.name);
+    const std::string family = PromName(parsed.base);
+    PromTypeLine(out, &seen, family, "summary");
+    const struct {
+      const char* q;
+      double value;
+    } grid[] = {{"0.5", s.p50.value},
+                {"0.9", s.p90.value},
+                {"0.99", s.p99.value},
+                {"0.999", s.p999.value}};
+    for (const auto& [q, value] : grid) {
+      out << family << PromLabels(parsed.labels, "quantile", q) << ' '
+          << PromNumber(value) << '\n';
+    }
+    out << family << "_count" << PromLabels(parsed.labels, "", "") << ' '
+        << s.count << '\n';
+  }
+}
 
 void RunMetadata::Add(std::string_view key, double value) {
   char buf[32];
@@ -167,6 +286,35 @@ void MetricsSampler::WriteSampleLocked(std::string_view reason) {
     out_ << ",\"p99\":";
     AppendJsonNumber(out_, h.P99());
     out_ << '}';
+  }
+  out_ << "},\"sketches\":{";
+  first = true;
+  for (const auto& s : snap.sketches) {
+    if (s.count == 0) continue;
+    if (!first) out_ << ',';
+    first = false;
+    AppendJsonString(out_, s.name);
+    out_ << ":{\"count\":" << s.count << ",\"min\":";
+    AppendJsonNumber(out_, s.min);
+    out_ << ",\"max\":";
+    AppendJsonNumber(out_, s.max);
+    out_ << ",\"eps\":";
+    AppendJsonNumber(out_, s.eps);
+    const struct {
+      const char* key;
+      const SketchQuantile& q;
+    } grid[] = {{"p50", s.p50},   {"p90", s.p90},   {"p99", s.p99},
+                {"p999", s.p999}, {"wp50", s.wp50}, {"wp99", s.wp99}};
+    for (const auto& [key, q] : grid) {
+      out_ << ",\"" << key << "\":";
+      AppendJsonNumber(out_, q.value);
+      out_ << ",\"" << key << "_lo\":";
+      AppendJsonNumber(out_, q.lo);
+      out_ << ",\"" << key << "_hi\":";
+      AppendJsonNumber(out_, q.hi);
+    }
+    out_ << ",\"window_count\":" << s.window_count
+         << ",\"windows\":" << s.windows << '}';
   }
   out_ << "}}\n";
   out_.flush();

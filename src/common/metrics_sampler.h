@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <fstream>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -15,6 +16,8 @@
 #include "common/status.h"
 
 namespace sketchml::obs {
+
+struct MetricsSnapshot;
 
 /// Key/value run description written into the time-series header so a
 /// dump is self-describing (flags, seed, cluster shape, git sha). Order
@@ -33,6 +36,15 @@ struct RunMetadata {
 /// "unknown" when the source tree had no git metadata).
 std::string BuildGitSha();
 
+/// Prometheus text-exposition writer for a metrics snapshot
+/// (`--metrics-format=prom`). Metric names are mangled to the prom
+/// charset (`trainer/worker_seconds{worker=3}` becomes
+/// `sketchml_trainer_worker_seconds{worker="3"}`), pow2 histograms become
+/// classic `_bucket{le=...}/_sum/_count` families, and sketch histograms
+/// become summaries with `quantile` labels. Zero counters and empty
+/// histograms are skipped, matching the JSONL dumps.
+void WritePromExposition(const MetricsSnapshot& snapshot, std::ostream& out);
+
 /// Background registry sampler: appends point-in-time snapshots of every
 /// metric to a JSONL time-series ("*.series.jsonl").
 ///
@@ -43,9 +55,16 @@ std::string BuildGitSha();
 ///    "dropped_trace_events":N,
 ///    "counters":{name:value,...},"gauges":{...},
 ///    "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,
-///                        "p50":..,"p95":..,"p99":..},...}}
+///                        "p50":..,"p95":..,"p99":..},...},
+///    "sketches":{name:{"count":..,"min":..,"max":..,"eps":..,
+///                      "p50":..,"p50_lo":..,"p50_hi":..,...,"p999_hi":..,
+///                      "wp50":..,...,"wp99_hi":..,
+///                      "window_count":..,"windows":..},...}}
 /// Counter values are cumulative-since-start (consumers diff successive
-/// samples for rates); zero counters and empty histograms are skipped.
+/// samples for rates); zero counters and empty histograms/sketches are
+/// skipped. Sketch quantiles carry their error window: the true rank-q
+/// value lies in [q_lo, q_hi] up to the KLL bound `eps` (see
+/// SketchHistogramSummary).
 ///
 /// The sampler only *reads* the registry (snapshot + serialize on its own
 /// thread), so training results are bit-identical with it on or off.

@@ -29,6 +29,12 @@ common::Result<ObsConfig> ConfigureFromFlags(const common::FlagParser& flags) {
         "--trace-sample-every must be >= 1");
   }
   config.trace_sample_every = static_cast<int>(*sample_every);
+  config.metrics_format = flags.GetString("metrics-format", "jsonl");
+  if (config.metrics_format != "jsonl" && config.metrics_format != "prom") {
+    return common::Status::InvalidArgument(
+        "--metrics-format must be jsonl or prom; got " +
+        config.metrics_format);
+  }
   const std::string mode = flags.GetString("obs", "auto");
 
   const bool any_output = !config.trace_out.empty() ||
@@ -74,6 +80,14 @@ common::Result<std::unique_ptr<MetricsSampler>> StartSamplerFromConfig(
   return MetricsSampler::Start(std::move(options));
 }
 
+std::string ObsConfig::FlagSet() const {
+  if (!metrics && !tracing) return "off";
+  std::string out;
+  if (metrics) out += "metrics";
+  if (tracing) out += out.empty() ? "trace" : ",trace";
+  return out;
+}
+
 common::Status WriteObsOutputs(const ObsConfig& config) {
   // Surface trace-ring overflow in the registry before any dump or
   // snapshot is taken, so truncated timelines are visible in metrics too.
@@ -93,7 +107,12 @@ common::Status WriteObsOutputs(const ObsConfig& config) {
     if (!out) {
       return common::Status::IoError("cannot open " + config.metrics_out);
     }
-    MetricsRegistry::Global().Snapshot().WriteJsonl(out);
+    const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    if (config.metrics_format == "prom") {
+      WritePromExposition(snap, out);
+    } else {
+      snap.WriteJsonl(out);
+    }
     if (!out) {
       return common::Status::IoError("failed writing " + config.metrics_out);
     }

@@ -22,6 +22,13 @@ struct ObsConfig {
                                  // (0 = epoch-boundary samples only).
   std::string trace_categories;  // CSV span-category filter ("" = all).
   int trace_sample_every = 1;    // Causal batch-tree sampling stride.
+  std::string metrics_format = "jsonl";  // --metrics-out format:
+                                         // "jsonl" or "prom".
+
+  /// Compact description of what this config records ("metrics,trace",
+  /// "metrics", or "off") — written into sampler run headers so report
+  /// diffs can see which obs features were live.
+  std::string FlagSet() const;
 };
 
 /// Reads the shared observability flags and applies them process-wide:
@@ -43,6 +50,8 @@ struct ObsConfig {
 ///                        every Nth global batch (default 1: all batches;
 ///                        see TrainerConfig::trace_sample_every). Parsed
 ///                        here, applied by the tool's trainer config.
+///   --metrics-format=jsonl|prom  format of the --metrics-out dump:
+///                        JSONL (default) or Prometheus text exposition.
 ///
 /// Tracing is enabled only when a trace is actually requested; metrics
 /// are enabled for any of the opt-ins (including --series-out).

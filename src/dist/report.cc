@@ -83,6 +83,39 @@ SeriesSample ParseSample(const JsonValue& line) {
       sample.histograms.push_back(std::move(summary));
     }
   }
+  if (const JsonValue* sketches = line.Find("sketches");
+      sketches != nullptr && sketches->is_object()) {
+    for (const auto& [name, s] : sketches->object_items()) {
+      if (!s.is_object()) continue;
+      SketchSummary summary;
+      summary.name = name;
+      summary.count = s.NumberOr("count", 0.0);
+      summary.min = s.NumberOr("min", 0.0);
+      summary.max = s.NumberOr("max", 0.0);
+      summary.eps = s.NumberOr("eps", 0.0);
+      const struct {
+        const char* key;
+        double* value;
+        double* lo;
+        double* hi;
+      } grid[] = {
+          {"p50", &summary.p50, &summary.p50_lo, &summary.p50_hi},
+          {"p90", &summary.p90, &summary.p90_lo, &summary.p90_hi},
+          {"p99", &summary.p99, &summary.p99_lo, &summary.p99_hi},
+          {"p999", &summary.p999, &summary.p999_lo, &summary.p999_hi},
+          {"wp50", &summary.wp50, &summary.wp50_lo, &summary.wp50_hi},
+          {"wp99", &summary.wp99, &summary.wp99_lo, &summary.wp99_hi},
+      };
+      for (const auto& q : grid) {
+        *q.value = s.NumberOr(q.key, 0.0);
+        *q.lo = s.NumberOr(std::string(q.key) + "_lo", 0.0);
+        *q.hi = s.NumberOr(std::string(q.key) + "_hi", 0.0);
+      }
+      summary.window_count = s.NumberOr("window_count", 0.0);
+      summary.windows = s.NumberOr("windows", 0.0);
+      sample.sketches.push_back(std::move(summary));
+    }
+  }
   return sample;
 }
 
@@ -143,6 +176,13 @@ const HistogramSummary* SeriesSample::FindHistogram(
     std::string_view name) const {
   for (const auto& h : histograms) {
     if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const SketchSummary* SeriesSample::FindSketch(std::string_view name) const {
+  for (const auto& s : sketches) {
+    if (s.name == name) return &s;
   }
   return nullptr;
 }
@@ -259,6 +299,7 @@ RunReport BuildRunReport(const RunSeries& series) {
   report.network_seconds =
       final_sample->CounterOr("trainer/network_seconds", 0.0);
   report.dropped_trace_events = final_sample->dropped_trace_events;
+  report.sketches = final_sample->sketches;
 
   // Per-worker and per-server rows: discover the entity ids from the
   // label values actually present, then read each phase slice.
@@ -394,6 +435,27 @@ RunReport BuildRunReport(const RunSeries& series) {
       row.mean_worker_seconds =
           total_worker_seconds / static_cast<double>(worker_ids.size());
     }
+
+    // p99 straggler from the per-worker latency sketches: the windowed
+    // p99 is recomputed from the retired epoch windows, so reading it at
+    // the epoch sample gives this epoch's tail without delta arithmetic.
+    double sum_p99 = 0.0;
+    int p99_workers = 0;
+    for (int w : worker_ids) {
+      const SketchSummary* sketch = sample->FindSketch(obs::LabeledName(
+          "trainer/compute_latency_seconds",
+          {{"worker", std::to_string(w)}}));
+      if (sketch == nullptr || sketch->count <= 0.0) continue;
+      sum_p99 += sketch->wp99;
+      ++p99_workers;
+      if (sketch->wp99 > row.p99_straggler_seconds) {
+        row.p99_straggler_seconds = sketch->wp99;
+        row.p99_straggler_worker = w;
+      }
+    }
+    if (p99_workers > 0) {
+      row.mean_worker_p99 = sum_p99 / static_cast<double>(p99_workers);
+    }
     report.epochs.push_back(row);
     prev = sample;
   }
@@ -401,6 +463,11 @@ RunReport BuildRunReport(const RunSeries& series) {
 }
 
 std::string RenderRunReport(const RunReport& report) {
+  return RenderRunReport(report, RenderOptions{});
+}
+
+std::string RenderRunReport(const RunReport& report,
+                            const RenderOptions& options) {
   std::ostringstream out;
   out << "run: git_sha=" << report.git_sha;
   for (const auto& [key, value] : report.meta) {
@@ -470,21 +537,55 @@ std::string RenderRunReport(const RunReport& report) {
   }
 
   if (!report.epochs.empty()) {
+    // Straggler detection defaults to the p99 of each worker's per-batch
+    // compute-latency sketch (tail-sensitive); --straggler-mean restores
+    // the legacy mean-based columns, which are also the fallback when the
+    // series carries no sketch summaries.
+    const bool have_p99 =
+        std::any_of(report.epochs.begin(), report.epochs.end(),
+                    [](const EpochRow& r) {
+                      return r.p99_straggler_worker >= 0;
+                    });
+    const bool use_p99 = have_p99 && !options.straggler_mean;
     out << "\n== per-epoch summary ==\n";
-    out << "  epoch       total     compute      encode    straggler  "
-           "imbalance  train-loss\n";
+    out << (use_p99
+                ? "  epoch       total     compute      encode  "
+                  "p99-strag  p99-imbal  train-loss\n"
+                : "  epoch       total     compute      encode    "
+                  "straggler  imbalance  train-loss\n");
     for (const EpochRow& row : report.epochs) {
+      const int straggler =
+          use_p99 ? row.p99_straggler_worker : row.straggler_worker;
+      const double imbalance =
+          use_p99 ? row.P99Imbalance() : row.Imbalance();
       char buf[200];
       std::snprintf(
           buf, sizeof(buf), "  %5d  %10s  %10s  %10s  %9s  %9s  %10s\n",
           row.epoch, FormatSeconds(row.TotalSeconds()).c_str(),
           FormatSeconds(row.compute_seconds).c_str(),
           FormatSeconds(row.encode_seconds).c_str(),
-          row.straggler_worker < 0
-              ? "-"
-              : ("w" + std::to_string(row.straggler_worker)).c_str(),
-          Format("%.2fx", row.Imbalance()).c_str(),
+          straggler < 0 ? "-" : ("w" + std::to_string(straggler)).c_str(),
+          Format("%.2fx", imbalance).c_str(),
           Format("%.6g", row.train_loss).c_str());
+      out << buf;
+    }
+  }
+
+  if (!report.sketches.empty()) {
+    out << "\n== latency sketches (KLL, eps = normalized rank error) ==\n";
+    out << "       count        p50        p99  [p99 lo, hi]          "
+           "p999       wp99  name\n";
+    for (const SketchSummary& s : report.sketches) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "  %10s  %9s  %9s  [%s, %s]  %9s  %9s  %s\n",
+                    Format("%.0f", s.count).c_str(),
+                    FormatSeconds(s.p50).c_str(),
+                    FormatSeconds(s.p99).c_str(),
+                    FormatSeconds(s.p99_lo).c_str(),
+                    FormatSeconds(s.p99_hi).c_str(),
+                    FormatSeconds(s.p999).c_str(),
+                    FormatSeconds(s.wp99).c_str(), s.name.c_str());
       out << buf;
     }
   }
@@ -521,7 +622,9 @@ double MetricDelta::RelChange() const {
 
 bool DiffResult::HasRegression() const {
   return std::any_of(flagged.begin(), flagged.end(),
-                     [](const MetricDelta& d) { return d.regression; });
+                     [](const MetricDelta& d) { return d.regression; }) ||
+         std::any_of(slo.begin(), slo.end(),
+                     [](const SloDelta& d) { return d.regression; });
 }
 
 DiffResult DiffRuns(const RunSeries& baseline, const RunSeries& candidate,
@@ -581,6 +684,68 @@ DiffResult DiffRuns(const RunSeries& baseline, const RunSeries& candidate,
                      if (a.regression != b.regression) return a.regression;
                      return std::abs(a.RelChange()) > std::abs(b.RelChange());
                    });
+
+  // SLO section: sketch quantiles compared with sketch-error-aware
+  // thresholds. A quantile regresses only when the candidate's value at
+  // rank q-2ε exceeds the baseline's at q+2ε — i.e. the drift is larger
+  // than what both sketches' combined rank error could explain. The
+  // "modeled" naming convention marks sketches of deterministic modeled
+  // seconds (network transfer under a fixed seed), which stay comparable
+  // even under --ignore-times; measured-latency sketches are skipped
+  // there just like wall-clock counters.
+  std::set<std::string> sketch_names;
+  for (const SketchSummary& s : base.sketches) sketch_names.insert(s.name);
+  for (const SketchSummary& s : cand.sketches) sketch_names.insert(s.name);
+  static const SketchSummary kEmptySketch;
+  for (const std::string& name : sketch_names) {
+    const obs::ParsedMetricName parsed = obs::ParseMetricName(name);
+    if (options.ignore_times && IsTimingMetric(parsed.base) &&
+        name.find("modeled") == std::string::npos) {
+      continue;
+    }
+    ++result.metrics_compared;
+    const SketchSummary* b = base.FindSketch(name);
+    const SketchSummary* c = cand.FindSketch(name);
+    if (b == nullptr) b = &kEmptySketch;
+    if (c == nullptr) c = &kEmptySketch;
+
+    // Record counts are deterministic for a fixed seed: any drift is a
+    // behavior change (sketch appeared/vanished, or lane cadence moved).
+    if (b->count != c->count) {
+      SloDelta delta;
+      delta.name = name;
+      delta.quantile = "count";
+      delta.baseline = b->count;
+      delta.candidate = c->count;
+      delta.baseline_hi = b->count;
+      delta.candidate_lo = c->count;
+      delta.regression = true;
+      result.slo.push_back(std::move(delta));
+      continue;  // Quantiles are not comparable at different counts.
+    }
+    if (b->count == 0.0) continue;
+
+    const struct {
+      const char* quantile;
+      double baseline, baseline_hi, candidate, candidate_lo;
+    } checks[] = {
+        {"p50", b->p50, b->p50_hi, c->p50, c->p50_lo},
+        {"p99", b->p99, b->p99_hi, c->p99, c->p99_lo},
+        {"p999", b->p999, b->p999_hi, c->p999, c->p999_lo},
+    };
+    for (const auto& check : checks) {
+      if (check.candidate_lo <= check.baseline_hi) continue;
+      SloDelta delta;
+      delta.name = name;
+      delta.quantile = check.quantile;
+      delta.baseline = check.baseline;
+      delta.candidate = check.candidate;
+      delta.baseline_hi = check.baseline_hi;
+      delta.candidate_lo = check.candidate_lo;
+      delta.regression = true;
+      result.slo.push_back(std::move(delta));
+    }
+  }
   return result;
 }
 
@@ -590,7 +755,7 @@ std::string RenderDiff(const DiffResult& diff, const DiffOptions& options) {
       << Format("%.0f%%", options.threshold * 100.0)
       << (options.ignore_times ? ", wall-clock metrics ignored" : "")
       << ")\n";
-  if (diff.flagged.empty()) {
+  if (diff.flagged.empty() && diff.slo.empty()) {
     out << "no metric changed beyond the threshold\n";
     return out.str();
   }
@@ -605,6 +770,20 @@ std::string RenderDiff(const DiffResult& diff, const DiffOptions& options) {
       out << Format("%+.1f%%", rel * 100.0);
     }
     out << ")\n";
+  }
+  if (!diff.slo.empty()) {
+    out << "== SLO (sketch quantiles, error-bound aware) ==\n";
+    for (const SloDelta& delta : diff.slo) {
+      out << (delta.regression ? "  SLO REGRESSION  " : "  slo ok         ")
+          << delta.name << " " << delta.quantile << ": "
+          << Format("%.6g", delta.baseline) << " -> "
+          << Format("%.6g", delta.candidate);
+      if (delta.quantile != "count") {
+        out << "  (cand lo " << Format("%.6g", delta.candidate_lo)
+            << " > base hi " << Format("%.6g", delta.baseline_hi) << ")";
+      }
+      out << '\n';
+    }
   }
   return out.str();
 }

@@ -35,6 +35,28 @@ struct HistogramSummary {
   double Mean() const { return count == 0.0 ? 0.0 : sum / count; }
 };
 
+/// Summary of one sketch-backed histogram inside a sample: KLL quantiles
+/// with their error windows (see SketchHistogramSummary in the obs
+/// layer). `pXX_lo`/`pXX_hi` are the values at rank q∓2ε — the interval
+/// the true order statistic lies in — so A/B diffs can require a
+/// regression to exceed the sketch's own error bound before firing.
+struct SketchSummary {
+  std::string name;  // Canonical, possibly labeled.
+  double count = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double eps = 0.0;
+  double p50 = 0.0, p50_lo = 0.0, p50_hi = 0.0;
+  double p90 = 0.0, p90_lo = 0.0, p90_hi = 0.0;
+  double p99 = 0.0, p99_lo = 0.0, p99_hi = 0.0;
+  double p999 = 0.0, p999_lo = 0.0, p999_hi = 0.0;
+  // Windowed view (ring of per-epoch sub-sketches plus the live tail).
+  double window_count = 0.0;
+  double windows = 0.0;
+  double wp50 = 0.0, wp50_lo = 0.0, wp50_hi = 0.0;
+  double wp99 = 0.0, wp99_lo = 0.0, wp99_hi = 0.0;
+};
+
 /// One snapshot line of a `*.series.jsonl` file. Counter values are
 /// cumulative since process start; consumers diff successive samples.
 struct SeriesSample {
@@ -44,10 +66,12 @@ struct SeriesSample {
   std::vector<std::pair<std::string, double>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSummary> histograms;
+  std::vector<SketchSummary> sketches;
 
   double CounterOr(std::string_view name, double default_value) const;
   double GaugeOr(std::string_view name, double default_value) const;
   const HistogramSummary* FindHistogram(std::string_view name) const;
+  const SketchSummary* FindSketch(std::string_view name) const;
 
   /// Sum of counters with base name `base` whose labels contain all of
   /// `want` — same roll-up rule as MetricsSnapshot::SumCounters.
@@ -140,10 +164,25 @@ struct EpochRow {
   double straggler_seconds = 0.0;
   double mean_worker_seconds = 0.0;
 
+  /// p99-based straggler detection (the default rendering): worker with
+  /// the largest windowed p99 of its per-batch compute latency sketch
+  /// this epoch. Mean-based detection hides a worker that is slow on a
+  /// few batches but average overall; the tail statistic catches it.
+  /// Populated only when the series carries sketch summaries
+  /// (p99_straggler_worker stays -1 otherwise and rendering falls back
+  /// to the mean columns).
+  int p99_straggler_worker = -1;
+  double p99_straggler_seconds = 0.0;  // That worker's window p99.
+  double mean_worker_p99 = 0.0;        // Mean of all workers' window p99s.
+
   double Imbalance() const {
     return mean_worker_seconds <= 0.0
                ? 0.0
                : straggler_seconds / mean_worker_seconds;
+  }
+  double P99Imbalance() const {
+    return mean_worker_p99 <= 0.0 ? 0.0
+                                  : p99_straggler_seconds / mean_worker_p99;
   }
   double TotalSeconds() const {
     return compute_seconds + encode_seconds + decode_seconds +
@@ -190,6 +229,7 @@ struct RunReport {
   std::vector<ServerPhaseRow> servers;
   std::vector<CodecRow> codecs;
   std::vector<EpochRow> epochs;
+  std::vector<SketchSummary> sketches;  // Final sample's sketch quantiles.
   FaultSummary faults;
   double dropped_trace_events = 0.0;
 };
@@ -198,8 +238,17 @@ struct RunReport {
 /// a run recorded without labels still yields the aggregate section).
 RunReport BuildRunReport(const RunSeries& series);
 
+/// Rendering options for the single-run report.
+struct RenderOptions {
+  /// Use the legacy mean-based straggler columns even when sketch-based
+  /// p99 detection is available (--straggler-mean; kept for one release).
+  bool straggler_mean = false;
+};
+
 /// Human-readable rendering (what the CLI prints).
 std::string RenderRunReport(const RunReport& report);
+std::string RenderRunReport(const RunReport& report,
+                            const RenderOptions& options);
 
 /// A/B comparison of two runs' final samples.
 struct DiffOptions {
@@ -225,9 +274,26 @@ struct MetricDelta {
   double RelChange() const;
 };
 
+/// One sketch-quantile comparison in the SLO section of an A/B diff.
+/// Sketch-error-aware: `regression` fires only when the candidate's
+/// lower confidence value exceeds the baseline's upper one — a drift
+/// smaller than the combined KLL rank-error windows cannot fire, so the
+/// gate never flags its own estimation noise.
+struct SloDelta {
+  std::string name;     // Sketch name.
+  std::string quantile; // "p50" | "p99" | "p999" | "count".
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double baseline_hi = 0.0;  // Baseline value at q+2ε.
+  double candidate_lo = 0.0; // Candidate value at q-2ε.
+  bool regression = false;
+};
+
 struct DiffResult {
   size_t metrics_compared = 0;
   std::vector<MetricDelta> flagged;  // Changes beyond the threshold.
+  std::vector<SloDelta> slo;         // Sketch-quantile SLO comparisons
+                                     // (flagged entries only).
 
   bool HasRegression() const;
 };

@@ -212,6 +212,21 @@ std::string LatencyQuantileSummary(const obs::MetricsSnapshot& snap) {
                   g.sum / static_cast<double>(g.count), g.p50, g.p95, g.p99);
     out += buf;
   }
+  // KLL-backed latency sketches (unlike the pow2 histograms, quantiles
+  // here merge exactly across workers — the cluster-wide lines are true
+  // distribution estimates, ±eps in rank). wp99 is the windowed tail
+  // over the last kSketchHistogramWindows epochs.
+  for (const auto& s : snap.sketches) {
+    if (s.count == 0) continue;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: n=%llu p50=%.3gs p99=%.3gs [%.3g, %.3g] "
+                  "p999=%.3gs wp99=%.3gs (eps=%.2g)\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.p50.value, s.p99.value, s.p99.lo, s.p99.hi,
+                  s.p999.value, s.wp99.value, s.eps);
+    out += buf;
+  }
   return out;
 }
 

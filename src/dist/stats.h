@@ -103,7 +103,9 @@ EpochStats EpochStatsFromMetrics(const obs::MetricsSnapshot& before,
 /// `snap`, grouped per codec/pool (quantiles across a group's instances
 /// are not mergeable, so each line reports the summed count and mean
 /// plus the *worst* instance's quantiles — a conservative tail bound).
-/// Empty string when no latency histogram has samples.
+/// KLL-backed latency sketches follow, with error-bound brackets on p99
+/// and the windowed tail (their quantiles DO merge exactly — see
+/// docs/observability.md). Empty string when nothing has samples.
 std::string LatencyQuantileSummary(const obs::MetricsSnapshot& snap);
 
 }  // namespace sketchml::dist

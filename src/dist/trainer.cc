@@ -130,6 +130,28 @@ DistributedTrainer::DistributedTrainer(
         registry.GetCounter("trainer/driver_seconds", {{"phase", "update"}});
     metrics_.driver_network =
         registry.GetCounter("trainer/driver_seconds", {{"phase", "network"}});
+
+    // Sketch-native latency telemetry: per-worker KLL-backed sketches
+    // plus the cluster-wide slots the driver merges them into at every
+    // epoch boundary. See SketchTelemetry in the header.
+    sketch_metrics_.enabled = true;
+    auto& sketches = obs::SketchHistogramRegistry::Global();
+    for (int w = 0; w < cluster_.num_workers; ++w) {
+      const std::string ws = std::to_string(w);
+      sketch_metrics_.worker_compute.push_back(sketches.Get(
+          "trainer/compute_latency_seconds", {{"worker", ws}}));
+      sketch_metrics_.worker_encode.push_back(
+          sketches.Get("trainer/encode_latency_seconds", {{"worker", ws}}));
+      sketch_metrics_.worker_push.push_back(
+          sketches.Get("trainer/push_modeled_seconds", {{"worker", ws}}));
+    }
+    sketch_metrics_.cluster_compute =
+        sketches.Get("trainer/compute_latency_seconds");
+    sketch_metrics_.cluster_encode =
+        sketches.Get("trainer/encode_latency_seconds");
+    sketch_metrics_.cluster_push = sketches.Get("trainer/push_modeled_seconds");
+    sketch_metrics_.merges = registry.GetCounter("telemetry/merges");
+    sketch_metrics_.merge_bytes = registry.GetCounter("telemetry/merge_bytes");
   }
 
   // Fault counters exist only when the plan is active: a fault-free run
@@ -536,6 +558,23 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
                                        cluster_.compute_scale);
         metrics_.worker_encode[w].Add(r.encode_seconds / active_workers *
                                       cluster_.codec_scale);
+        if (sketch_metrics_.enabled) {
+          // Per-batch latency distributions, recorded from this driver
+          // thread only (single writer => snapshots identical across
+          // --threads). Push is the worker's total modeled link time.
+          sketch_metrics_.worker_compute[w].Record(
+              r.compute_seconds / active_workers * cluster_.compute_scale);
+          sketch_metrics_.worker_encode[w].Record(
+              r.encode_seconds / active_workers * cluster_.codec_scale);
+          double push_seconds = 0.0;
+          for (int s = 0; s < servers; ++s) {
+            if (r.shard_bytes[s] == 0) continue;
+            push_seconds +=
+                faults ? r.shard_link_seconds[s]
+                       : cluster_.network.TransferSeconds(r.shard_bytes[s]);
+          }
+          sketch_metrics_.worker_push[w].Record(push_seconds);
+        }
         metrics_.worker_recovery_err[w].Add(r.recovery_error_l1);
         metrics_.worker_recovery_ref[w].Add(r.recovery_ref_l1);
         for (int s = 0; s < servers; ++s) {
@@ -769,6 +808,41 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
         ml::ComputeMeanLoss(*loss_, optimizer_->weights(), *test_, 0.0);
   }
   simulated_seconds_ += stats.TotalSeconds();
+
+  // Epoch-boundary cross-node telemetry aggregation: serialize each
+  // worker's window tail, merge it into the cluster-wide slot (KLL
+  // mergeability as the aggregation primitive), then retire everyone's
+  // window into the ring. Payload sizes are counted in telemetry/*
+  // only — never charged to the NetworkModel — so enabling metrics
+  // cannot perturb the modeled timings or the training output.
+  if (sketch_metrics_.enabled) {
+    auto& sketches = obs::SketchHistogramRegistry::Global();
+    const struct {
+      const std::vector<obs::SketchHistogram>* workers;
+      const obs::SketchHistogram* cluster;
+    } lanes[] = {
+        {&sketch_metrics_.worker_compute, &sketch_metrics_.cluster_compute},
+        {&sketch_metrics_.worker_encode, &sketch_metrics_.cluster_encode},
+        {&sketch_metrics_.worker_push, &sketch_metrics_.cluster_push},
+    };
+    for (const auto& lane : lanes) {
+      for (const obs::SketchHistogram& worker_sketch : *lane.workers) {
+        const std::vector<uint8_t> payload =
+            sketches.SerializeTail(worker_sketch);
+        if (payload.empty()) continue;
+        sketch_metrics_.merges.Increment();
+        sketch_metrics_.merge_bytes.Add(static_cast<double>(payload.size()));
+        const common::Status merged = sketches.MergeSerialized(
+            *lane.cluster, payload.data(), payload.size());
+        if (!merged.ok()) {
+          SKETCHML_LOG(Warning)
+              << "telemetry sketch merge failed: " << merged.ToString();
+        }
+      }
+    }
+    sketches.AdvanceWindows();
+  }
+
   PublishEpochStats(stats);
   return stats;
 }

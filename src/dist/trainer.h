@@ -15,6 +15,7 @@
 #include "ml/dataset.h"
 #include "ml/loss.h"
 #include "ml/optimizer.h"
+#include "sketch/sketch_histogram.h"
 
 namespace sketchml::dist {
 
@@ -172,6 +173,34 @@ class DistributedTrainer {
     obs::Counter driver_network;
   };
 
+  /// KLL-backed per-batch latency distributions — the sketch-native
+  /// telemetry layer. Each worker has its own sketch per lane
+  /// (compute/encode measured seconds, push modeled seconds); the driver
+  /// records into them from the fixed-order reduce loop (single writer,
+  /// so snapshots are identical at any --threads) and at every epoch
+  /// boundary serializes each worker's window tail, merges it into the
+  /// cluster-wide slot (the paper's sketch mergeability as the metric
+  /// aggregation primitive), and retires the window. Serialized bytes are
+  /// charged to telemetry/* counters only — never to the NetworkModel —
+  /// so obs-on/off stays bit-identical.
+  ///
+  /// The push lane records *modeled* transfer seconds and carries
+  /// "modeled" in its name: deterministic for a fixed seed, so the SLO
+  /// gate can diff its quantiles across runs even under --ignore-times.
+  struct SketchTelemetry {
+    bool enabled = false;
+    // trainer/compute_latency_seconds{worker=w} etc.
+    std::vector<obs::SketchHistogram> worker_compute;
+    std::vector<obs::SketchHistogram> worker_encode;
+    std::vector<obs::SketchHistogram> worker_push;  // push_modeled_seconds
+    // Cluster-wide merged slots (same base names, no labels).
+    obs::SketchHistogram cluster_compute;
+    obs::SketchHistogram cluster_encode;
+    obs::SketchHistogram cluster_push;
+    obs::Counter merges;       // telemetry/merges
+    obs::Counter merge_bytes;  // telemetry/merge_bytes
+  };
+
   /// Fault-path counters, resolved at construction only when the plan is
   /// active and metrics are on. Published from the driver's fixed-order
   /// reduce loop (single writer), never from worker threads.
@@ -204,6 +233,7 @@ class DistributedTrainer {
   TrainerConfig config_;
   std::unique_ptr<ml::Optimizer> optimizer_;
   EntityMetrics metrics_;
+  SketchTelemetry sketch_metrics_;
   FaultMetrics fault_metrics_;
   /// Non-OK when the ClusterConfig failed validation; RunEpoch returns
   /// this instead of training (the constructor cannot return a Status).

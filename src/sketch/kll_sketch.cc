@@ -1,8 +1,10 @@
 #include "sketch/kll_sketch.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics_registry.h"
@@ -45,7 +47,7 @@ void KllSketch::Update(double value) {
     max_ = std::max(max_, value);
   }
   ++count_;
-  if (obs::MetricsEnabled()) {
+  if (instrumented_ && obs::MetricsEnabled()) {
     static const obs::Counter updates =
         obs::MetricsRegistry::Global().GetCounter("sketch/kll/updates");
     updates.Increment();
@@ -73,7 +75,7 @@ bool KllSketch::InvariantsHold() const {
 
 void KllSketch::Compact(int level) {
   if (levels_[level].size() < 2) return;
-  if (obs::MetricsEnabled()) {
+  if (instrumented_ && obs::MetricsEnabled()) {
     static const obs::Counter compactions =
         obs::MetricsRegistry::Global().GetCounter("sketch/kll/compactions");
     compactions.Increment();
@@ -196,7 +198,7 @@ double KllSketch::Max() const {
 
 void KllSketch::Merge(const KllSketch& other) {
   if (other.count_ == 0) return;
-  const bool instrumented = obs::MetricsEnabled();
+  const bool instrumented = instrumented_ && obs::MetricsEnabled();
   const uint64_t start_ns = instrumented ? obs::NowNs() : 0;
   if (count_ == 0) {
     min_ = other.min_;
@@ -234,6 +236,118 @@ size_t KllSketch::NumRetained() const {
   size_t total = 0;
   for (const auto& level : levels_) total += level.size();
   return total;
+}
+
+void KllSketch::UpdateWeighted(double value, uint64_t weight) {
+  SKETCHML_CHECK_GT(weight, 0u);
+  SKETCHML_CHECK_EQ(weight & (weight - 1), 0u);  // Power of two.
+  const int target = std::countr_zero(weight);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += weight;
+  if (target >= static_cast<int>(levels_.size())) {
+    levels_.resize(target + 1);
+    RefreshCapacities();
+  }
+  levels_[target].push_back(value);
+  if (levels_[target].size() >= LevelCapacity(target)) {
+    for (int level = target; level < static_cast<int>(levels_.size());
+         ++level) {
+      if (levels_[level].size() >= LevelCapacity(level)) Compact(level);
+    }
+  }
+  SKETCHML_DCHECK(InvariantsHold());
+}
+
+namespace {
+constexpr uint8_t kKllWireVersion = 1;
+}  // namespace
+
+size_t KllSketch::SerializedSize() const {
+  size_t size = 1 + 4 + 8 + 8 + 8;  // version, k, count, min, max.
+  size += common::ByteWriter::VarintSize(levels_.size());
+  for (const auto& level : levels_) {
+    size += common::ByteWriter::VarintSize(level.size());
+    size += level.size() * sizeof(double);
+  }
+  return size;
+}
+
+void KllSketch::Serialize(common::ByteWriter* writer) const {
+  writer->WriteU8(kKllWireVersion);
+  writer->WriteU32(static_cast<uint32_t>(k_));
+  writer->WriteU64(count_);
+  writer->WriteDouble(min_);
+  writer->WriteDouble(max_);
+  writer->WriteVarint(levels_.size());
+  for (const auto& level : levels_) {
+    writer->WriteVarint(level.size());
+    for (double v : level) writer->WriteDouble(v);
+  }
+}
+
+common::Status KllSketch::Deserialize(common::ByteReader* reader,
+                                      KllSketch* out, uint64_t seed) {
+  uint8_t version = 0;
+  SKETCHML_RETURN_IF_ERROR(reader->ReadU8(&version));
+  if (version != kKllWireVersion) {
+    return common::Status::CorruptedData("unknown KLL wire version");
+  }
+  uint32_t k = 0;
+  uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  SKETCHML_RETURN_IF_ERROR(reader->ReadU32(&k));
+  SKETCHML_RETURN_IF_ERROR(reader->ReadU64(&count));
+  SKETCHML_RETURN_IF_ERROR(reader->ReadDouble(&min));
+  SKETCHML_RETURN_IF_ERROR(reader->ReadDouble(&max));
+  if (k < 8) return common::Status::CorruptedData("KLL k below minimum");
+  uint64_t num_levels = 0;
+  SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&num_levels));
+  if (num_levels == 0 || num_levels > 64) {
+    return common::Status::CorruptedData("KLL level count out of range");
+  }
+  KllSketch sketch(static_cast<int>(k), seed);
+  sketch.levels_.resize(num_levels);
+  uint64_t weight = 0;
+  for (uint64_t level = 0; level < num_levels; ++level) {
+    uint64_t n = 0;
+    SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&n));
+    if (n > count) return common::Status::CorruptedData("KLL level too large");
+    auto& buf = sketch.levels_[level];
+    buf.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      SKETCHML_RETURN_IF_ERROR(reader->ReadDouble(&buf[i]));
+    }
+    weight += n << level;
+  }
+  if (weight != count) {
+    return common::Status::CorruptedData("KLL weight/count mismatch");
+  }
+  sketch.count_ = count;
+  sketch.min_ = min;
+  sketch.max_ = max;
+  sketch.RefreshCapacities();
+  if (!sketch.InvariantsHold()) {
+    return common::Status::CorruptedData("KLL invariants violated");
+  }
+  *out = std::move(sketch);
+  return common::Status::Ok();
+}
+
+void KllSketch::ExpandRange(double lo, double hi) {
+  SKETCHML_CHECK_GT(count_, 0u);
+  SKETCHML_CHECK_LE(lo, hi);
+  min_ = std::min(min_, lo);
+  max_ = std::max(max_, hi);
+}
+
+double KllSketch::NormalizedRankError(int k) {
+  return 2.296 / std::pow(static_cast<double>(k), 0.9);
 }
 
 }  // namespace sketchml::sketch

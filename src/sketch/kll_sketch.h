@@ -6,7 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/byte_buffer.h"
 #include "common/random.h"
+#include "common/status.h"
 #include "sketch/quantile_sketch.h"
 
 namespace sketchml::sketch {
@@ -47,6 +49,54 @@ class KllSketch : public QuantileSketch {
   /// Estimated rank (fraction of items <= value) of `value`.
   double Rank(double value) const;
 
+  /// Inserts `value` with weight `weight` directly into level log2(weight).
+  /// `weight` must be a power of two — the only weights a KLL compactor
+  /// produces — so replaying another sketch's retained items through this
+  /// call reproduces an equivalent summary. Used by the telemetry layer's
+  /// canonical rebuild (obs::SketchHistogramRegistry): gathering retained
+  /// items from per-thread shards, sorting, and re-inserting them into a
+  /// fixed-seed sketch yields a result independent of how the stream was
+  /// partitioned across threads.
+  void UpdateWeighted(double value, uint64_t weight);
+
+  /// All retained (value, weight) pairs sorted by (value, weight). The
+  /// multiset these represent is rank-equivalent to the full stream within
+  /// the sketch's error bound.
+  std::vector<std::pair<double, uint64_t>> RetainedItems() const {
+    return SortedItems();
+  }
+
+  /// Wire format: version byte, k, count, min, max, then per-level item
+  /// arrays. Captures the full summary state (not the RNG), so a
+  /// deserialized sketch answers identical queries and merges losslessly;
+  /// future compactions of the copy draw from `seed` passed to Deserialize.
+  size_t SerializedSize() const;
+  void Serialize(common::ByteWriter* writer) const;
+  static common::Status Deserialize(common::ByteReader* reader, KllSketch* out,
+                                    uint64_t seed = 1);
+
+  /// Widens the exact [Min(), Max()] range to cover [lo, hi]. The sketch
+  /// tracks extremes separately from the retained items (compaction may
+  /// drop the actual minimum/maximum), so a canonical rebuild from
+  /// RetainedItems() must re-apply the source sketch's range to keep
+  /// Min()/Max() exact. Only valid on a non-empty sketch.
+  void ExpandRange(double lo, double hi);
+
+  /// Normalized rank-error bound ε for parameter `k`: quantile estimates
+  /// land within ±ε of the true rank with high confidence. Empirical KLL
+  /// fit (DataSketches-style 2.296 / k^0.9); ~1.5 % at the default k=256,
+  /// consistent with the ~1 % typical error quoted in the class comment.
+  static double NormalizedRankError(int k);
+  double NormalizedRankError() const { return NormalizedRankError(k_); }
+
+  /// Sketches owned by the telemetry layer itself must not feed the
+  /// `sketch/kll/*` self-metrics: snapshot-time rebuilds and merges would
+  /// otherwise inflate those counters by an amount that depends on how
+  /// often the sampler fires, breaking run-to-run determinism of metric
+  /// dumps. Default on; the obs::SketchHistogramRegistry turns it off for
+  /// its internal sketches.
+  void SetInstrumented(bool instrumented) { instrumented_ = instrumented; }
+
   int k() const { return k_; }
 
   /// Total retained items across all levels (space footprint).
@@ -76,6 +126,7 @@ class KllSketch : public QuantileSketch {
   std::vector<std::pair<double, uint64_t>> SortedItems() const;
 
   int k_;
+  bool instrumented_ = true;
   uint64_t count_ = 0;
   double min_ = 0.0;
   double max_ = 0.0;

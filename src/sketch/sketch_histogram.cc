@@ -1,0 +1,324 @@
+#include "sketch/sketch_histogram.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/logging.h"
+#include "common/obs.h"
+#include "sketch/kll_sketch.h"
+
+namespace sketchml::obs {
+namespace {
+
+using sketch::KllSketch;
+
+// Slot capacity: sketch histograms are per-entity latency distributions
+// (a few per worker), far fewer than counters.
+constexpr int kMaxSketchHistograms = 512;
+
+// Accuracy parameter of every backing sketch; matches the codec default,
+// ~1.5 % normalized rank error.
+constexpr int kSketchK = 256;
+
+// Every canonical rebuild seeds its sketch identically, so a rebuild is a
+// pure function of the gathered (value, weight) multiset — the property
+// the cross-thread determinism contract rests on.
+constexpr uint64_t kCanonicalSeed = 0x5ca1ab1eULL;
+
+// A per-thread buffer holding more raw values than this spills into the
+// slot's KLL sketch, bounding memory per (thread, slot) between window
+// retirements. Below the threshold snapshots are exact and
+// partition-invariant; above it the sketch error bound takes over.
+constexpr size_t kSpillThreshold = 4096;
+
+KllSketch MakeCanonicalSketch() {
+  KllSketch sketch(kSketchK, kCanonicalSeed);
+  // Telemetry-internal sketches stay out of the sketch/kll/* self-metrics
+  // (their rebuild/merge counts depend on sampler cadence, not workload).
+  sketch.SetInstrumented(false);
+  return sketch;
+}
+
+/// One slot's retained state (guarded by the registry mutex).
+struct Slot {
+  Slot()
+      : spill(MakeCanonicalSketch()),
+        lifetime(MakeCanonicalSketch()) {}
+
+  KllSketch spill;                     // Overflowed + remote-merged tail data.
+  std::vector<double> retired_values;  // Raw tail values from exited threads.
+  std::vector<KllSketch> windows;      // Ring, oldest first.
+  KllSketch lifetime;                  // Merge of every retired window.
+};
+
+/// One thread's private raw-value buffers, indexed by slot id. The mutex
+/// is uncontended on the record path (only the owner writes); snapshots
+/// and window advances take it briefly to gather or drain.
+struct Shard {
+  std::mutex mutex;
+  std::vector<std::vector<double>> buffers;
+};
+
+struct Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, int, std::less<>> ids;
+  std::vector<std::string> names;
+  std::vector<std::unique_ptr<Slot>> slots;
+  std::vector<Shard*> live_shards;
+};
+
+Impl& GetImpl() {
+  // NOLINTNEXTLINE(sketchml-naked-new): leaked on purpose.
+  static Impl* impl = new Impl;  // Leaked: outlives thread-local dtors.
+  return *impl;
+}
+
+void RetireShard(Shard* shard) {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (size_t id = 0; id < shard->buffers.size(); ++id) {
+      auto& buf = shard->buffers[id];
+      auto& retired = impl.slots[id]->retired_values;
+      retired.insert(retired.end(), buf.begin(), buf.end());
+    }
+  }
+  impl.live_shards.erase(
+      std::find(impl.live_shards.begin(), impl.live_shards.end(), shard));
+  delete shard;  // NOLINT(sketchml-naked-new): end of TLS retire cycle.
+}
+
+struct TlsShard {
+  Shard* shard = nullptr;
+  ~TlsShard() {
+    if (shard != nullptr) RetireShard(shard);
+  }
+};
+
+Shard* ThisShard() {
+  thread_local TlsShard tls;
+  if (tls.shard == nullptr) {
+    // NOLINTNEXTLINE(sketchml-naked-new): owned by the TLS retire cycle.
+    auto* shard = new Shard;
+    Impl& impl = GetImpl();
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    impl.live_shards.push_back(shard);
+    tls.shard = shard;
+  }
+  return tls.shard;
+}
+
+/// Canonical sketch of everything recorded into `id` since the last
+/// window advance. Caller holds the registry mutex. With `drain`, the
+/// gathered sources are cleared (the tail becomes the retired window).
+KllSketch BuildTailLocked(Impl& impl, int id, bool drain) {
+  Slot& slot = *impl.slots[id];
+  std::vector<std::pair<double, uint64_t>> items = slot.spill.RetainedItems();
+  // The spill sketch's exact extremes may not survive as retained items
+  // (compaction drops values); re-applied to the rebuilt tail below so
+  // Min()/Max() stay exact end to end.
+  const bool spill_nonempty = slot.spill.Count() > 0;
+  const double spill_min = spill_nonempty ? slot.spill.Min() : 0.0;
+  const double spill_max = spill_nonempty ? slot.spill.Max() : 0.0;
+  for (double v : slot.retired_values) items.emplace_back(v, 1);
+  for (Shard* shard : impl.live_shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    if (shard->buffers.size() > static_cast<size_t>(id)) {
+      for (double v : shard->buffers[id]) items.emplace_back(v, 1);
+      if (drain) shard->buffers[id].clear();
+    }
+  }
+  if (drain) {
+    slot.retired_values.clear();
+    slot.spill = MakeCanonicalSketch();
+  }
+  // Sorting makes the rebuild a function of the multiset alone — any
+  // thread partitioning of the same stream rebuilds bit-identically (see
+  // the class comment for the spill caveat).
+  std::sort(items.begin(), items.end());
+  KllSketch tail = MakeCanonicalSketch();
+  for (const auto& [value, weight] : items) {
+    tail.UpdateWeighted(value, weight);
+  }
+  if (spill_nonempty) tail.ExpandRange(spill_min, spill_max);
+  return tail;
+}
+
+SketchQuantile QuantileWithBounds(const KllSketch& sketch, double q,
+                                  double eps) {
+  SketchQuantile out;
+  out.value = sketch.Quantile(q);
+  out.lo = sketch.Quantile(std::max(0.0, q - 2.0 * eps));
+  out.hi = sketch.Quantile(std::min(1.0, q + 2.0 * eps));
+  return out;
+}
+
+std::vector<SketchHistogramSummary> CollectForSnapshot() {
+  return SketchHistogramRegistry::Global().Summaries();
+}
+
+void ResetForMetricsRegistry() { SketchHistogramRegistry::Global().Reset(); }
+
+}  // namespace
+
+SketchHistogramRegistry& SketchHistogramRegistry::Global() {
+  static SketchHistogramRegistry* instance = [] {
+    // NOLINTNEXTLINE(sketchml-naked-new): leaked on purpose.
+    auto* registry = new SketchHistogramRegistry;
+    // From now on MetricsRegistry snapshots/resets include sketch slots.
+    SetSketchSummarySource(&CollectForSnapshot);
+    SetSketchResetHook(&ResetForMetricsRegistry);
+    return registry;
+  }();
+  return *instance;
+}
+
+SketchHistogram SketchHistogramRegistry::Get(std::string_view name) {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  const auto it = impl.ids.find(name);
+  if (it != impl.ids.end()) return SketchHistogram(it->second);
+  if (static_cast<int>(impl.names.size()) >= kMaxSketchHistograms) {
+    SKETCHML_LOG(Warning) << "sketch histogram registry full; dropping "
+                          << std::string(name);
+    return SketchHistogram(-1);
+  }
+  const int id = static_cast<int>(impl.names.size());
+  impl.names.emplace_back(name);
+  impl.ids.emplace(std::string(name), id);
+  impl.slots.push_back(std::make_unique<Slot>());
+  return SketchHistogram(id);
+}
+
+SketchHistogram SketchHistogramRegistry::Get(std::string_view base,
+                                             const MetricLabels& labels) {
+  return Get(LabeledName(base, labels));
+}
+
+void SketchHistogram::Record(double value) const {
+  if (id_ < 0 || !MetricsEnabled()) return;
+  Shard* shard = ThisShard();
+  bool spill = false;
+  {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->buffers.size() <= static_cast<size_t>(id_)) {
+      shard->buffers.resize(id_ + 1);
+    }
+    auto& buf = shard->buffers[id_];
+    buf.push_back(value);
+    spill = buf.size() >= kSpillThreshold;
+  }
+  if (spill) {
+    // Re-acquire in registry→shard order (never shard→registry).
+    Impl& impl = GetImpl();
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    auto& buf = shard->buffers[id_];
+    if (buf.size() < kSpillThreshold) return;  // Raced with a drain.
+    KllSketch& dst = impl.slots[id_]->spill;
+    for (double v : buf) dst.Update(v);
+    buf.clear();
+  }
+}
+
+void SketchHistogramRegistry::AdvanceWindows() {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  for (int id = 0; id < static_cast<int>(impl.slots.size()); ++id) {
+    Slot& slot = *impl.slots[id];
+    KllSketch window = BuildTailLocked(impl, id, /*drain=*/true);
+    slot.lifetime.Merge(window);
+    slot.windows.push_back(std::move(window));
+    if (static_cast<int>(slot.windows.size()) > kSketchHistogramWindows) {
+      slot.windows.erase(slot.windows.begin());
+    }
+  }
+}
+
+std::vector<SketchHistogramSummary> SketchHistogramRegistry::Summaries()
+    const {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  const double eps = KllSketch::NormalizedRankError(kSketchK);
+  std::vector<SketchHistogramSummary> out;
+  for (int id = 0; id < static_cast<int>(impl.slots.size()); ++id) {
+    const Slot& slot = *impl.slots[id];
+    const KllSketch tail = BuildTailLocked(impl, id, /*drain=*/false);
+    KllSketch full = slot.lifetime;
+    full.Merge(tail);
+    if (full.Count() == 0) continue;  // Mirror empty-histogram skipping.
+    KllSketch recent = MakeCanonicalSketch();
+    for (const KllSketch& window : slot.windows) recent.Merge(window);
+    recent.Merge(tail);
+
+    SketchHistogramSummary summary;
+    summary.name = impl.names[id];
+    summary.count = full.Count();
+    summary.min = full.Min();
+    summary.max = full.Max();
+    summary.eps = eps;
+    summary.p50 = QuantileWithBounds(full, 0.50, eps);
+    summary.p90 = QuantileWithBounds(full, 0.90, eps);
+    summary.p99 = QuantileWithBounds(full, 0.99, eps);
+    summary.p999 = QuantileWithBounds(full, 0.999, eps);
+    summary.window_count = recent.Count();
+    summary.windows = static_cast<int>(slot.windows.size());
+    if (recent.Count() > 0) {
+      summary.wp50 = QuantileWithBounds(recent, 0.50, eps);
+      summary.wp99 = QuantileWithBounds(recent, 0.99, eps);
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+std::vector<uint8_t> SketchHistogramRegistry::SerializeTail(
+    const SketchHistogram& h) const {
+  if (h.id_ < 0) return {};
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  const KllSketch tail = BuildTailLocked(impl, h.id_, /*drain=*/false);
+  if (tail.Count() == 0) return {};
+  common::ByteWriter writer(tail.SerializedSize());
+  tail.Serialize(&writer);
+  return writer.TakeBuffer();
+}
+
+common::Status SketchHistogramRegistry::MergeSerialized(
+    const SketchHistogram& h, const uint8_t* data, size_t size) {
+  if (h.id_ < 0) {
+    return common::Status::InvalidArgument("inert sketch histogram handle");
+  }
+  common::ByteReader reader(data, size);
+  KllSketch remote;
+  SKETCHML_RETURN_IF_ERROR(
+      KllSketch::Deserialize(&reader, &remote, kCanonicalSeed));
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  impl.slots[h.id_]->spill.Merge(remote);
+  return common::Status::Ok();
+}
+
+void SketchHistogramRegistry::Reset() {
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  for (auto& slot : impl.slots) {
+    slot->spill = MakeCanonicalSketch();
+    slot->retired_values.clear();
+    slot->windows.clear();
+    slot->lifetime = MakeCanonicalSketch();
+  }
+  for (Shard* shard : impl.live_shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (auto& buf : shard->buffers) buf.clear();
+  }
+}
+
+}  // namespace sketchml::obs

@@ -1,0 +1,102 @@
+#ifndef SKETCHML_SKETCH_SKETCH_HISTOGRAM_H_
+#define SKETCHML_SKETCH_SKETCH_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/status.h"
+
+namespace sketchml::obs {
+
+/// Number of retired windows each sketch-histogram slot keeps. One window
+/// is retired per `AdvanceWindows()` call (the trainer calls it once per
+/// epoch), so the windowed quantiles in snapshots cover the last
+/// `kSketchHistogramWindows` epochs plus the current tail.
+inline constexpr int kSketchHistogramWindows = 8;
+
+/// Handle to a KLL-sketch-backed latency/size distribution — the
+/// paper-grade alternative to the pow2 `Histogram`: mergeable across
+/// instances (and nodes) with a proven ±ε rank-error bound instead of
+/// factor-of-2 bucket interpolation. Same contract as the other metric
+/// handles: cheap to copy, `Record` is a no-op until the handle has been
+/// obtained from the registry and while `MetricsEnabled()` is false (one
+/// branch — the <2 % disabled-overhead budget).
+class SketchHistogram {
+ public:
+  SketchHistogram() = default;
+  void Record(double value) const;
+
+ private:
+  friend class SketchHistogramRegistry;
+  explicit SketchHistogram(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Process-wide registry of sketch-backed histograms, mirroring
+/// `MetricsRegistry`: idempotent registration by canonical labeled name,
+/// per-thread shards on the record path, retired-shard retention on
+/// thread exit, merge-on-snapshot.
+///
+/// Record appends raw values to a per-thread buffer (one uncontended
+/// mutex acquisition — unlike counters there is no fixed-size atomic cell
+/// a quantile summary could live in). Buffers spill into a per-slot KLL
+/// sketch when they exceed a threshold, bounding memory.
+///
+/// Snapshots rebuild a *canonical* sketch: all retained (value, weight)
+/// pairs across shards are gathered, sorted, and re-inserted into a
+/// fixed-seed KLL. While every shard still holds raw (weight-1) values —
+/// i.e. below the spill threshold per window — the gathered multiset is
+/// exactly the recorded multiset regardless of how recording threads
+/// partitioned it, so snapshots are bit-identical across `--threads`
+/// values. Past the spill threshold the rank-error bound still holds but
+/// exact partition-invariance does not (documented in
+/// docs/observability.md).
+///
+/// On first use the registry installs itself as the snapshot source for
+/// `MetricsRegistry` (see SetSketchSummarySource), so `Snapshot()`,
+/// metric dumps, and the JSONL sampler pick up sketch summaries
+/// automatically.
+class SketchHistogramRegistry {
+ public:
+  static SketchHistogramRegistry& Global();
+
+  SketchHistogram Get(std::string_view name);
+  SketchHistogram Get(std::string_view base, const MetricLabels& labels);
+
+  /// Retires the current window of every slot: drains shard buffers and
+  /// the spill sketch into a canonical window sketch, pushes it onto the
+  /// slot's ring (evicting beyond kSketchHistogramWindows), and merges it
+  /// into the lifetime sketch. The trainer calls this once per epoch.
+  void AdvanceWindows();
+
+  /// Merge-on-snapshot summaries of every non-empty slot, in registration
+  /// order. Lifetime quantiles cover everything ever recorded (retired
+  /// windows plus the live tail); windowed quantiles cover the ring plus
+  /// the tail.
+  std::vector<SketchHistogramSummary> Summaries() const;
+
+  /// Serialized canonical sketch of everything recorded into `h` since
+  /// the last AdvanceWindows (the current window tail). Non-consuming;
+  /// empty when the tail is empty or the handle is inert. This is the
+  /// cross-node aggregation payload: the driver serializes each worker's
+  /// tail, counts the bytes as telemetry traffic, and merges the payloads
+  /// into a cluster-wide slot.
+  std::vector<uint8_t> SerializeTail(const SketchHistogram& h) const;
+
+  /// Deserializes a SerializeTail payload and merges it into `h`'s
+  /// current tail, as if the remote values had been recorded here.
+  common::Status MergeSerialized(const SketchHistogram& h, const uint8_t* data,
+                                 size_t size);
+
+  /// Clears all recorded data (names stay registered). Same contract as
+  /// MetricsRegistry::Reset — no concurrent recording. Also invoked via
+  /// the reset hook whenever MetricsRegistry::Reset runs.
+  void Reset();
+};
+
+}  // namespace sketchml::obs
+
+#endif  // SKETCHML_SKETCH_SKETCH_HISTOGRAM_H_

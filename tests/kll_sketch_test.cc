@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/byte_buffer.h"
 #include "common/random.h"
 
 namespace sketchml::sketch {
@@ -156,6 +157,90 @@ TEST(KllSketchTest, EqualDepthSplitsEqualizePopulation) {
     const double frac = static_cast<double>(hi - lo) / data.size();
     EXPECT_NEAR(frac, 1.0 / q, 0.03) << "bucket " << b;
   }
+}
+
+TEST(KllSketchTest, SerializeRoundTripPreservesSummary) {
+  KllSketch sketch(256, /*seed=*/7);
+  common::Rng rng(61);
+  for (int i = 0; i < 50000; ++i) sketch.Update(rng.NextGaussian());
+
+  common::ByteWriter writer(sketch.SerializedSize());
+  sketch.Serialize(&writer);
+  EXPECT_EQ(writer.size(), sketch.SerializedSize());
+
+  common::ByteReader reader(writer.buffer());
+  KllSketch restored;
+  ASSERT_TRUE(KllSketch::Deserialize(&reader, &restored).ok());
+  EXPECT_TRUE(reader.AtEnd());
+
+  EXPECT_EQ(restored.Count(), sketch.Count());
+  EXPECT_DOUBLE_EQ(restored.Min(), sketch.Min());
+  EXPECT_DOUBLE_EQ(restored.Max(), sketch.Max());
+  // The wire format carries the retained items verbatim, so every
+  // quantile estimate survives bit-for-bit.
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_DOUBLE_EQ(restored.Quantile(q), sketch.Quantile(q)) << q;
+  }
+}
+
+TEST(KllSketchTest, DeserializeRejectsCorruptPayloads) {
+  KllSketch sketch(64);
+  for (int i = 0; i < 1000; ++i) sketch.Update(i * 0.5);
+  common::ByteWriter writer;
+  sketch.Serialize(&writer);
+
+  // Truncated at every prefix length: must fail, never crash.
+  const std::vector<uint8_t>& bytes = writer.buffer();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    common::ByteReader reader(bytes.data(), len);
+    KllSketch out;
+    EXPECT_FALSE(KllSketch::Deserialize(&reader, &out).ok()) << len;
+  }
+
+  // Bad version byte.
+  std::vector<uint8_t> bad = bytes;
+  bad[0] = 0xFF;
+  common::ByteReader reader(bad);
+  KllSketch out;
+  EXPECT_FALSE(KllSketch::Deserialize(&reader, &out).ok());
+}
+
+TEST(KllSketchTest, UpdateWeightedMatchesRepeatedUpdates) {
+  // Weight-w insertion must estimate ranks like w copies of the value.
+  KllSketch weighted(256, /*seed=*/9);
+  KllSketch repeated(256, /*seed=*/9);
+  common::Rng rng(67);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.NextGaussian();
+    weighted.UpdateWeighted(v, 4);
+    for (int r = 0; r < 4; ++r) repeated.Update(v);
+  }
+  EXPECT_EQ(weighted.Count(), repeated.Count());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(weighted.Quantile(q), repeated.Quantile(q), 0.15) << q;
+  }
+}
+
+TEST(KllSketchTest, UpdateWeightedRequiresPowerOfTwo) {
+  KllSketch sketch(64);
+  sketch.UpdateWeighted(1.0, 1);
+  sketch.UpdateWeighted(2.0, 8);
+  EXPECT_EQ(sketch.Count(), 9u);
+  EXPECT_DEATH(sketch.UpdateWeighted(3.0, 3), "");
+  EXPECT_DEATH(sketch.UpdateWeighted(3.0, 0), "");
+}
+
+TEST(KllSketchTest, NormalizedRankErrorShrinksWithK) {
+  const double e128 = KllSketch::NormalizedRankError(128);
+  const double e256 = KllSketch::NormalizedRankError(256);
+  const double e512 = KllSketch::NormalizedRankError(512);
+  EXPECT_GT(e128, e256);
+  EXPECT_GT(e256, e512);
+  // The published constant for k=256 is ~1.6% — the SLO gate's window.
+  EXPECT_NEAR(e256, 0.0156, 0.002);
+  KllSketch sketch(256);
+  EXPECT_DOUBLE_EQ(sketch.NormalizedRankError(),
+                   KllSketch::NormalizedRankError(256));
 }
 
 }  // namespace

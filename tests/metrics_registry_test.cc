@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics_sampler.h"
 #include "common/obs.h"
 #include "common/thread_pool.h"
 
@@ -291,6 +292,80 @@ TEST(MetricsRegistryTest, SingleValueHistogramQuantilesClampToValue) {
   EXPECT_DOUBLE_EQ(hist->P50(), 1000.0);
   EXPECT_DOUBLE_EQ(hist->P95(), 1000.0);
   EXPECT_DOUBLE_EQ(hist->P99(), 1000.0);
+}
+
+TEST(PromExpositionTest, GoldenOutput) {
+  // Hand-built snapshot so the expected text is exact and hermetic: label
+  // mangling, per-family TYPE lines, cumulative buckets, and sketch
+  // summaries all pinned at once.
+  MetricsSnapshot snap;
+  snap.counters.push_back({LabeledName("trainer/bytes_up",
+                                       {{"worker", "3"}}), 5.0});
+  snap.counters.push_back({LabeledName("trainer/bytes_up",
+                                       {{"worker", "4"}}), 7.0});
+  snap.counters.push_back({"test/zero", 0.0});  // Skipped: zero counter.
+  snap.counters.push_back({"telemetry/merges", 2.0});
+  snap.gauges.push_back({"trainer/train_loss", 0.5});
+  snap.gauges.push_back({"trainer/p99-loss", 3.0});  // '-' mangles to '_'.
+
+  MetricsSnapshot::HistogramValue hist;
+  hist.name = LabeledName("codec/encode_ns", {{"codec", "sk"}});
+  hist.count = 2;
+  hist.sum = 4.0;
+  hist.buckets[0] = 1;
+  hist.buckets[2] = 1;
+  snap.histograms.push_back(hist);
+  snap.histograms.push_back({});  // Empty histogram: skipped.
+
+  SketchHistogramSummary sketch;
+  sketch.name = "trainer/compute_latency_seconds";
+  sketch.count = 100;
+  sketch.p50.value = 0.25;
+  sketch.p90.value = 0.5;
+  sketch.p99.value = 1.0;
+  sketch.p999.value = 2.0;
+  snap.sketches.push_back(sketch);
+  snap.sketches.push_back({});  // Empty sketch: skipped.
+
+  std::ostringstream out;
+  WritePromExposition(snap, out);
+  EXPECT_EQ(out.str(),
+            "# TYPE sketchml_trainer_bytes_up counter\n"
+            "sketchml_trainer_bytes_up{worker=\"3\"} 5\n"
+            "sketchml_trainer_bytes_up{worker=\"4\"} 7\n"
+            "# TYPE sketchml_telemetry_merges counter\n"
+            "sketchml_telemetry_merges 2\n"
+            "# TYPE sketchml_trainer_train_loss gauge\n"
+            "sketchml_trainer_train_loss 0.5\n"
+            "# TYPE sketchml_trainer_p99_loss gauge\n"
+            "sketchml_trainer_p99_loss 3\n"
+            "# TYPE sketchml_codec_encode_ns histogram\n"
+            "sketchml_codec_encode_ns_bucket{codec=\"sk\",le=\"1\"} 1\n"
+            "sketchml_codec_encode_ns_bucket{codec=\"sk\",le=\"4\"} 2\n"
+            "sketchml_codec_encode_ns_bucket{codec=\"sk\",le=\"+Inf\"} 2\n"
+            "sketchml_codec_encode_ns_sum{codec=\"sk\"} 4\n"
+            "sketchml_codec_encode_ns_count{codec=\"sk\"} 2\n"
+            "# TYPE sketchml_trainer_compute_latency_seconds summary\n"
+            "sketchml_trainer_compute_latency_seconds{quantile=\"0.5\"} "
+            "0.25\n"
+            "sketchml_trainer_compute_latency_seconds{quantile=\"0.9\"} "
+            "0.5\n"
+            "sketchml_trainer_compute_latency_seconds{quantile=\"0.99\"} "
+            "1\n"
+            "sketchml_trainer_compute_latency_seconds{quantile=\"0.999\"} "
+            "2\n"
+            "sketchml_trainer_compute_latency_seconds_count 100\n");
+}
+
+TEST(PromExpositionTest, LabelValuesAreEscaped) {
+  MetricsSnapshot snap;
+  snap.counters.push_back(
+      {LabeledName("test/esc", {{"path", "a\"b\\c"}}), 1.0});
+  std::ostringstream out;
+  WritePromExposition(snap, out);
+  EXPECT_EQ(out.str(),
+            "# TYPE sketchml_test_esc counter\n"
+            "sketchml_test_esc{path=\"a\\\"b\\\\c\"} 1\n");
 }
 
 }  // namespace

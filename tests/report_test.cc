@@ -351,6 +351,166 @@ TEST(DiffRunsTest, IdenticalRunsPassClean) {
 }
 
 // ---------------------------------------------------------------------------
+// SLO gate: sketch-quantile diffs with sketch-error-aware thresholds.
+
+/// One sketch entry for a hand-built sample's "sketches" object.
+std::string SketchEntry(const std::string& name, double count, double p99,
+                        double p99_lo, double p99_hi, double wp99 = 0.02) {
+  std::ostringstream out;
+  out << '"' << name << R"(":{"count":)" << count
+      << R"(,"min":0.001,"max":0.1,"eps":0.0156,)"
+      << R"("p50":0.01,"p50_lo":0.009,"p50_hi":0.011,)"
+      << R"("p90":0.015,"p90_lo":0.014,"p90_hi":0.016,)"
+      << R"("p99":)" << p99 << R"(,"p99_lo":)" << p99_lo << R"(,"p99_hi":)"
+      << p99_hi << ','
+      << R"("p999":0.05,"p999_lo":0.049,"p999_hi":0.051,)"
+      << R"("wp50":0.01,"wp50_lo":0.009,"wp50_hi":0.011,)"
+      << R"("wp99":)" << wp99 << R"(,"wp99_lo":)" << wp99 * 0.9
+      << R"(,"wp99_hi":)" << wp99 * 1.1
+      << R"(,"window_count":)" << count << R"(,"windows":2})";
+  return out.str();
+}
+
+std::string SloSeries(const std::string& sketches,
+                      const std::string& counters = "",
+                      const std::string& reason = "final") {
+  std::ostringstream out;
+  out << kHeader << "\n"
+      << R"({"type":"sample","t_ns":1e9,"reason":")" << reason
+      << R"(","dropped_trace_events":0,"counters":{)" << counters
+      << R"(},"gauges":{},"histograms":{},"sketches":{)" << sketches
+      << "}}\n";
+  return out.str();
+}
+
+TEST(SloGateTest, FlagsQuantileDriftBeyondCombinedErrorBound) {
+  // "modeled" sketches are deterministic modeled seconds: compared even
+  // under --ignore-times. Candidate's p99 at q-2ε (0.038) clears the
+  // baseline's at q+2ε (0.032) — a drift no sketch error can explain.
+  auto baseline = ParseRunSeries(SloSeries(
+      SketchEntry("trainer/push_modeled_seconds", 640, 0.030, 0.028,
+                  0.032)));
+  auto candidate = ParseRunSeries(SloSeries(
+      SketchEntry("trainer/push_modeled_seconds", 640, 0.040, 0.038,
+                  0.042)));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(candidate.ok());
+  DiffOptions options;
+  options.ignore_times = true;
+  const DiffResult diff = DiffRuns(*baseline, *candidate, options);
+  ASSERT_EQ(diff.slo.size(), 1u);
+  EXPECT_EQ(diff.slo[0].name, "trainer/push_modeled_seconds");
+  EXPECT_EQ(diff.slo[0].quantile, "p99");
+  EXPECT_TRUE(diff.slo[0].regression);
+  EXPECT_TRUE(diff.HasRegression());
+  const std::string rendered = RenderDiff(diff, options);
+  EXPECT_NE(rendered.find("SLO REGRESSION"), std::string::npos);
+  EXPECT_NE(rendered.find("trainer/push_modeled_seconds"),
+            std::string::npos);
+}
+
+TEST(SloGateTest, ToleratesDriftWithinErrorBound) {
+  // Candidate p99 moved up, but its q-2ε value (0.031) still overlaps the
+  // baseline's q+2ε (0.032): within what two ±ε sketches can disagree by,
+  // so the gate must not fire on its own estimation noise.
+  auto baseline = ParseRunSeries(SloSeries(
+      SketchEntry("trainer/push_modeled_seconds", 640, 0.030, 0.028,
+                  0.032)));
+  auto candidate = ParseRunSeries(SloSeries(
+      SketchEntry("trainer/push_modeled_seconds", 640, 0.033, 0.031,
+                  0.035)));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(candidate.ok());
+  DiffOptions options;
+  options.ignore_times = true;
+  const DiffResult diff = DiffRuns(*baseline, *candidate, options);
+  EXPECT_TRUE(diff.slo.empty());
+  EXPECT_FALSE(diff.HasRegression());
+  EXPECT_GE(diff.metrics_compared, 1u);
+}
+
+TEST(SloGateTest, IgnoreTimesSkipsMeasuredLatencySketches) {
+  // Measured wall-clock sketches follow the same --ignore-times rule as
+  // wall-clock counters: arbitrary drift must not be compared.
+  auto baseline = ParseRunSeries(SloSeries(
+      SketchEntry("trainer/compute_latency_seconds", 640, 0.01, 0.009,
+                  0.011)));
+  auto candidate = ParseRunSeries(SloSeries(
+      SketchEntry("trainer/compute_latency_seconds", 640, 10.0, 9.0,
+                  11.0)));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(candidate.ok());
+  DiffOptions options;
+  options.ignore_times = true;
+  const DiffResult diff = DiffRuns(*baseline, *candidate, options);
+  EXPECT_TRUE(diff.slo.empty());
+  EXPECT_FALSE(diff.HasRegression());
+
+  // Without --ignore-times the same drift fires.
+  options.ignore_times = false;
+  const DiffResult live = DiffRuns(*baseline, *candidate, options);
+  ASSERT_FALSE(live.slo.empty());
+  EXPECT_TRUE(live.HasRegression());
+}
+
+TEST(SloGateTest, RecordCountDriftIsARegression) {
+  // Record counts are fixed-seed deterministic; drift means the lane
+  // cadence changed (or a sketch vanished) — flagged before quantiles.
+  auto baseline = ParseRunSeries(SloSeries(
+      SketchEntry("trainer/push_modeled_seconds", 640, 0.030, 0.028,
+                  0.032)));
+  auto candidate = ParseRunSeries(SloSeries(
+      SketchEntry("trainer/push_modeled_seconds", 320, 0.030, 0.028,
+                  0.032)));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(candidate.ok());
+  DiffOptions options;
+  options.ignore_times = true;
+  const DiffResult diff = DiffRuns(*baseline, *candidate, options);
+  ASSERT_EQ(diff.slo.size(), 1u);
+  EXPECT_EQ(diff.slo[0].quantile, "count");
+  EXPECT_TRUE(diff.slo[0].regression);
+  EXPECT_TRUE(diff.HasRegression());
+}
+
+TEST(RunReportTest, P99StragglerColumnsFromWorkerSketches) {
+  // Worker 1's windowed p99 dominates: it is the p99 straggler even
+  // though the mean-based columns (equal worker_seconds) see no skew.
+  const std::string counters =
+      R"("trainer/compute_seconds":2.0,)"
+      R"("trainer/worker_seconds{worker=0,phase=compute}":1.0,)"
+      R"("trainer/worker_seconds{worker=1,phase=compute}":1.0)";
+  const std::string sketches =
+      SketchEntry("trainer/compute_latency_seconds{worker=0}", 320, 0.012,
+                  0.011, 0.013, /*wp99=*/0.01) +
+      "," +
+      SketchEntry("trainer/compute_latency_seconds{worker=1}", 320, 0.05,
+                  0.045, 0.055, /*wp99=*/0.05);
+  auto series = ParseRunSeries(SloSeries(sketches, counters, "epoch"));
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  const RunReport report = BuildRunReport(*series);
+  ASSERT_EQ(report.epochs.size(), 1u);
+  const EpochRow& row = report.epochs[0];
+  EXPECT_EQ(row.p99_straggler_worker, 1);
+  EXPECT_DOUBLE_EQ(row.p99_straggler_seconds, 0.05);
+  EXPECT_DOUBLE_EQ(row.mean_worker_p99, 0.03);
+  EXPECT_NEAR(row.P99Imbalance(), 0.05 / 0.03, 1e-9);
+  ASSERT_EQ(report.sketches.size(), 2u);  // Final sample's sketches.
+
+  // Default rendering uses the p99 columns; --straggler-mean restores the
+  // legacy mean-based ones.
+  const std::string p99_render = RenderRunReport(report);
+  EXPECT_NE(p99_render.find("p99-strag"), std::string::npos);
+  EXPECT_NE(p99_render.find("w1"), std::string::npos);
+  EXPECT_NE(p99_render.find("latency sketches"), std::string::npos);
+  RenderOptions legacy;
+  legacy.straggler_mean = true;
+  const std::string mean_render = RenderRunReport(report, legacy);
+  EXPECT_EQ(mean_render.find("p99-strag"), std::string::npos);
+  EXPECT_NE(mean_render.find("straggler"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Trace summary.
 
 TEST(TraceSummaryTest, SummarizesChromeTraceWithDroppedFooter) {

@@ -39,7 +39,14 @@ constexpr char kUsage[] = R"(sketchml_report [flags] [series.jsonl]
   --candidate=PATH      A/B mode: candidate series file
   --threshold=X         relative change that flags a metric (default 0.25)
   --ignore-times        exclude wall-clock metrics ("*_seconds", "*_ns")
-                        from the A/B comparison
+                        from the A/B comparison; sketch quantiles over
+                        *modeled* seconds (name contains "modeled") stay
+                        compared — they are deterministic for a fixed seed
+  --straggler-mean      use the legacy mean-based per-epoch straggler
+                        columns instead of sketch p99 detection
+  --allow-simd-mismatch allow an A/B diff between runs recorded at
+                        different SIMD dispatch levels (refused by
+                        default: kernel timings are not comparable)
 )";
 
 int Fail(const common::Status& status) {
@@ -66,6 +73,9 @@ int main(int argc, char** argv) {
   auto threshold = flags.GetDouble("threshold", 0.25);
   if (!threshold.ok()) return Fail(threshold.status());
   const bool ignore_times = flags.GetBool("ignore-times", false);
+  const bool straggler_mean = flags.GetBool("straggler-mean", false);
+  const bool allow_simd_mismatch =
+      flags.GetBool("allow-simd-mismatch", false);
   for (const auto& unused : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s ignored\n",
                  unused.c_str());
@@ -87,7 +97,10 @@ int main(int argc, char** argv) {
   if (positional.size() == 1) {
     auto series = dist::LoadRunSeries(positional[0]);
     if (!series.ok()) return Fail(series.status());
-    std::printf("%s", dist::RenderRunReport(dist::BuildRunReport(*series))
+    dist::RenderOptions render_options;
+    render_options.straggler_mean = straggler_mean;
+    std::printf("%s", dist::RenderRunReport(dist::BuildRunReport(*series),
+                                            render_options)
                           .c_str());
     did_anything = true;
   }
@@ -115,6 +128,17 @@ int main(int argc, char** argv) {
     if (!baseline.ok()) return Fail(baseline.status());
     auto candidate = dist::LoadRunSeries(candidate_path);
     if (!candidate.ok()) return Fail(candidate.status());
+    // Runs recorded at different SIMD dispatch levels time different
+    // kernels; refuse the comparison unless explicitly overridden (the
+    // scalar-vs-dispatch byte-identity gate does so on purpose).
+    const std::string base_simd = baseline->MetaOr("simd", "");
+    const std::string cand_simd = candidate->MetaOr("simd", "");
+    if (!allow_simd_mismatch && !base_simd.empty() && !cand_simd.empty() &&
+        base_simd != cand_simd) {
+      return Fail(common::Status::InvalidArgument(
+          "baseline simd=" + base_simd + " but candidate simd=" +
+          cand_simd + "; pass --allow-simd-mismatch to compare anyway"));
+    }
     dist::DiffOptions options;
     options.threshold = *threshold;
     options.ignore_times = ignore_times;

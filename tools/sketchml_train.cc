@@ -70,6 +70,10 @@ constexpr char kUsage[] = R"(sketchml_train [flags]
                         phase, codec call, and modeled network transfer
                         (open in chrome://tracing or ui.perfetto.dev)
   --metrics-out=PATH    write final counters/histograms as JSON lines
+  --metrics-format=FMT  jsonl (default) or prom — Prometheus text
+                        exposition for the --metrics-out dump (counters,
+                        gauges, histograms as cumulative buckets, latency
+                        sketches as quantile summaries)
   --series-out=PATH     stream a metrics time-series (JSONL): a run
                         header with every flag + git sha, then one sample
                         per epoch boundary (analyze with sketchml_report)
@@ -219,6 +223,10 @@ int main(int argc, char** argv) {
   metadata.Add("seed", static_cast<long long>(*seed));
   metadata.Add("threads", static_cast<long long>(trainer.num_threads()));
   metadata.Add("crc", use_crc ? "1" : "0");
+  // Active SIMD dispatch level and obs flag set: sketchml_report refuses
+  // an A/B diff between mismatched dispatch levels unless overridden.
+  metadata.Add("simd", common::simd::LevelName(common::simd::ActiveLevel()));
+  metadata.Add("obs", obs_config->FlagSet());
   if (fault_plan->Active()) {
     metadata.Add("fault_seed", static_cast<long long>(fault_plan->seed));
     metadata.Add("fault_drop", fault_plan->drop_prob);
