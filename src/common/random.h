@@ -33,6 +33,18 @@ class Rng {
   /// Returns true with probability `p` (clamped to [0, 1]).
   bool NextBernoulli(double p);
 
+  /// The full generator state is the four xoshiro256** words (Box–Muller
+  /// discards its spare variate, so nothing else persists between calls).
+  /// Save/Restore let checkpoints capture a codec's RNG lane exactly:
+  /// restoring replays the same stream from the saved point.
+  static constexpr int kStateWords = 4;
+  void SaveState(uint64_t out[kStateWords]) const {
+    for (int i = 0; i < kStateWords; ++i) out[i] = state_[i];
+  }
+  void RestoreState(const uint64_t in[kStateWords]) {
+    for (int i = 0; i < kStateWords; ++i) state_[i] = in[i];
+  }
+
  private:
   uint64_t state_[4];
 };

@@ -33,6 +33,16 @@ class ChecksummedCodec : public GradientCodec {
     inner_->SetThreadPool(pool);
   }
 
+  /// The framing itself is stateless; checkpoint state is the inner
+  /// codec's.
+  void SaveState(common::ByteWriter* writer) const override {
+    inner_->SaveState(writer);
+  }
+  [[nodiscard]] common::Status RestoreState(
+      common::ByteReader* reader) override {
+    return inner_->RestoreState(reader);
+  }
+
   const GradientCodec& inner() const { return *inner_; }
 
  protected:

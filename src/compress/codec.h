@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/byte_buffer.h"
 #include "common/metrics_registry.h"
 #include "common/sparse.h"
 #include "common/status.h"
@@ -78,6 +79,27 @@ class GradientCodec {
   virtual std::unique_ptr<GradientCodec> Fork(uint64_t lane) const {
     (void)lane;
     return nullptr;
+  }
+
+  /// Serializes this instance's mutable stream state (RNG lane position,
+  /// error-feedback residuals, call counters — whatever makes the *next*
+  /// Encode depend on history) into `writer`. Stateless codecs write
+  /// nothing. Together with `RestoreState` this is the checkpoint seam:
+  /// restoring a saved state into an identically-configured instance
+  /// makes it emit the same byte stream the original would have from the
+  /// save point. Configuration (seed, levels, inner codec shape) is NOT
+  /// captured — the caller reconstructs the codec and replays state into
+  /// it, mirroring how KllSketch::Deserialize takes the seed externally.
+  virtual void SaveState(common::ByteWriter* writer) const { (void)writer; }
+
+  /// Restores state written by `SaveState` on an identically-configured
+  /// instance. Input may be arbitrary bytes off a corrupted checkpoint:
+  /// implementations must bounds-check and return kCorruptedData rather
+  /// than crash, leaving the instance usable (fresh-equivalent) on error.
+  [[nodiscard]] virtual common::Status RestoreState(
+      common::ByteReader* reader) {
+    (void)reader;
+    return common::Status::Ok();
   }
 
   /// Offers a thread pool for intra-message parallelism (e.g. encoding

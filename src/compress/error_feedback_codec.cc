@@ -1,6 +1,9 @@
 #include "compress/error_feedback_codec.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/obs.h"
 
@@ -91,6 +94,46 @@ common::Status ErrorFeedbackCodec::EncodeImpl(
 common::Status ErrorFeedbackCodec::DecodeImpl(const EncodedGradient& in,
                                           common::SparseGradient* out) {
   return inner_->Decode(in, out);
+}
+
+void ErrorFeedbackCodec::SaveState(common::ByteWriter* writer) const {
+  inner_->SaveState(writer);
+  std::vector<std::pair<uint64_t, double>> pairs(residual_.begin(),
+                                                 residual_.end());
+  std::sort(pairs.begin(), pairs.end());
+  writer->WriteVarint(pairs.size());
+  for (const auto& [key, value] : pairs) {
+    writer->WriteVarint(key);
+    writer->WriteDouble(value);
+  }
+}
+
+common::Status ErrorFeedbackCodec::RestoreState(common::ByteReader* reader) {
+  // Cleared up front so a failed restore leaves a fresh-equivalent
+  // instance rather than a half-written residual.
+  residual_.clear();
+  SKETCHML_RETURN_IF_ERROR(inner_->RestoreState(reader));
+  uint64_t count = 0;
+  SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&count));
+  // Each entry takes at least one key byte + eight value bytes; a larger
+  // declared count means a corrupted blob — reject before reserving.
+  if (count > reader->remaining() / 9) {
+    return common::Status::CorruptedData(
+        "error-feedback residual count exceeds payload");
+  }
+  residual_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key = 0;
+    double value = 0.0;
+    common::Status read = reader->ReadVarint(&key);
+    if (read.ok()) read = reader->ReadDouble(&value);
+    if (!read.ok()) {
+      residual_.clear();
+      return read;
+    }
+    residual_[key] = value;
+  }
+  return common::Status::Ok();
 }
 
 double ErrorFeedbackCodec::ResidualL1() const {

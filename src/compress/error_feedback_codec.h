@@ -45,6 +45,16 @@ class ErrorFeedbackCodec : public GradientCodec {
     inner_->SetThreadPool(pool);
   }
 
+  /// Chains the inner codec's state, then the residual map as a count
+  /// plus key-sorted (varint key, double value) pairs — sorted so the
+  /// blob is a pure function of the residual multiset (the map's
+  /// iteration order is not deterministic). This blob doubles as the
+  /// warm-start handoff a joining worker adopts from a leaver: restoring
+  /// it transfers the leaver's unsent error-feedback mass.
+  void SaveState(common::ByteWriter* writer) const override;
+  [[nodiscard]] common::Status RestoreState(
+      common::ByteReader* reader) override;
+
   /// Current residual L1 mass (diagnostic / tests).
   double ResidualL1() const;
 

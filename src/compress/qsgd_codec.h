@@ -32,6 +32,21 @@ class QsgdCodec : public GradientCodec {
     return std::make_unique<QsgdCodec>(levels_, common::LaneSeed(seed_, lane));
   }
 
+  /// Stream state is the stochastic-rounding RNG's position: restoring
+  /// it makes the instance draw the exact levels the original would.
+  void SaveState(common::ByteWriter* writer) const override {
+    uint64_t state[common::Rng::kStateWords];
+    rng_.SaveState(state);
+    for (uint64_t word : state) writer->WriteU64(word);
+  }
+  [[nodiscard]] common::Status RestoreState(
+      common::ByteReader* reader) override {
+    uint64_t state[common::Rng::kStateWords];
+    for (auto& word : state) SKETCHML_RETURN_IF_ERROR(reader->ReadU64(&word));
+    rng_.RestoreState(state);
+    return common::Status::Ok();
+  }
+
   int levels() const { return levels_; }
 
  protected:

@@ -38,6 +38,21 @@ class ZipMlCodec : public GradientCodec {
                                         stochastic_rounding_);
   }
 
+  /// Stream state is the stochastic-rounding RNG's position (see
+  /// QsgdCodec::SaveState).
+  void SaveState(common::ByteWriter* writer) const override {
+    uint64_t state[common::Rng::kStateWords];
+    rng_.SaveState(state);
+    for (uint64_t word : state) writer->WriteU64(word);
+  }
+  [[nodiscard]] common::Status RestoreState(
+      common::ByteReader* reader) override {
+    uint64_t state[common::Rng::kStateWords];
+    for (auto& word : state) SKETCHML_RETURN_IF_ERROR(reader->ReadU64(&word));
+    rng_.RestoreState(state);
+    return common::Status::Ok();
+  }
+
   int bits() const { return bits_; }
 
  protected:

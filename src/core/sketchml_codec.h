@@ -66,6 +66,17 @@ class SketchMlCodec : public compress::GradientCodec {
   /// self-contained byte span, so only wall-clock changes.
   void SetThreadPool(common::ThreadPool* pool) override { pool_ = pool; }
 
+  /// Stream state is the message counter: each Encode seeds its sketches
+  /// from (config seed, encode_calls_), so restoring the counter replays
+  /// the original's message-seed sequence exactly.
+  void SaveState(common::ByteWriter* writer) const override {
+    writer->WriteVarint(encode_calls_);
+  }
+  [[nodiscard]] common::Status RestoreState(
+      common::ByteReader* reader) override {
+    return reader->ReadVarint(&encode_calls_);
+  }
+
   /// Byte breakdown of the most recent Encode call.
   const SpaceCost& last_space_cost() const { return last_space_cost_; }
 
@@ -131,6 +142,15 @@ class QuantileOnlyCodec : public compress::GradientCodec {
   /// Fresh instance on a decorrelated seed lane with its own message
   /// counter (see common::LaneSeed).
   std::unique_ptr<compress::GradientCodec> Fork(uint64_t lane) const override;
+
+  /// Message-counter stream state, exactly as SketchMlCodec::SaveState.
+  void SaveState(common::ByteWriter* writer) const override {
+    writer->WriteVarint(encode_calls_);
+  }
+  [[nodiscard]] common::Status RestoreState(
+      common::ByteReader* reader) override {
+    return reader->ReadVarint(&encode_calls_);
+  }
 
  protected:
   common::Status EncodeImpl(const common::SparseGradient& grad,

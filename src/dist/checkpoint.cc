@@ -1,0 +1,40 @@
+#include "dist/checkpoint.h"
+
+#include <string>
+
+#include "common/byte_buffer.h"
+#include "common/framing.h"
+
+namespace sketchml::dist {
+
+void SealCheckpoint(const std::vector<uint8_t>& payload,
+                    std::vector<uint8_t>* out) {
+  std::vector<uint8_t> framed;
+  common::FrameMessage(payload, &framed);
+  common::ByteWriter writer(sizeof(uint32_t) + 1 + framed.size());
+  writer.WriteU32(kCheckpointMagic);
+  writer.WriteU8(kCheckpointVersion);
+  writer.WriteBytes(framed);
+  *out = writer.TakeBuffer();
+}
+
+common::Status OpenCheckpoint(const std::vector<uint8_t>& checkpoint,
+                              std::vector<uint8_t>* payload) {
+  common::ByteReader reader(checkpoint);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  SKETCHML_RETURN_IF_ERROR(reader.ReadU8(&version));
+  if (magic != kCheckpointMagic) {
+    return common::Status::CorruptedData("not a checkpoint (bad magic)");
+  }
+  if (version != kCheckpointVersion) {
+    return common::Status::CorruptedData(
+        "unsupported checkpoint version " + std::to_string(version));
+  }
+  const std::vector<uint8_t> framed(checkpoint.begin() + reader.position(),
+                                    checkpoint.end());
+  return common::UnframeMessage(framed, payload);
+}
+
+}  // namespace sketchml::dist

@@ -1,0 +1,42 @@
+#ifndef SKETCHML_DIST_CHECKPOINT_H_
+#define SKETCHML_DIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sketchml::dist {
+
+/// Checkpoint envelope: a typed, CRC-framed wrapper around an opaque
+/// trainer-state payload.
+///
+/// Wire format (little-endian):
+///   u32 magic "SKCP"   (0x50434b53)
+///   u8  version        (kCheckpointVersion)
+///   u32 length | u32 crc32(payload) | payload   (common::FrameMessage)
+///
+/// The magic/version header rejects files that are not checkpoints at
+/// all; the CRC frame turns truncation and bit flips into kCorruptedData
+/// before any payload byte is parsed — the same detect-don't-trust
+/// contract the fault path applies to wire messages. A checkpoint that
+/// fails `OpenCheckpoint` must never be partially applied: callers parse
+/// the payload only after the envelope validates.
+
+inline constexpr uint32_t kCheckpointMagic = 0x50434b53u;  // "SKCP".
+inline constexpr uint8_t kCheckpointVersion = 1;
+
+/// Wraps `payload` in the magic/version/CRC envelope. `out` is
+/// overwritten.
+void SealCheckpoint(const std::vector<uint8_t>& payload,
+                    std::vector<uint8_t>* out);
+
+/// Validates the envelope and extracts the payload (overwritten).
+/// Returns kCorruptedData on a short buffer, wrong magic, unknown
+/// version, length mismatch, or CRC mismatch.
+[[nodiscard]] common::Status OpenCheckpoint(
+    const std::vector<uint8_t>& checkpoint, std::vector<uint8_t>* payload);
+
+}  // namespace sketchml::dist
+
+#endif  // SKETCHML_DIST_CHECKPOINT_H_

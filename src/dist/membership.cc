@@ -1,0 +1,200 @@
+#include "dist/membership.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sketchml::dist {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer FaultInjector uses (its copy is
+/// file-local to fault.cc), applied as a chain so every decision
+/// coordinate perturbs every output bit.
+uint64_t Mix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t MixAll(uint64_t seed, uint64_t kind, uint64_t batch,
+                uint64_t worker) {
+  uint64_t z = Mix(seed ^ (kind * 0xd1342543de82ef95ULL));
+  z = Mix(z ^ batch);
+  return Mix(z ^ (worker + 1));
+}
+
+/// Top 53 bits as a uniform double in [0, 1).
+double ToUnit(uint64_t z) {
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+common::Status CheckProbability(const char* name, double p) {
+  if (p < 0.0 || p > 1.0) {
+    return common::Status::InvalidArgument(
+        std::string(name) + " must be in [0, 1], got " + std::to_string(p));
+  }
+  return common::Status::Ok();
+}
+
+/// Ring position of virtual node `v` of shard `shard`. Depends only on
+/// (shard, v): a shard keeps its points when the ring is resized around
+/// it, the consistent-hashing invariant.
+uint64_t RingPoint(int shard, int v) {
+  return Mix(Mix(static_cast<uint64_t>(shard) + 1) ^
+             ((static_cast<uint64_t>(v) + 1) * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace
+
+common::Status ValidateMembershipPlan(const MembershipPlan& plan) {
+  SKETCHML_RETURN_IF_ERROR(CheckProbability("join_prob", plan.join_prob));
+  SKETCHML_RETURN_IF_ERROR(CheckProbability("leave_prob", plan.leave_prob));
+  SKETCHML_RETURN_IF_ERROR(
+      CheckProbability("depart_prob", plan.depart_prob));
+  if (plan.max_workers < 0) {
+    return common::Status::InvalidArgument(
+        "max_workers must be >= 0 (0 = num_workers)");
+  }
+  if (plan.min_workers < 1) {
+    return common::Status::InvalidArgument("min_workers must be >= 1");
+  }
+  if (plan.max_workers > 0 && plan.min_workers > plan.max_workers) {
+    return common::Status::InvalidArgument(
+        "min_workers exceeds max_workers: the fleet envelope is empty");
+  }
+  if (plan.checkpoint_every < 0) {
+    return common::Status::InvalidArgument(
+        "checkpoint_every must be >= 0 (0 = no checkpoints)");
+  }
+  if (plan.max_rollbacks < 0) {
+    return common::Status::InvalidArgument("max_rollbacks must be >= 0");
+  }
+  return common::Status::Ok();
+}
+
+common::Result<MembershipPlan> MembershipPlanFromFlags(
+    const common::FlagParser& flags) {
+  MembershipPlan plan;
+  SKETCHML_ASSIGN_OR_RETURN(const int64_t seed,
+                            flags.GetInt("membership-seed", 1));
+  plan.seed = static_cast<uint64_t>(seed);
+  SKETCHML_ASSIGN_OR_RETURN(plan.join_prob,
+                            flags.GetDouble("membership-join", 0.0));
+  SKETCHML_ASSIGN_OR_RETURN(plan.leave_prob,
+                            flags.GetDouble("membership-leave", 0.0));
+  SKETCHML_ASSIGN_OR_RETURN(plan.depart_prob,
+                            flags.GetDouble("membership-depart", 0.0));
+  SKETCHML_ASSIGN_OR_RETURN(const int64_t max_workers,
+                            flags.GetInt("membership-max-workers", 0));
+  plan.max_workers = static_cast<int>(max_workers);
+  SKETCHML_ASSIGN_OR_RETURN(const int64_t min_workers,
+                            flags.GetInt("membership-min-workers", 1));
+  plan.min_workers = static_cast<int>(min_workers);
+  SKETCHML_ASSIGN_OR_RETURN(const int64_t checkpoint_every,
+                            flags.GetInt("membership-checkpoint-every", 0));
+  plan.checkpoint_every = static_cast<int>(checkpoint_every);
+  SKETCHML_ASSIGN_OR_RETURN(const int64_t max_rollbacks,
+                            flags.GetInt("membership-max-rollbacks", 2));
+  plan.max_rollbacks = static_cast<int>(max_rollbacks);
+  SKETCHML_RETURN_IF_ERROR(ValidateMembershipPlan(plan));
+  return plan;
+}
+
+double MembershipOracle::Draw(Kind kind, uint64_t batch, int worker) const {
+  return ToUnit(
+      MixAll(plan_.seed, kind, batch, static_cast<uint64_t>(worker)));
+}
+
+MembershipDirectory::MembershipDirectory(const MembershipPlan& plan,
+                                         int initial_workers)
+    : plan_(plan), oracle_(plan) {
+  const int universe = std::max(ResolvedMaxWorkers(plan, initial_workers),
+                                initial_workers);
+  states_.assign(universe, WorkerState::kStandby);
+  active_.reserve(universe);
+  for (int w = 0; w < initial_workers; ++w) {
+    states_[w] = WorkerState::kActive;
+    active_.push_back(w);
+  }
+}
+
+void MembershipDirectory::ApplyBatch(uint64_t batch,
+                                     std::vector<MembershipEvent>* events) {
+  if (!plan_.Active()) return;
+  int active_count = static_cast<int>(active_.size());
+  bool changed = false;
+  for (int w = 0; w < universe(); ++w) {
+    switch (states_[w]) {
+      case WorkerState::kDeparted:
+        break;
+      case WorkerState::kActive:
+        // Depart wins over leave when both draws fire: the stronger event
+        // subsumes the weaker. The floor is enforced per event, so a
+        // batch where every active worker draws "leave" still keeps
+        // min_workers of them (the lowest ids, by iteration order).
+        if (oracle_.ShouldDepart(batch, w) &&
+            active_count > plan_.min_workers) {
+          states_[w] = WorkerState::kDeparted;
+          --active_count;
+          changed = true;
+          events->push_back({MembershipEvent::kDepart, w, batch});
+        } else if (oracle_.ShouldLeave(batch, w) &&
+                   active_count > plan_.min_workers) {
+          states_[w] = WorkerState::kStandby;
+          --active_count;
+          changed = true;
+          events->push_back({MembershipEvent::kLeave, w, batch});
+        }
+        break;
+      case WorkerState::kStandby:
+        if (oracle_.ShouldJoin(batch, w)) {
+          states_[w] = WorkerState::kActive;
+          ++active_count;
+          changed = true;
+          events->push_back({MembershipEvent::kJoin, w, batch});
+        }
+        break;
+    }
+  }
+  if (!changed) return;
+  active_.clear();
+  for (int w = 0; w < universe(); ++w) {
+    if (states_[w] == WorkerState::kActive) active_.push_back(w);
+  }
+}
+
+void ShardRing::Rebuild(int num_shards) {
+  num_shards_ = num_shards;
+  points_.clear();
+  points_.reserve(static_cast<size_t>(num_shards) * kVirtualNodes);
+  for (int s = 0; s < num_shards; ++s) {
+    for (int v = 0; v < kVirtualNodes; ++v) {
+      points_.emplace_back(RingPoint(s, v), s);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+int ShardRing::ShardOf(uint64_t key) const {
+  if (num_shards_ <= 1) return 0;
+  const uint64_t h = Mix(key ^ 0xe7037ed1a0b428dbULL);
+  // First point at or clockwise of h; wrap to the ring's first point.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const std::pair<uint64_t, int>& p, uint64_t v) { return p.first < v; });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+int ActiveServerCount(int num_servers, int active_workers,
+                      int initial_workers) {
+  if (num_servers <= 1 || initial_workers <= 0) return std::max(1, num_servers);
+  const double scaled = static_cast<double>(num_servers) *
+                        static_cast<double>(active_workers) /
+                        static_cast<double>(initial_workers);
+  const int rounded = static_cast<int>(scaled + 0.5);
+  return std::clamp(rounded, 1, num_servers);
+}
+
+}  // namespace sketchml::dist

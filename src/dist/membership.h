@@ -1,0 +1,206 @@
+#ifndef SKETCHML_DIST_MEMBERSHIP_H_
+#define SKETCHML_DIST_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sketchml::dist {
+
+/// Declarative elastic-membership model for the distributed simulator —
+/// the FaultPlan's sibling (ROADMAP "elastic cluster"). Where a FaultPlan
+/// breaks a fixed fleet, a MembershipPlan *changes* the fleet: seeded
+/// scale-up / scale-down / permanent-leave events fire at batch
+/// boundaries, and the trainer runs the reconfiguration protocol
+/// documented in docs/fault_tolerance.md (weight sync + residual warm
+/// start on join, telemetry-sketch handoff on leave, consistent-hash
+/// shard re-partitioning at epoch boundaries).
+///
+/// Every decision is a pure function of (seed, kind, batch, worker) via
+/// the same SplitMix64 counter-hash style as FaultInjector, so a churn
+/// schedule is replayable: identical run-to-run and at any thread count.
+///
+/// With every probability at zero (`Active()` false) the trainer takes
+/// its fixed-fleet code path: no ring hashing, no handoffs, and
+/// bit-identical messages, stats, and losses to a build without this
+/// layer. Checkpointing (`checkpoint_every`) is independent of churn so
+/// epoch checkpoints can back plain fault-tolerance runs too.
+struct MembershipPlan {
+  uint64_t seed = 1;  // Base seed for all membership decisions.
+
+  // --- Churn events (evaluated per worker id at each batch boundary) ---
+  double join_prob = 0.0;    // P(a standby worker joins the fleet).
+  double leave_prob = 0.0;   // P(an active worker scales down; may rejoin).
+  double depart_prob = 0.0;  // P(an active worker leaves permanently).
+
+  // --- Fleet envelope ---
+  int max_workers = 0;  // Fleet ceiling / id universe (0 = num_workers).
+  int min_workers = 1;  // Scale-down floor of concurrently active workers.
+
+  // --- Epoch checkpoints ---
+  int checkpoint_every = 0;  // Save a checkpoint every N epochs (0 = off).
+  int max_rollbacks = 2;     // Rollback-and-retry budget per run.
+
+  /// True when any churn event can fire. Inactive plans cost nothing:
+  /// the trainer keys shards by range, not by ring, and the fleet never
+  /// changes size.
+  bool Active() const {
+    return join_prob > 0.0 || leave_prob > 0.0 || depart_prob > 0.0;
+  }
+
+  /// True when epoch checkpoints are taken (independently of churn).
+  bool CheckpointsEnabled() const { return checkpoint_every > 0; }
+
+  /// True when the plan can ever reduce the active worker count — the
+  /// case ValidateClusterConfig cross-checks against FaultPlan.min_quorum.
+  bool CanShrink() const { return leave_prob > 0.0 || depart_prob > 0.0; }
+};
+
+/// Rejects probabilities outside [0, 1] and nonsensical fleet envelopes
+/// or checkpoint budgets.
+common::Status ValidateMembershipPlan(const MembershipPlan& plan);
+
+/// `plan.max_workers` with the 0-default resolved against the cluster's
+/// starting worker count.
+inline int ResolvedMaxWorkers(const MembershipPlan& plan, int num_workers) {
+  return plan.max_workers > 0 ? plan.max_workers : num_workers;
+}
+
+/// Reads the shared `--membership-*` flags into a plan:
+///
+///   --membership-seed=N              decision seed (default 1)
+///   --membership-join=P              per-standby-batch join probability
+///   --membership-leave=P             per-active-batch scale-down probability
+///   --membership-depart=P            per-active-batch permanent-leave prob.
+///   --membership-max-workers=K       fleet ceiling (0 = num_workers)
+///   --membership-min-workers=K       scale-down floor (default 1)
+///   --membership-checkpoint-every=N  checkpoint cadence in epochs (0 = off)
+///   --membership-max-rollbacks=N     rollback-and-retry budget (default 2)
+///
+/// The returned plan is validated; all-defaults yields an inactive plan.
+common::Result<MembershipPlan> MembershipPlanFromFlags(
+    const common::FlagParser& flags);
+
+/// Deterministic, stateless membership oracle over a `MembershipPlan`,
+/// mirroring FaultInjector: every decision hashes (plan seed, event kind,
+/// batch, worker) into a uniform [0, 1) draw, so the schedule is
+/// independent of call order and thread interleaving. `batch` is the
+/// trainer's global batch index (monotonic across epochs and rollbacks).
+class MembershipOracle {
+ public:
+  explicit MembershipOracle(const MembershipPlan& plan) : plan_(plan) {}
+
+  const MembershipPlan& plan() const { return plan_; }
+
+  /// True when standby `worker` joins the fleet at batch boundary `batch`.
+  bool ShouldJoin(uint64_t batch, int worker) const {
+    return Draw(kJoin, batch, worker) < plan_.join_prob;
+  }
+
+  /// True when active `worker` scales down (to standby) at `batch`.
+  bool ShouldLeave(uint64_t batch, int worker) const {
+    return Draw(kLeave, batch, worker) < plan_.leave_prob;
+  }
+
+  /// True when active `worker` leaves permanently at `batch`.
+  bool ShouldDepart(uint64_t batch, int worker) const {
+    return Draw(kDepart, batch, worker) < plan_.depart_prob;
+  }
+
+ private:
+  // Distinct from FaultInjector::Kind so a shared seed never correlates
+  // fault and membership schedules.
+  enum Kind : uint64_t { kJoin = 101, kLeave, kDepart };
+
+  /// Uniform [0, 1) draw for the decision keyed by the arguments.
+  double Draw(Kind kind, uint64_t batch, int worker) const;
+
+  MembershipPlan plan_;
+};
+
+/// Lifecycle of one worker id in the directory.
+enum class WorkerState : uint8_t {
+  kActive,    // Computing gradients this batch.
+  kStandby,   // In the id universe, waiting to join (initial spares, or
+              // scaled-down workers eligible to rejoin).
+  kDeparted,  // Left permanently; never returns.
+};
+
+/// One applied membership event, for stats/metrics and the event log.
+struct MembershipEvent {
+  enum Kind : uint8_t { kJoin, kLeave, kDepart } kind;
+  int worker = 0;
+  uint64_t batch = 0;
+};
+
+/// Driver-side membership state machine. Worker ids live in the fixed
+/// universe [0, max_workers); ids [0, num_workers) start active and the
+/// rest standby. `ApplyBatch` walks the universe in id order (a serial,
+/// driver-only pass — deterministic at any thread count) applying
+/// depart > leave > join per worker, with the floor (`min_workers`)
+/// enforced as events are applied, so the schedule can never drain the
+/// fleet below the floor even when many draws fire in one batch.
+class MembershipDirectory {
+ public:
+  MembershipDirectory() : oracle_(MembershipPlan{}) {}
+  MembershipDirectory(const MembershipPlan& plan, int initial_workers);
+
+  /// Applies this batch boundary's events; appends them to `events`.
+  void ApplyBatch(uint64_t batch, std::vector<MembershipEvent>* events);
+
+  /// Sorted ids of currently active workers.
+  const std::vector<int>& active() const { return active_; }
+
+  /// Size of the id universe (codec lanes / metric slots to provision).
+  int universe() const { return static_cast<int>(states_.size()); }
+
+  WorkerState state(int worker) const { return states_[worker]; }
+
+ private:
+  MembershipPlan plan_;
+  MembershipOracle oracle_;
+  std::vector<WorkerState> states_;
+  std::vector<int> active_;  // Sorted; rebuilt after every ApplyBatch.
+};
+
+/// Consistent-hash ring over server shards (ReSketch-style partition-
+/// aware placement, SNIPPETS.md §1). Each shard owns a fixed set of
+/// virtual points derived only from its id, so growing or shrinking the
+/// shard count moves only the keys between a removed/added shard and its
+/// ring successor — the property that makes epoch-boundary
+/// re-partitioning an O(moved keys) sketch handoff instead of a full
+/// reshuffle. Deterministic: the ring is a pure function of the shard
+/// count.
+class ShardRing {
+ public:
+  /// Points per shard; enough for ±20 % balance at the simulator's shard
+  /// counts without making ShardOf's binary search noticeable.
+  static constexpr int kVirtualNodes = 16;
+
+  /// Rebuilds the ring for shards [0, num_shards).
+  void Rebuild(int num_shards);
+
+  /// Owning shard of `key`: the first ring point clockwise of hash(key).
+  int ShardOf(uint64_t key) const;
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  int num_shards_ = 0;
+  // (ring position, shard id), sorted by position.
+  std::vector<std::pair<uint64_t, int>> points_;
+};
+
+/// Server shards scale with the fleet: the shard count for
+/// `active_workers` out of an initial `initial_workers`-worker /
+/// `num_servers`-shard cluster, proportional and clamped to
+/// [1, num_servers]. With a full fleet this is exactly `num_servers`.
+int ActiveServerCount(int num_servers, int active_workers,
+                      int initial_workers);
+
+}  // namespace sketchml::dist
+
+#endif  // SKETCHML_DIST_MEMBERSHIP_H_

@@ -404,6 +404,26 @@ RunReport BuildRunReport(const RunSeries& series) {
   report.faults.degraded_batches =
       final_sample->CounterOr("trainer/degraded_batches", 0.0);
 
+  // Membership totals (all zero unless the run had an active
+  // MembershipPlan or checkpoints; the trainer registers these names
+  // only when the feature is on).
+  report.membership.joins =
+      final_sample->SumCounters("membership/events", {{"kind", "join"}});
+  report.membership.leaves =
+      final_sample->SumCounters("membership/events", {{"kind", "leave"}});
+  report.membership.departs =
+      final_sample->SumCounters("membership/events", {{"kind", "depart"}});
+  report.membership.handoff_bytes =
+      final_sample->CounterOr("membership/handoff_bytes", 0.0);
+  report.membership.sync_bytes =
+      final_sample->CounterOr("membership/sync_bytes", 0.0);
+  report.membership.reconfigurations =
+      final_sample->CounterOr("membership/reconfigurations", 0.0);
+  report.membership.rollbacks =
+      final_sample->CounterOr("membership/rollbacks", 0.0);
+  report.membership.checkpoint_bytes =
+      final_sample->CounterOr("membership/checkpoint_bytes", 0.0);
+
   // Per-epoch rows from deltas of successive epoch-boundary samples.
   const std::vector<const SeriesSample*> epoch_samples =
       series.EpochSamples();
@@ -420,20 +440,28 @@ RunReport BuildRunReport(const RunSeries& series) {
     row.train_loss = sample->GaugeOr("trainer/train_loss", 0.0);
     row.test_loss = sample->GaugeOr("trainer/test_loss", 0.0);
 
+    // `worker_ids` is the union over the whole run; with elastic
+    // membership a worker may join or leave mid-run, so average over the
+    // workers that actually accumulated time *this epoch* — dividing by
+    // the lifetime label count would dilute the mean and fake straggler
+    // imbalance in every epoch after the fleet changed.
     double total_worker_seconds = 0.0;
+    int epoch_worker_count = 0;
     for (int w : worker_ids) {
       const double seconds =
           SumDelta(*sample, prev, "trainer/worker_seconds",
                    {{"worker", std::to_string(w)}});
+      if (seconds <= 0.0) continue;  // Not active this epoch.
       total_worker_seconds += seconds;
+      ++epoch_worker_count;
       if (seconds > row.straggler_seconds) {
         row.straggler_seconds = seconds;
         row.straggler_worker = w;
       }
     }
-    if (!worker_ids.empty()) {
+    if (epoch_worker_count > 0) {
       row.mean_worker_seconds =
-          total_worker_seconds / static_cast<double>(worker_ids.size());
+          total_worker_seconds / static_cast<double>(epoch_worker_count);
     }
 
     // p99 straggler from the per-worker latency sketches: the windowed
@@ -604,6 +632,21 @@ std::string RenderRunReport(const RunReport& report,
         << Format("%.0f", f.lost_messages) << " messages lost, "
         << Format("%.0f", f.degraded_batches)
         << " batches applied degraded\n";
+  }
+
+  if (report.membership.Any()) {
+    const MembershipSummary& m = report.membership;
+    out << "\n== elastic membership ==\n";
+    out << "  events: " << Format("%.0f", m.EventTotal()) << " (join "
+        << Format("%.0f", m.joins) << ", leave "
+        << Format("%.0f", m.leaves) << ", depart "
+        << Format("%.0f", m.departs) << ")\n";
+    out << "  handoff: " << FormatBytes(m.handoff_bytes)
+        << " state transferred, " << FormatBytes(m.sync_bytes)
+        << " weight syncs, " << Format("%.0f", m.reconfigurations)
+        << " shard reconfigurations\n";
+    out << "  checkpoints: " << FormatBytes(m.checkpoint_bytes)
+        << " written, " << Format("%.0f", m.rollbacks) << " rollbacks\n";
   }
 
   if (report.dropped_trace_events > 0.0) {

@@ -213,6 +213,27 @@ struct FaultSummary {
   }
 };
 
+/// Elastic-membership totals for a run (all zero — and the rendered
+/// section omitted — when the run had no MembershipPlan active and no
+/// checkpoints enabled). Every field is a deterministic count for a
+/// fixed seed, so the A/B diff treats any drift as a regression.
+struct MembershipSummary {
+  double joins = 0.0;             // membership/events{kind=join}
+  double leaves = 0.0;            // membership/events{kind=leave}
+  double departs = 0.0;           // membership/events{kind=depart}
+  double handoff_bytes = 0.0;     // membership/handoff_bytes
+  double sync_bytes = 0.0;        // membership/sync_bytes
+  double reconfigurations = 0.0;  // membership/reconfigurations
+  double rollbacks = 0.0;         // membership/rollbacks
+  double checkpoint_bytes = 0.0;  // membership/checkpoint_bytes
+
+  double EventTotal() const { return joins + leaves + departs; }
+  bool Any() const {
+    return EventTotal() > 0.0 || reconfigurations > 0.0 ||
+           rollbacks > 0.0 || checkpoint_bytes > 0.0;
+  }
+};
+
 /// Everything `sketchml_report` prints for a single run.
 struct RunReport {
   std::string git_sha;
@@ -231,6 +252,7 @@ struct RunReport {
   std::vector<EpochRow> epochs;
   std::vector<SketchSummary> sketches;  // Final sample's sketch quantiles.
   FaultSummary faults;
+  MembershipSummary membership;
   double dropped_trace_events = 0.0;
 };
 

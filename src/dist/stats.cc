@@ -27,6 +27,18 @@ std::string EpochStats::ToString() const {
                   static_cast<unsigned long long>(degraded_batches));
     out += buf;
   }
+  if (joins > 0 || leaves > 0 || departs > 0 || reconfigurations > 0 ||
+      rollbacks > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " joins=%llu leaves=%llu departs=%llu reconfigs=%llu "
+                  "rollbacks=%llu",
+                  static_cast<unsigned long long>(joins),
+                  static_cast<unsigned long long>(leaves),
+                  static_cast<unsigned long long>(departs),
+                  static_cast<unsigned long long>(reconfigurations),
+                  static_cast<unsigned long long>(rollbacks));
+    out += buf;
+  }
   return out;
 }
 
@@ -47,6 +59,14 @@ EpochStats Aggregate(const std::vector<EpochStats>& stats) {
     total.retransmit_bytes += s.retransmit_bytes;
     total.lost_messages += s.lost_messages;
     total.degraded_batches += s.degraded_batches;
+    total.joins += s.joins;
+    total.leaves += s.leaves;
+    total.departs += s.departs;
+    total.handoff_bytes += s.handoff_bytes;
+    total.sync_bytes += s.sync_bytes;
+    total.reconfigurations += s.reconfigurations;
+    total.rollbacks += s.rollbacks;
+    total.checkpoint_bytes += s.checkpoint_bytes;
   }
   if (!stats.empty()) {
     total.epoch = stats.back().epoch;
@@ -159,6 +179,24 @@ EpochStats EpochStatsFromMetrics(const obs::MetricsSnapshot& before,
   stats.retransmit_bytes =
       static_cast<uint64_t>(sum_delta("net/retransmit_bytes"));
   stats.lost_messages = static_cast<uint64_t>(sum_delta("net/lost_messages"));
+  // Membership event counters carry a kind label; filter per kind so the
+  // per-kind split survives the rollup.
+  const auto kind_delta = [&](const char* kind) {
+    const obs::MetricLabels want = {{"kind", kind}};
+    return after.SumCounters("membership/events", want) -
+           before.SumCounters("membership/events", want);
+  };
+  stats.joins = static_cast<uint64_t>(kind_delta("join"));
+  stats.leaves = static_cast<uint64_t>(kind_delta("leave"));
+  stats.departs = static_cast<uint64_t>(kind_delta("depart"));
+  stats.handoff_bytes =
+      static_cast<uint64_t>(delta("membership/handoff_bytes"));
+  stats.sync_bytes = static_cast<uint64_t>(delta("membership/sync_bytes"));
+  stats.reconfigurations =
+      static_cast<uint64_t>(delta("membership/reconfigurations"));
+  stats.rollbacks = static_cast<uint64_t>(delta("membership/rollbacks"));
+  stats.checkpoint_bytes =
+      static_cast<uint64_t>(delta("membership/checkpoint_bytes"));
   stats.epoch = static_cast<int>(after.GaugeValueOf("trainer/epoch"));
   stats.avg_gradient_nnz = after.GaugeValueOf("trainer/avg_gradient_nnz");
   stats.train_loss = after.GaugeValueOf("trainer/train_loss");

@@ -43,6 +43,18 @@ struct EpochStats {
   uint64_t lost_messages = 0;      // Undelivered after the retry budget.
   uint64_t degraded_batches = 0;   // Batches applied with < W gradients.
 
+  // Elastic-membership accounting (all zero when the MembershipPlan is
+  // inactive and checkpoints are off, so a churn-free run's stats stay
+  // bit-identical to a build without the membership layer).
+  uint64_t joins = 0;             // Workers that joined this epoch.
+  uint64_t leaves = 0;            // Graceful leaves (may rejoin later).
+  uint64_t departs = 0;           // Permanent departures.
+  uint64_t handoff_bytes = 0;     // State handed off (codec lanes, shards).
+  uint64_t sync_bytes = 0;        // Weight syncs pulled by joiners.
+  uint64_t reconfigurations = 0;  // Shard-count changes (ring rebuilds).
+  uint64_t rollbacks = 0;         // Checkpoint rollbacks before this epoch.
+  uint64_t checkpoint_bytes = 0;  // Size of the checkpoint sealed, if any.
+
   size_t num_batches = 0;
   double avg_gradient_nnz = 0.0;  // Mean d per worker message.
   double train_loss = 0.0;        // After the epoch.

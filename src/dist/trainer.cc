@@ -4,17 +4,46 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
+#include "common/byte_buffer.h"
 #include "common/framing.h"
 #include "common/logging.h"
 #include "common/obs.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "compress/raw_codec.h"
+#include "dist/checkpoint.h"
 #include "ml/gradient.h"
 
 namespace sketchml::dist {
+
+namespace {
+
+/// Fixed seed/geometry of the per-shard mergeable state: every shard
+/// (and every run) uses the same values, so serialize -> merge across
+/// shards is always legal and the state is a pure function of the
+/// aggregated gradient stream.
+constexpr uint64_t kShardSketchSeed = 0x5ad5ad5ad5ad5ad5ULL;
+constexpr int kShardKeyRows = 3;
+constexpr int kShardKeyCols = 1024;
+
+/// Log2-magnitude bucket of a gradient value for the shard key cache
+/// (MinMaxSketch stores one byte per key; bucket 0 = tiniest/zero).
+uint8_t MagnitudeBucket(double value) {
+  const double magnitude = std::abs(value);
+  if (!(magnitude > 0.0)) return 0;
+  int exponent = 0;
+  (void)std::frexp(magnitude, &exponent);
+  // exponent of normal doubles spans about [-1021, 1025); shift into
+  // [0, 254] so kEmpty (255) keeps its "never written" meaning.
+  const int bucket = (exponent + 1074) / 9;
+  return static_cast<uint8_t>(std::clamp(bucket, 0, 254));
+}
+
+}  // namespace
 
 common::Status ValidateClusterConfig(const ClusterConfig& cluster) {
   if (cluster.num_workers < 1) {
@@ -40,6 +69,32 @@ common::Status ValidateClusterConfig(const ClusterConfig& cluster) {
         "FaultPlan.min_quorum exceeds num_workers: no batch could ever "
         "reach quorum");
   }
+  SKETCHML_RETURN_IF_ERROR(ValidateMembershipPlan(cluster.membership));
+  if (ResolvedMaxWorkers(cluster.membership, cluster.num_workers) <
+      cluster.num_workers) {
+    return common::Status::InvalidArgument(
+        "MembershipPlan.max_workers is below num_workers: the starting "
+        "fleet would not fit the id universe");
+  }
+  if (cluster.membership.min_workers > cluster.num_workers) {
+    return common::Status::InvalidArgument(
+        "MembershipPlan.min_workers exceeds num_workers: the starting "
+        "fleet is already below the scale-down floor");
+  }
+  // FaultPlan x MembershipPlan cross-validation: after the maximum
+  // scheduled scale-down only min_workers workers remain active, so a
+  // quorum above that can never be met once churn shrinks the fleet —
+  // every later epoch would fail kUnavailable by construction.
+  if (cluster.membership.CanShrink() &&
+      cluster.faults.min_quorum > cluster.membership.min_workers) {
+    return common::Status::InvalidArgument(
+        "FaultPlan.min_quorum (" +
+        std::to_string(cluster.faults.min_quorum) +
+        ") can never be met after the maximum scheduled scale-down: "
+        "MembershipPlan.min_workers leaves only " +
+        std::to_string(cluster.membership.min_workers) +
+        " active workers");
+  }
   return common::Status::Ok();
 }
 
@@ -62,6 +117,28 @@ DistributedTrainer::DistributedTrainer(
   init_status_ = ValidateClusterConfig(cluster_);
   if (!init_status_.ok()) return;
   faults_active_ = cluster_.faults.Active();
+  membership_active_ = cluster_.membership.Active();
+  checkpoints_enabled_ = cluster_.membership.CheckpointsEnabled();
+  initial_workers_ = cluster_.num_workers;
+  // The directory exists on both paths: with an inactive plan it pins
+  // the identity fleet 0..num_workers-1 forever, so directory_.active()
+  // is always the list of worker ids a batch partitions over.
+  directory_ = MembershipDirectory(cluster_.membership, cluster_.num_workers);
+  active_servers_ = cluster_.num_servers;
+  if (membership_active_) {
+    ring_.Rebuild(active_servers_);
+    // Per-shard mergeable state (see the header): telemetry-internal
+    // sketches, excluded from the sketch/kll/* self-metrics like the
+    // obs layer's own sketches.
+    shard_values_.reserve(cluster_.num_servers);
+    shard_keys_.reserve(cluster_.num_servers);
+    for (int s = 0; s < cluster_.num_servers; ++s) {
+      shard_values_.emplace_back(/*k=*/256, /*seed=*/kShardSketchSeed);
+      shard_values_.back().SetInstrumented(false);
+      shard_keys_.emplace_back(kShardKeyRows, kShardKeyCols,
+                               kShardSketchSeed);
+    }
+  }
   if (codec_ == nullptr) {
     codec_ = std::make_unique<compress::RawCodec>();
   }
@@ -74,14 +151,17 @@ DistributedTrainer::DistributedTrainer(
                                                     config_.learning_rate);
   }
 
-  // One forked codec per worker lane. Forking is independent of the
-  // thread count so that every thread count replays the same byte
+  // One forked codec per worker lane — one per id in the membership
+  // universe, not just the starting fleet, so a worker that joins later
+  // already owns its deterministic seed lane. Forking is independent of
+  // the thread count so that every thread count replays the same byte
   // streams (worker w always encodes with lane w).
+  const int fleet = directory_.universe();
   num_threads_ = config_.num_threads == 0
                      ? common::ThreadPool::DefaultThreadCount()
                      : std::max(1, config_.num_threads);
-  worker_codecs_.reserve(cluster_.num_workers);
-  for (int w = 0; w < cluster_.num_workers; ++w) {
+  worker_codecs_.reserve(fleet);
+  for (int w = 0; w < fleet; ++w) {
     auto fork = codec_->Fork(static_cast<uint64_t>(w));
     if (fork == nullptr) {
       // Unforkable codec: all workers must share the one instance, which
@@ -102,7 +182,7 @@ DistributedTrainer::DistributedTrainer(
   if (obs::MetricsEnabled()) {
     metrics_.enabled = true;
     auto& registry = obs::MetricsRegistry::Global();
-    for (int w = 0; w < cluster_.num_workers; ++w) {
+    for (int w = 0; w < fleet; ++w) {
       const std::string ws = std::to_string(w);
       metrics_.worker_compute.push_back(registry.GetCounter(
           "trainer/worker_seconds", {{"worker", ws}, {"phase", "compute"}}));
@@ -136,7 +216,7 @@ DistributedTrainer::DistributedTrainer(
     // epoch boundary. See SketchTelemetry in the header.
     sketch_metrics_.enabled = true;
     auto& sketches = obs::SketchHistogramRegistry::Global();
-    for (int w = 0; w < cluster_.num_workers; ++w) {
+    for (int w = 0; w < fleet; ++w) {
       const std::string ws = std::to_string(w);
       sketch_metrics_.worker_compute.push_back(sketches.Get(
           "trainer/compute_latency_seconds", {{"worker", ws}}));
@@ -160,7 +240,7 @@ DistributedTrainer::DistributedTrainer(
   if (faults_active_ && obs::MetricsEnabled()) {
     fault_metrics_.enabled = true;
     auto& registry = obs::MetricsRegistry::Global();
-    for (int w = 0; w < cluster_.num_workers; ++w) {
+    for (int w = 0; w < fleet; ++w) {
       const std::string ws = std::to_string(w);
       fault_metrics_.injected_drop.push_back(registry.GetCounter(
           "fault/injected", {{"kind", "drop"}, {"worker", ws}}));
@@ -183,24 +263,66 @@ DistributedTrainer::DistributedTrainer(
     fault_metrics_.lost_messages = registry.GetCounter("net/lost_messages");
     fault_metrics_.quorum = registry.GetGauge("trainer/quorum");
   }
+
+  // Membership counters follow the fault-metric discipline: each group
+  // registers only when the feature that publishes it is on, so a
+  // churn-off (or checkpoint-off) run registers no new names and its
+  // metric dumps stay bit-identical to the previous layer's goldens.
+  if (membership_active_ && obs::MetricsEnabled()) {
+    membership_metrics_.churn = true;
+    auto& registry = obs::MetricsRegistry::Global();
+    membership_metrics_.joins =
+        registry.GetCounter("membership/events", {{"kind", "join"}});
+    membership_metrics_.leaves =
+        registry.GetCounter("membership/events", {{"kind", "leave"}});
+    membership_metrics_.departs =
+        registry.GetCounter("membership/events", {{"kind", "depart"}});
+    membership_metrics_.handoff_bytes =
+        registry.GetCounter("membership/handoff_bytes");
+    membership_metrics_.sync_bytes =
+        registry.GetCounter("membership/sync_bytes");
+    membership_metrics_.reconfigurations =
+        registry.GetCounter("membership/reconfigurations");
+    membership_metrics_.active_workers =
+        registry.GetGauge("membership/active_workers");
+    membership_metrics_.active_servers =
+        registry.GetGauge("membership/active_servers");
+  }
+  if (checkpoints_enabled_ && obs::MetricsEnabled()) {
+    membership_metrics_.checkpoints = true;
+    auto& registry = obs::MetricsRegistry::Global();
+    membership_metrics_.rollbacks =
+        registry.GetCounter("membership/rollbacks");
+    membership_metrics_.checkpoint_bytes =
+        registry.GetCounter("membership/checkpoint_bytes");
+  }
 }
 
-common::Result<EpochStats> DistributedTrainer::RunEpoch() {
-  SKETCHML_RETURN_IF_ERROR(init_status_);
+common::Result<EpochStats> DistributedTrainer::RunEpochAttempt() {
   const size_t n = train_->size();
   const size_t batch_size = std::max<size_t>(
       1, static_cast<size_t>(static_cast<double>(n) * config_.batch_ratio));
-  const int workers = cluster_.num_workers;
   const int servers = cluster_.num_servers;
   const uint64_t dim = std::max<uint64_t>(1, train_->dim());
 
-  // Key-range shard of a gradient key (identity when servers == 1).
+  // Owning shard of a gradient key: consistent-hash ring while the
+  // membership layer is active (shards can come and go — see
+  // ReconfigureShards), the original key-range partition otherwise
+  // (identity when servers == 1), so churn-off byte streams stay
+  // bit-identical to the fixed-fleet trainer.
+  const bool elastic = membership_active_;
   const auto shard_of = [&](uint64_t key) {
+    if (elastic) return ring_.ShardOf(key);
     return static_cast<int>(key * static_cast<uint64_t>(servers) / dim);
   };
 
   EpochStats stats;
   stats.epoch = ++epochs_run_;
+  if (membership_active_) {
+    // Epoch-boundary re-partitioning: servers scale with the fleet, and
+    // shard state moves via mergeable-sketch handoff.
+    SKETCHML_RETURN_IF_ERROR(ReconfigureShards(&stats));
+  }
   double total_nnz = 0.0;
 
   obs::TraceSpan epoch_span("trainer", "epoch");
@@ -211,6 +333,21 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
   for (size_t batch_start = 0; batch_start < n; batch_start += batch_size) {
     const size_t batch_end = std::min(n, batch_start + batch_size);
     const size_t batch_count = batch_end - batch_start;
+
+    // Membership events fire at batch boundaries, before the batch
+    // partitions its ranges. Decisions key on the global batch counter
+    // (like fault injection), so churn replays identically across
+    // epochs and thread counts. With an inactive plan ApplyBatch is a
+    // no-op and `ids` stays the identity fleet 0..num_workers-1.
+    if (membership_active_) {
+      std::vector<MembershipEvent> events;
+      directory_.ApplyBatch(batches_run_, &events);
+      for (const MembershipEvent& event : events) {
+        ApplyMembershipEvent(event, &stats);
+      }
+    }
+    const std::vector<int>& ids = directory_.active();
+    const int workers = static_cast<int>(ids.size());
     const size_t shard =
         std::max<size_t>(1, (batch_count + workers - 1) / workers);
 
@@ -467,9 +604,13 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
       return r;
     };
 
+    // Slice i of the batch belongs to worker ids[i]: run_worker takes
+    // the *worker id* (it keys fault decisions and picks the codec seed
+    // lane), while ranges/results stay slice-indexed. With membership
+    // off ids[i] == i and this is the previous fixed-fleet partition.
     std::vector<std::pair<size_t, size_t>> ranges;
-    for (int w = 0; w < workers; ++w) {
-      const size_t lo = batch_start + static_cast<size_t>(w) * shard;
+    for (int i = 0; i < workers; ++i) {
+      const size_t lo = batch_start + static_cast<size_t>(i) * shard;
       if (lo >= batch_end) break;
       ranges.emplace_back(lo, std::min(batch_end, lo + shard));
     }
@@ -479,15 +620,15 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     std::vector<WorkerResult> results(active_workers);
     if (pool_ != nullptr && active_workers > 1) {
       std::vector<common::TaskFuture<WorkerResult>> futures(active_workers);
-      for (int w = 0; w < active_workers; ++w) {
-        futures[w] = pool_->Submit([&run_worker, &ranges, w] {
-          return run_worker(w, ranges[w].first, ranges[w].second);
+      for (int i = 0; i < active_workers; ++i) {
+        futures[i] = pool_->Submit([&run_worker, &ranges, &ids, i] {
+          return run_worker(ids[i], ranges[i].first, ranges[i].second);
         });
       }
-      for (int w = 0; w < active_workers; ++w) results[w] = futures[w].Get();
+      for (int i = 0; i < active_workers; ++i) results[i] = futures[i].Get();
     } else {
-      for (int w = 0; w < active_workers; ++w) {
-        results[w] = run_worker(w, ranges[w].first, ranges[w].second);
+      for (int i = 0; i < active_workers; ++i) {
+        results[i] = run_worker(ids[i], ranges[i].first, ranges[i].second);
       }
     }
 
@@ -503,8 +644,11 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     uint64_t batch_retries = 0;
     int contributing = 0;
     std::fill(shard_gather_seconds.begin(), shard_gather_seconds.end(), 0.0);
-    for (int w = 0; w < active_workers; ++w) {
-      WorkerResult& r = results[w];
+    for (int i = 0; i < active_workers; ++i) {
+      WorkerResult& r = results[i];
+      // Per-worker metric slots are indexed by the worker's id in the
+      // membership universe, not its slice position in this batch.
+      const int w = ids[i];
       SKETCHML_RETURN_IF_ERROR(r.status);
       if (r.contributes) ++contributing;
       total_nnz += static_cast<double>(r.nnz);
@@ -712,6 +856,10 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     if (metrics_.enabled && update_elapsed > 0.0) {
       metrics_.driver_update.Add(update_elapsed);
     }
+    // Feed the aggregate into the owning shards' mergeable state before
+    // the broadcast below consumes (moves) mean_grad. Driver-side and
+    // serial, so the sketches are a pure function of the update stream.
+    if (membership_active_) UpdateShardState(mean_grad);
 
     // Phase 4: broadcast the aggregated update, re-encoded with the same
     // codec. With sharding each server broadcasts its key range; shards
@@ -843,8 +991,351 @@ common::Result<EpochStats> DistributedTrainer::RunEpoch() {
     sketches.AdvanceWindows();
   }
 
+  if (membership_metrics_.churn) {
+    membership_metrics_.active_workers.Set(
+        static_cast<double>(directory_.active().size()));
+    membership_metrics_.active_servers.Set(
+        static_cast<double>(active_servers_));
+  }
+  // Epoch checkpoint: seal the full training state so a later
+  // below-quorum attempt can roll back here instead of failing the run.
+  if (checkpoints_enabled_ &&
+      epochs_run_ % cluster_.membership.checkpoint_every == 0) {
+    SKETCHML_RETURN_IF_ERROR(SaveCheckpoint(&checkpoint_));
+    stats.checkpoint_bytes = checkpoint_.size();
+    if (membership_metrics_.checkpoints) {
+      membership_metrics_.checkpoint_bytes.Add(
+          static_cast<double>(checkpoint_.size()));
+    }
+  }
+
+  // Rollbacks consumed since the last *reported* epoch, read only here —
+  // at the end of a successful attempt — so a chain of failed retries
+  // accumulates into the epoch that finally lands instead of each failed
+  // attempt swallowing its predecessor's count.
+  stats.rollbacks = pending_rollbacks_;
+  pending_rollbacks_ = 0;
+  if (stats.rollbacks > 0 && membership_metrics_.checkpoints) {
+    membership_metrics_.rollbacks.Add(static_cast<double>(stats.rollbacks));
+  }
+
   PublishEpochStats(stats);
   return stats;
+}
+
+common::Result<EpochStats> DistributedTrainer::RunEpoch() {
+  SKETCHML_RETURN_IF_ERROR(init_status_);
+  int attempts = 0;
+  while (true) {
+    common::Result<EpochStats> result = RunEpochAttempt();
+    if (result.ok()) return result;
+    // Only a quorum failure is recoverable, and only while a sealed
+    // checkpoint exists and the per-epoch retry budget holds out.
+    if (result.status().code() != common::StatusCode::kUnavailable ||
+        checkpoint_.empty() || attempts >= cluster_.membership.max_rollbacks) {
+      return result;
+    }
+    ++attempts;
+    ++rollbacks_used_;
+    ++pending_rollbacks_;
+    // Roll the model and every codec lane back to the last epoch
+    // boundary. The global batch counter is NOT rewound (for_rollback):
+    // the retry draws fresh fault/membership decisions instead of
+    // replaying the exact failure that killed this attempt. The counter
+    // stopped *on* the failed batch's index (the failure aborts before
+    // the end-of-batch increment), so step past it — otherwise the
+    // retry's first batch would redraw the very decisions that just
+    // failed quorum, and every retry would die at the same index.
+    ++batches_run_;
+    SKETCHML_RETURN_IF_ERROR(
+        RestoreFromBlob(checkpoint_, /*for_rollback=*/true));
+    SKETCHML_LOG(Warning) << "epoch " << epochs_run_ + 1
+                          << ": rolled back to checkpoint (retry " << attempts
+                          << " of " << cluster_.membership.max_rollbacks
+                          << "): " << result.status().message();
+  }
+}
+
+void DistributedTrainer::ApplyMembershipEvent(const MembershipEvent& event,
+                                              EpochStats* stats) {
+  switch (event.kind) {
+    case MembershipEvent::kJoin: {
+      ++stats->joins;
+      if (membership_metrics_.churn) membership_metrics_.joins.Increment();
+      // Warm start, step 1: the joiner pulls the current dense weights
+      // over the wire — real protocol traffic, charged to the network.
+      const uint64_t sync_bytes =
+          static_cast<uint64_t>(optimizer_->weights().size()) * sizeof(double);
+      stats->sync_bytes += sync_bytes;
+      stats->network_seconds += cluster_.network.TransferSeconds(sync_bytes);
+      if (membership_metrics_.churn) {
+        membership_metrics_.sync_bytes.Add(static_cast<double>(sync_bytes));
+      }
+      // Warm start, step 2: adopt the oldest escrowed codec-lane state
+      // (error-feedback residual + stream position) banked by an earlier
+      // leaver, so accumulated correction signal survives churn instead
+      // of resetting to zero.
+      if (!residual_escrow_.empty() && !worker_codecs_.empty()) {
+        const std::vector<uint8_t> blob = std::move(residual_escrow_.front());
+        residual_escrow_.pop_front();
+        common::ByteReader reader(blob);
+        const common::Status restored =
+            worker_codecs_[event.worker]->RestoreState(&reader);
+        if (restored.ok()) {
+          stats->handoff_bytes += blob.size();
+          stats->network_seconds +=
+              cluster_.network.TransferSeconds(blob.size());
+          if (membership_metrics_.churn) {
+            membership_metrics_.handoff_bytes.Add(
+                static_cast<double>(blob.size()));
+          }
+        } else {
+          SKETCHML_LOG(Warning)
+              << "worker " << event.worker
+              << " rejected escrowed codec state: " << restored.ToString();
+        }
+      }
+      break;
+    }
+    case MembershipEvent::kLeave:
+    case MembershipEvent::kDepart: {
+      if (event.kind == MembershipEvent::kLeave) {
+        ++stats->leaves;
+        if (membership_metrics_.churn) membership_metrics_.leaves.Increment();
+      } else {
+        ++stats->departs;
+        if (membership_metrics_.churn) membership_metrics_.departs.Increment();
+      }
+      // Graceful handoff, step 1: bank the leaver's codec-lane state
+      // (residual + RNG position) in the escrow for a future joiner.
+      // The blob crosses the wire to the driver, so it is charged.
+      if (!worker_codecs_.empty()) {
+        common::ByteWriter writer;
+        worker_codecs_[event.worker]->SaveState(&writer);
+        std::vector<uint8_t> blob = writer.TakeBuffer();
+        if (!blob.empty()) {
+          stats->handoff_bytes += blob.size();
+          stats->network_seconds +=
+              cluster_.network.TransferSeconds(blob.size());
+          if (membership_metrics_.churn) {
+            membership_metrics_.handoff_bytes.Add(
+                static_cast<double>(blob.size()));
+          }
+          residual_escrow_.push_back(std::move(blob));
+        }
+      }
+      // Graceful handoff, step 2: drain the leaver's labeled telemetry
+      // tail into the cluster-wide slots so its latency samples survive
+      // the departure (the epoch-boundary merge would otherwise lose
+      // whatever the window accumulated since the last boundary).
+      // Telemetry bytes follow the sketch-metrics convention: counted
+      // in telemetry/* only, never charged to the NetworkModel.
+      if (sketch_metrics_.enabled) {
+        auto& sketches = obs::SketchHistogramRegistry::Global();
+        const struct {
+          const std::vector<obs::SketchHistogram>* workers;
+          const obs::SketchHistogram* cluster;
+        } lanes[] = {
+            {&sketch_metrics_.worker_compute, &sketch_metrics_.cluster_compute},
+            {&sketch_metrics_.worker_encode, &sketch_metrics_.cluster_encode},
+            {&sketch_metrics_.worker_push, &sketch_metrics_.cluster_push},
+        };
+        for (const auto& lane : lanes) {
+          const std::vector<uint8_t> payload =
+              sketches.DrainTail((*lane.workers)[event.worker]);
+          if (payload.empty()) continue;
+          sketch_metrics_.merges.Increment();
+          sketch_metrics_.merge_bytes.Add(static_cast<double>(payload.size()));
+          const common::Status merged = sketches.MergeSerialized(
+              *lane.cluster, payload.data(), payload.size());
+          if (!merged.ok()) {
+            SKETCHML_LOG(Warning) << "leave-time telemetry merge failed: "
+                                  << merged.ToString();
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+common::Status DistributedTrainer::ReconfigureShards(EpochStats* stats) {
+  const int target =
+      ActiveServerCount(cluster_.num_servers,
+                        static_cast<int>(directory_.active().size()),
+                        initial_workers_);
+  if (target == active_servers_) return common::Status::Ok();
+
+  // Serialize a shard's mergeable state exactly as it would cross the
+  // wire: KLL value sketch then MinMax key cache, one framed blob.
+  const auto serialize_shard = [this](int s) {
+    common::ByteWriter writer(shard_values_[s].SerializedSize() +
+                              shard_keys_[s].SerializedSize());
+    shard_values_[s].Serialize(&writer);
+    shard_keys_[s].Serialize(&writer);
+    return writer.TakeBuffer();
+  };
+  // Deserialize a transferred blob back into (values, keys) and merge it
+  // into the destination shard — the round-trip is deliberate: the
+  // destination only ever sees what survived serialization, exactly like
+  // a real shard-to-shard transfer.
+  const auto merge_blob = [this](const std::vector<uint8_t>& blob,
+                                 int dest) -> common::Status {
+    common::ByteReader reader(blob);
+    sketch::KllSketch values(/*k=*/256, kShardSketchSeed);
+    SKETCHML_RETURN_IF_ERROR(
+        sketch::KllSketch::Deserialize(&reader, &values, kShardSketchSeed));
+    values.SetInstrumented(false);
+    sketch::MinMaxSketch keys(kShardKeyRows, kShardKeyCols, kShardSketchSeed);
+    SKETCHML_RETURN_IF_ERROR(sketch::MinMaxSketch::Deserialize(&reader, &keys));
+    shard_values_[dest].Merge(values);
+    return shard_keys_[dest].Merge(keys);
+  };
+  const auto charge = [&](size_t bytes) {
+    stats->handoff_bytes += bytes;
+    stats->network_seconds +=
+        cluster_.network.TransferSeconds(static_cast<double>(bytes));
+    if (membership_metrics_.churn) {
+      membership_metrics_.handoff_bytes.Add(static_cast<double>(bytes));
+    }
+  };
+
+  if (target < active_servers_) {
+    // Scale-down: each retiring shard serializes its state and ships it
+    // to a surviving shard, which merges it (mergeability makes this a
+    // transfer, not a rebuild). State is conserved: nothing the retiring
+    // shards learned is lost.
+    for (int s = target; s < active_servers_; ++s) {
+      const std::vector<uint8_t> blob = serialize_shard(s);
+      charge(blob.size());
+      SKETCHML_RETURN_IF_ERROR(merge_blob(blob, s % target));
+      // Reset the retired shard so a later scale-up starts it fresh.
+      shard_values_[s] = sketch::KllSketch(/*k=*/256, kShardSketchSeed);
+      shard_values_[s].SetInstrumented(false);
+      shard_keys_[s] =
+          sketch::MinMaxSketch(kShardKeyRows, kShardKeyCols, kShardSketchSeed);
+    }
+  } else {
+    // Scale-up: each new shard bootstraps from an existing one (the
+    // consistent-hash ring moves only boundary keys to it, so the donor's
+    // state is a superset of what the new shard will serve).
+    for (int s = active_servers_; s < target; ++s) {
+      const std::vector<uint8_t> blob = serialize_shard(s % active_servers_);
+      charge(blob.size());
+      SKETCHML_RETURN_IF_ERROR(merge_blob(blob, s));
+    }
+  }
+  active_servers_ = target;
+  ring_.Rebuild(target);
+  ++stats->reconfigurations;
+  if (membership_metrics_.churn) {
+    membership_metrics_.reconfigurations.Increment();
+  }
+  return common::Status::Ok();
+}
+
+void DistributedTrainer::UpdateShardState(const common::SparseGradient& grad) {
+  for (const auto& pair : grad) {
+    const int s = ring_.ShardOf(pair.key);
+    shard_values_[s].Update(std::abs(pair.value));
+    shard_keys_[s].Insert(pair.key, MagnitudeBucket(pair.value));
+  }
+}
+
+void DistributedTrainer::BuildCheckpointPayload(
+    std::vector<uint8_t>* payload) const {
+  common::ByteWriter writer;
+  writer.WriteVarint(static_cast<uint64_t>(epochs_run_));
+  writer.WriteVarint(batches_run_);
+  writer.WriteDouble(simulated_seconds_);
+  // Optimizer kind byte: restore validates it against this trainer's
+  // config instead of mis-parsing an SGD blob as Adam state.
+  writer.WriteU8(config_.use_adam ? 1 : 0);
+  optimizer_->SaveState(&writer);
+  // Codec lanes, each length-prefixed so a lane that saves nothing (a
+  // stateless codec) round-trips as an empty blob.
+  writer.WriteVarint(static_cast<uint64_t>(worker_codecs_.size()));
+  const auto write_lane = [&writer](const compress::GradientCodec& codec) {
+    common::ByteWriter lane;
+    codec.SaveState(&lane);
+    const std::vector<uint8_t> blob = lane.TakeBuffer();
+    writer.WriteVarint(static_cast<uint64_t>(blob.size()));
+    writer.WriteBytes(blob);
+  };
+  for (const auto& codec : worker_codecs_) write_lane(*codec);
+  write_lane(*codec_);  // Driver/broadcast lane.
+  *payload = writer.TakeBuffer();
+}
+
+common::Status DistributedTrainer::SaveCheckpoint(
+    std::vector<uint8_t>* out) const {
+  SKETCHML_RETURN_IF_ERROR(init_status_);
+  std::vector<uint8_t> payload;
+  BuildCheckpointPayload(&payload);
+  SealCheckpoint(payload, out);
+  return common::Status::Ok();
+}
+
+common::Status DistributedTrainer::RestoreCheckpoint(
+    const std::vector<uint8_t>& checkpoint) {
+  SKETCHML_RETURN_IF_ERROR(init_status_);
+  return RestoreFromBlob(checkpoint, /*for_rollback=*/false);
+}
+
+common::Status DistributedTrainer::RestoreFromBlob(
+    const std::vector<uint8_t>& checkpoint, bool for_rollback) {
+  std::vector<uint8_t> payload;
+  SKETCHML_RETURN_IF_ERROR(OpenCheckpoint(checkpoint, &payload));
+  common::ByteReader reader(payload);
+  uint64_t epochs = 0;
+  uint64_t batches = 0;
+  double simulated = 0.0;
+  uint8_t optimizer_kind = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadVarint(&epochs));
+  SKETCHML_RETURN_IF_ERROR(reader.ReadVarint(&batches));
+  SKETCHML_RETURN_IF_ERROR(reader.ReadDouble(&simulated));
+  SKETCHML_RETURN_IF_ERROR(reader.ReadU8(&optimizer_kind));
+  if ((optimizer_kind != 0) != config_.use_adam) {
+    return common::Status::CorruptedData(
+        "checkpoint optimizer kind does not match this trainer's config");
+  }
+  SKETCHML_RETURN_IF_ERROR(optimizer_->RestoreState(&reader));
+  uint64_t lanes = 0;
+  SKETCHML_RETURN_IF_ERROR(reader.ReadVarint(&lanes));
+  if (lanes != worker_codecs_.size()) {
+    return common::Status::CorruptedData(
+        "checkpoint codec lane count (" + std::to_string(lanes) +
+        ") does not match this trainer (" +
+        std::to_string(worker_codecs_.size()) + ")");
+  }
+  const auto restore_lane =
+      [&reader](compress::GradientCodec* codec) -> common::Status {
+    uint64_t size = 0;
+    SKETCHML_RETURN_IF_ERROR(reader.ReadVarint(&size));
+    if (size > reader.remaining()) {
+      return common::Status::CorruptedData("checkpoint codec lane truncated");
+    }
+    std::vector<uint8_t> blob(static_cast<size_t>(size));
+    if (size > 0) {
+      SKETCHML_RETURN_IF_ERROR(reader.ReadRaw(blob.data(), blob.size()));
+    }
+    common::ByteReader lane(blob);
+    return codec->RestoreState(&lane);
+  };
+  for (const auto& codec : worker_codecs_) {
+    SKETCHML_RETURN_IF_ERROR(restore_lane(codec.get()));
+  }
+  SKETCHML_RETURN_IF_ERROR(restore_lane(codec_.get()));
+  // All sections validated and applied; now the counters. A rollback
+  // rewinds the epoch number (the retried epoch keeps its index) but
+  // NOT the monotonic batch counter or the accumulated simulated time —
+  // the retry must draw fresh fault/membership decisions.
+  epochs_run_ = static_cast<int>(epochs);
+  if (!for_rollback) {
+    batches_run_ = batches;
+    simulated_seconds_ = simulated;
+  }
+  return common::Status::Ok();
 }
 
 common::Result<std::vector<EpochStats>> DistributedTrainer::Run(int epochs) {

@@ -1,6 +1,8 @@
 #ifndef SKETCHML_DIST_TRAINER_H_
 #define SKETCHML_DIST_TRAINER_H_
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -10,11 +12,14 @@
 #include "common/thread_pool.h"
 #include "compress/codec.h"
 #include "dist/fault.h"
+#include "dist/membership.h"
 #include "dist/network_model.h"
 #include "dist/stats.h"
 #include "ml/dataset.h"
 #include "ml/loss.h"
 #include "ml/optimizer.h"
+#include "sketch/kll_sketch.h"
+#include "sketch/min_max_sketch.h"
 #include "sketch/sketch_histogram.h"
 
 namespace sketchml::dist {
@@ -49,6 +54,18 @@ struct ClusterConfig {
   /// corrupt / delay them, and the trainer runs the retry + quorum
   /// recovery protocol documented in docs/fault_tolerance.md.
   FaultPlan faults;
+
+  /// Elastic-membership model (see dist/membership.h). Inactive by
+  /// default: the fleet is fixed at num_workers, shards are key-range
+  /// partitioned, and the trainer's byte streams, stats, and losses are
+  /// bit-identical to a cluster without this field. When active, seeded
+  /// join/leave/depart events fire at batch boundaries and the trainer
+  /// runs the reconfiguration protocol (weight sync + residual warm
+  /// start, telemetry-sketch handoff, consistent-hash shard
+  /// re-partitioning). `checkpoint_every` enables epoch checkpoints
+  /// independently of churn, turning a below-quorum kUnavailable epoch
+  /// into rollback-and-retry.
+  MembershipPlan membership;
 };
 
 /// Validates a cluster description: worker/server counts >= 1, a usable
@@ -122,13 +139,43 @@ class DistributedTrainer {
                      const TrainerConfig& config);
 
   /// Runs one epoch (one pass over the train set) and returns its stats.
+  /// With checkpoints enabled (membership.checkpoint_every > 0), a
+  /// below-quorum kUnavailable attempt rolls the trainer back to the
+  /// last checkpoint and retries with the current (possibly shrunken)
+  /// fleet, up to membership.max_rollbacks times per run; the global
+  /// batch counter is NOT rewound, so a retry draws fresh fault
+  /// decisions instead of replaying the fatal ones.
   common::Result<EpochStats> RunEpoch();
 
   /// Runs `epochs` epochs, returning per-epoch stats.
   common::Result<std::vector<EpochStats>> Run(int epochs);
 
+  /// Serializes the trainer's full mutable training state — epoch/batch
+  /// counters, optimizer (weights + moments), and every codec lane's
+  /// stream state — into a CRC-framed checkpoint blob (see
+  /// dist/checkpoint.h). `out` is overwritten.
+  [[nodiscard]] common::Status SaveCheckpoint(std::vector<uint8_t>* out) const;
+
+  /// Restores a SaveCheckpoint blob exactly (counters included): the
+  /// trainer continues as if the intervening epochs never ran. The blob
+  /// may be arbitrary bytes off disk: truncation, bit flips, or a
+  /// mismatched model shape surface kCorruptedData and leave the trainer
+  /// usable (a failed restore never half-applies state — parsing
+  /// validates the envelope and every section before the first counter
+  /// is touched).
+  [[nodiscard]] common::Status RestoreCheckpoint(
+      const std::vector<uint8_t>& checkpoint);
+
   const ml::Optimizer& optimizer() const { return *optimizer_; }
   int epochs_run() const { return epochs_run_; }
+
+  /// Currently active workers (== num_workers while membership is off).
+  int active_workers() const {
+    return static_cast<int>(directory_.active().size());
+  }
+
+  /// Checkpoint rollbacks consumed so far (bounded by max_rollbacks).
+  int rollbacks_used() const { return rollbacks_used_; }
 
   /// Simulated wall-clock seconds so far (sum over epochs).
   double simulated_seconds() const { return simulated_seconds_; }
@@ -142,6 +189,37 @@ class DistributedTrainer {
   compress::GradientCodec* WorkerCodec(int w) {
     return worker_codecs_.empty() ? codec_.get() : worker_codecs_[w].get();
   }
+
+  /// One epoch, no rollback handling (RunEpoch wraps this with the
+  /// checkpoint-based retry loop).
+  common::Result<EpochStats> RunEpochAttempt();
+
+  /// Serializes trainer state into the (unframed) checkpoint payload.
+  void BuildCheckpointPayload(std::vector<uint8_t>* payload) const;
+
+  /// Parses and applies a checkpoint blob. `for_rollback` keeps the
+  /// monotonic counters (global batch index, accumulated simulated
+  /// seconds) so a retried epoch draws *fresh* fault/membership
+  /// decisions; an exact restore (RestoreCheckpoint) applies them too.
+  common::Status RestoreFromBlob(const std::vector<uint8_t>& checkpoint,
+                                 bool for_rollback);
+
+  /// Applies one membership event (driver-side, serial): join = weight
+  /// sync + residual warm start from the escrow, leave/depart = codec
+  /// lane state into the escrow + telemetry-sketch handoff. Protocol
+  /// bytes are charged to the NetworkModel via `stats`; telemetry bytes
+  /// go to telemetry/* counters only.
+  void ApplyMembershipEvent(const MembershipEvent& event, EpochStats* stats);
+
+  /// Epoch-boundary shard re-partitioning: recomputes the active server
+  /// count from the fleet size and, when it changed, hands mergeable
+  /// sketch state shard-to-shard (serialize → transfer → merge, bytes
+  /// charged to the NetworkModel) and rebuilds the consistent-hash ring.
+  common::Status ReconfigureShards(EpochStats* stats);
+
+  /// Feeds the batch's aggregated gradient into the owning shards'
+  /// mergeable state (KLL over |value|, MinMaxSketch key->bucket cache).
+  void UpdateShardState(const common::SparseGradient& grad);
 
   /// Per-entity labeled counters, resolved once at construction when
   /// metrics are enabled. Values are published from the driver's
@@ -201,6 +279,27 @@ class DistributedTrainer {
     obs::Counter merge_bytes;  // telemetry/merge_bytes
   };
 
+  /// Membership/checkpoint counters, registered only when the feature
+  /// that publishes them is on (churn counters with an active plan,
+  /// checkpoint counters with checkpoints enabled): a churn-off run must
+  /// register no new metric names, keeping its dump and series files
+  /// bit-identical to a build without the membership layer. Published
+  /// from the driver loop only.
+  struct MembershipMetrics {
+    bool churn = false;        // membership/* churn counters live.
+    bool checkpoints = false;  // checkpoint/rollback counters live.
+    obs::Counter joins;             // membership/events{kind=join}
+    obs::Counter leaves;            // membership/events{kind=leave}
+    obs::Counter departs;           // membership/events{kind=depart}
+    obs::Counter handoff_bytes;     // membership/handoff_bytes
+    obs::Counter sync_bytes;        // membership/sync_bytes
+    obs::Counter reconfigurations;  // membership/reconfigurations
+    obs::Gauge active_workers;      // membership/active_workers
+    obs::Gauge active_servers;      // membership/active_servers
+    obs::Counter rollbacks;         // membership/rollbacks
+    obs::Counter checkpoint_bytes;  // membership/checkpoint_bytes
+  };
+
   /// Fault-path counters, resolved at construction only when the plan is
   /// active and metrics are on. Published from the driver's fixed-order
   /// reduce loop (single writer), never from worker threads.
@@ -235,11 +334,35 @@ class DistributedTrainer {
   EntityMetrics metrics_;
   SketchTelemetry sketch_metrics_;
   FaultMetrics fault_metrics_;
+  MembershipMetrics membership_metrics_;
   /// Non-OK when the ClusterConfig failed validation; RunEpoch returns
   /// this instead of training (the constructor cannot return a Status).
   common::Status init_status_;
   FaultInjector injector_;
   bool faults_active_ = false;
+  bool membership_active_ = false;
+  bool checkpoints_enabled_ = false;
+  /// Membership state machine; initialized for every run (with an
+  /// inactive plan it pins the identity fleet 0..num_workers-1, so
+  /// `directory_.active()` is THE worker-id list on both paths).
+  MembershipDirectory directory_;
+  ShardRing ring_;             // Rebuilt on every shard-count change.
+  int initial_workers_ = 0;    // cluster_.num_workers at construction.
+  int active_servers_ = 0;     // Shards currently owning key ranges.
+  /// Per-shard mergeable aggregation state (membership-active only):
+  /// a KLL sketch of |aggregated gradient| values and a MinMaxSketch
+  /// caching key -> log2-magnitude buckets. Their only role here is to
+  /// be the state that re-partitioning must hand shard-to-shard; both
+  /// merge exactly (the paper's mergeability), so a re-partition is a
+  /// serialize + transfer + merge instead of a rebuild.
+  std::vector<sketch::KllSketch> shard_values_;
+  std::vector<sketch::MinMaxSketch> shard_keys_;
+  /// FIFO escrow of codec-lane state blobs saved by leaving workers;
+  /// joiners adopt the oldest blob as their warm-start residual.
+  std::deque<std::vector<uint8_t>> residual_escrow_;
+  std::vector<uint8_t> checkpoint_;  // Last sealed checkpoint (maybe empty).
+  int rollbacks_used_ = 0;
+  uint64_t pending_rollbacks_ = 0;  // Rollbacks to report in the next stats.
   int epochs_run_ = 0;
   uint64_t batches_run_ = 0;  // Global batch index fed to the injector.
   double simulated_seconds_ = 0.0;

@@ -1,10 +1,53 @@
 #include "ml/optimizer.h"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace sketchml::ml {
+
+namespace {
+
+void WriteVector(const DenseVector& vec, common::ByteWriter* writer) {
+  writer->WriteVarint(vec.size());
+  for (double v : vec) writer->WriteDouble(v);
+}
+
+/// Reads a vector written by WriteVector into `out`, requiring exactly
+/// `expected` elements. `out` is untouched unless the whole read
+/// succeeds, so a corrupted checkpoint can never half-overwrite state.
+common::Status ReadVector(common::ByteReader* reader, size_t expected,
+                          DenseVector* out) {
+  uint64_t count = 0;
+  SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&count));
+  if (count != expected) {
+    return common::Status::CorruptedData(
+        "optimizer state dimension mismatch: blob has " +
+        std::to_string(count) + " values, optimizer expects " +
+        std::to_string(expected));
+  }
+  if (count * sizeof(double) > reader->remaining()) {
+    return common::Status::CorruptedData("optimizer state truncated");
+  }
+  DenseVector values(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SKETCHML_RETURN_IF_ERROR(reader->ReadDouble(&values[i]));
+  }
+  *out = std::move(values);
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+void Optimizer::SaveState(common::ByteWriter* writer) const {
+  WriteVector(weights_, writer);
+}
+
+common::Status Optimizer::RestoreState(common::ByteReader* reader) {
+  return ReadVector(reader, weights_.size(), &weights_);
+}
 
 void SgdOptimizer::Apply(const common::SparseGradient& grad) {
   for (const auto& pair : grad) {
@@ -38,6 +81,20 @@ void AdamOptimizer::Apply(const common::SparseGradient& grad) {
     const double v_hat = v_[k] / bias2;
     weights_[k] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
   }
+}
+
+void AdamOptimizer::SaveState(common::ByteWriter* writer) const {
+  Optimizer::SaveState(writer);
+  writer->WriteVarint(step_);
+  WriteVector(m_, writer);
+  WriteVector(v_, writer);
+}
+
+common::Status AdamOptimizer::RestoreState(common::ByteReader* reader) {
+  SKETCHML_RETURN_IF_ERROR(Optimizer::RestoreState(reader));
+  SKETCHML_RETURN_IF_ERROR(reader->ReadVarint(&step_));
+  SKETCHML_RETURN_IF_ERROR(ReadVector(reader, m_.size(), &m_));
+  return ReadVector(reader, v_.size(), &v_);
 }
 
 }  // namespace sketchml::ml

@@ -5,7 +5,9 @@
 #include <memory>
 #include <string>
 
+#include "common/byte_buffer.h"
 #include "common/sparse.h"
+#include "common/status.h"
 #include "ml/types.h"
 
 namespace sketchml::ml {
@@ -24,6 +26,20 @@ class Optimizer {
 
   const DenseVector& weights() const { return weights_; }
   DenseVector& mutable_weights() { return weights_; }
+
+  /// Serializes the optimizer's full mutable state (checkpoint seam).
+  /// The base captures the weight vector as varint dim + raw doubles;
+  /// stateful optimizers append their moments/counters. Hyperparameters
+  /// are configuration, not state — the caller reconstructs the optimizer
+  /// and replays state into it.
+  virtual void SaveState(common::ByteWriter* writer) const;
+
+  /// Restores state written by `SaveState` on an optimizer of the same
+  /// kind and dimension. Input may come from a corrupted checkpoint:
+  /// dimension mismatches and truncation surface kCorruptedData, and the
+  /// weight vector is only overwritten after the blob's header validates.
+  [[nodiscard]] virtual common::Status RestoreState(
+      common::ByteReader* reader);
 
  protected:
   DenseVector weights_;
@@ -61,6 +77,11 @@ class AdamOptimizer : public Optimizer {
   void Apply(const common::SparseGradient& grad) override;
 
   uint64_t step() const { return step_; }
+
+  /// Base weights, then step count and both moment vectors.
+  void SaveState(common::ByteWriter* writer) const override;
+  [[nodiscard]] common::Status RestoreState(
+      common::ByteReader* reader) override;
 
  private:
   double learning_rate_;

@@ -165,4 +165,17 @@ common::Status MinMaxSketch::Deserialize(common::ByteReader* reader,
   return common::Status::Ok();
 }
 
+common::Status MinMaxSketch::Merge(const MinMaxSketch& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_ ||
+      seed_ != other.seed_) {
+    return common::Status::InvalidArgument(
+        "MinMaxSketch::Merge requires identical geometry and seed");
+  }
+  for (size_t i = 0; i < table_.size(); ++i) {
+    table_[i] = std::min(table_[i], other.table_[i]);
+  }
+  insertions_ += other.insertions_;
+  return common::Status::Ok();
+}
+
 }  // namespace sketchml::sketch

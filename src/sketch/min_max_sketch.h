@@ -86,6 +86,13 @@ class MinMaxSketch {
   static common::Status Deserialize(common::ByteReader* reader,
                                     MinMaxSketch* out);
 
+  /// Merges `other` into this sketch: every bin keeps
+  /// min(this, other) — min-updates commute, so the merge equals having
+  /// inserted both sketches' streams into one table (the mergeability the
+  /// elastic shard re-partitioning relies on). Requires identical
+  /// geometry and hash seed; InvalidArgument otherwise.
+  [[nodiscard]] common::Status Merge(const MinMaxSketch& other);
+
  private:
   size_t CellIndex(int row, uint64_t key) const {
     const size_t index =

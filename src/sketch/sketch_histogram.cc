@@ -291,6 +291,18 @@ std::vector<uint8_t> SketchHistogramRegistry::SerializeTail(
   return writer.TakeBuffer();
 }
 
+std::vector<uint8_t> SketchHistogramRegistry::DrainTail(
+    const SketchHistogram& h) {
+  if (h.id_ < 0) return {};
+  Impl& impl = GetImpl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  const KllSketch tail = BuildTailLocked(impl, h.id_, /*drain=*/true);
+  if (tail.Count() == 0) return {};
+  common::ByteWriter writer(tail.SerializedSize());
+  tail.Serialize(&writer);
+  return writer.TakeBuffer();
+}
+
 common::Status SketchHistogramRegistry::MergeSerialized(
     const SketchHistogram& h, const uint8_t* data, size_t size) {
   if (h.id_ < 0) {

@@ -91,6 +91,15 @@ class SketchHistogramRegistry {
   common::Status MergeSerialized(const SketchHistogram& h, const uint8_t* data,
                                  size_t size);
 
+  /// Consuming variant of SerializeTail: serializes `h`'s current window
+  /// tail and clears the sources it was built from, so the drained values
+  /// will NOT reappear in the next SerializeTail/AdvanceWindows. This is
+  /// the leave-time handoff primitive — a departing worker's tail is
+  /// drained exactly once into the cluster slot; the non-consuming
+  /// SerializeTail would double-count it at the epoch-boundary merge.
+  /// Retired windows and the lifetime sketch are untouched.
+  std::vector<uint8_t> DrainTail(const SketchHistogram& h);
+
   /// Clears all recorded data (names stay registered). Same contract as
   /// MetricsRegistry::Reset — no concurrent recording. Also invoked via
   /// the reset hook whenever MetricsRegistry::Reset runs.

@@ -255,6 +255,80 @@ TEST(RunReportTest, FaultCountersRollUpIntoFaultSummary) {
   EXPECT_NE(rendered.find("2 batches applied degraded"), std::string::npos);
 }
 
+TEST(RunReportTest, MembershipCountersRollUpIntoMembershipSummary) {
+  const std::string text =
+      std::string(kHeader) + "\n" +
+      SampleLine(1e9, "final",
+                 R"("membership/events{kind=join}":3,)"
+                 R"("membership/events{kind=leave}":2,)"
+                 R"("membership/events{kind=depart}":1,)"
+                 R"("membership/handoff_bytes":4096,)"
+                 R"("membership/sync_bytes":65536,)"
+                 R"("membership/reconfigurations":2,)"
+                 R"("membership/rollbacks":1,)"
+                 R"("membership/checkpoint_bytes":12345)",
+                 "") +
+      "\n";
+  auto parsed = ParseRunSeries(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const RunReport report = BuildRunReport(*parsed);
+  EXPECT_DOUBLE_EQ(report.membership.joins, 3.0);
+  EXPECT_DOUBLE_EQ(report.membership.leaves, 2.0);
+  EXPECT_DOUBLE_EQ(report.membership.departs, 1.0);
+  EXPECT_DOUBLE_EQ(report.membership.EventTotal(), 6.0);
+  EXPECT_DOUBLE_EQ(report.membership.handoff_bytes, 4096.0);
+  EXPECT_DOUBLE_EQ(report.membership.sync_bytes, 65536.0);
+  EXPECT_DOUBLE_EQ(report.membership.reconfigurations, 2.0);
+  EXPECT_DOUBLE_EQ(report.membership.rollbacks, 1.0);
+  EXPECT_DOUBLE_EQ(report.membership.checkpoint_bytes, 12345.0);
+  EXPECT_TRUE(report.membership.Any());
+  const std::string rendered = RenderRunReport(report);
+  EXPECT_NE(rendered.find("elastic membership"), std::string::npos);
+  EXPECT_NE(rendered.find("2 shard reconfigurations"), std::string::npos);
+  EXPECT_NE(rendered.find("1 rollbacks"), std::string::npos);
+
+  // A churn-free series reports no membership section at all.
+  auto plain = ParseRunSeries(std::string(kHeader) + "\n" +
+                              SampleLine(1e9, "final",
+                                         R"("trainer/compute_seconds":1.0)",
+                                         "") +
+                              "\n");
+  ASSERT_TRUE(plain.ok());
+  const RunReport quiet = BuildRunReport(*plain);
+  EXPECT_FALSE(quiet.membership.Any());
+  EXPECT_EQ(RenderRunReport(quiet).find("elastic membership"),
+            std::string::npos);
+}
+
+TEST(RunReportTest, EpochMeanAveragesOnlyWorkersActiveThatEpoch) {
+  // Worker 2 joins in epoch 2: the run's lifetime label set is {0,1,2},
+  // but epoch 1's mean must average over the two workers that actually
+  // ran — dividing by three would fake straggler imbalance.
+  const std::string text =
+      std::string(kHeader) + "\n" +
+      SampleLine(1e9, "epoch",
+                 R"("trainer/worker_seconds{worker=0,phase=compute}":1.0,)"
+                 R"("trainer/worker_seconds{worker=1,phase=compute}":1.0)",
+                 "") +
+      "\n" +
+      SampleLine(2e9, "epoch",
+                 R"("trainer/worker_seconds{worker=0,phase=compute}":2.0,)"
+                 R"("trainer/worker_seconds{worker=1,phase=compute}":2.0,)"
+                 R"("trainer/worker_seconds{worker=2,phase=compute}":0.5)",
+                 "") +
+      "\n";
+  auto parsed = ParseRunSeries(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const RunReport report = BuildRunReport(*parsed);
+  ASSERT_EQ(report.epochs.size(), 2u);
+  // Epoch 1: two active workers at 1.0s each — mean 1.0, no imbalance.
+  EXPECT_DOUBLE_EQ(report.epochs[0].mean_worker_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(report.epochs[0].straggler_seconds, 1.0);
+  // Epoch 2: deltas 1.0, 1.0, 0.5 over three active workers.
+  EXPECT_DOUBLE_EQ(report.epochs[1].mean_worker_seconds, 2.5 / 3.0);
+  EXPECT_DOUBLE_EQ(report.epochs[1].straggler_seconds, 1.0);
+}
+
 // ---------------------------------------------------------------------------
 // A/B diff: the regression gate.
 
@@ -348,6 +422,41 @@ TEST(DiffRunsTest, IdenticalRunsPassClean) {
   const DiffResult diff = DiffRuns(*baseline, *candidate, DiffOptions{});
   EXPECT_TRUE(diff.flagged.empty());
   EXPECT_FALSE(diff.HasRegression());
+}
+
+TEST(DiffRunsTest, MembershipEventDriftIsARegression) {
+  // Membership events are seeded deterministic counts (satellite: the
+  // A/B diff must treat them like messages, not like timings): drift in
+  // either direction fails the gate, even under --ignore-times.
+  const auto series = [](double joins, double handoff_bytes) {
+    std::ostringstream counters;
+    counters << R"("trainer/messages":640,)"
+             << R"("membership/events{kind=join}":)" << joins << ','
+             << R"("membership/handoff_bytes":)" << handoff_bytes;
+    return std::string(kHeader) + "\n" +
+           SampleLine(1e9, "final", counters.str(), "") + "\n";
+  };
+  auto baseline = ParseRunSeries(series(4.0, 4096.0));
+  auto fewer_joins = ParseRunSeries(series(2.0, 4096.0));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(fewer_joins.ok());
+  DiffOptions options;
+  options.ignore_times = true;
+  const DiffResult diff = DiffRuns(*baseline, *fewer_joins, options);
+  ASSERT_EQ(diff.flagged.size(), 1u);
+  EXPECT_EQ(diff.flagged[0].name, "membership/events{kind=join}");
+  EXPECT_TRUE(diff.flagged[0].regression);  // Drift DOWN still fails.
+  EXPECT_TRUE(diff.HasRegression());
+
+  // Handoff bytes are higher-is-worse traffic: shrinking them is a
+  // flagged change but not a gate failure.
+  auto cheaper = ParseRunSeries(series(4.0, 1024.0));
+  ASSERT_TRUE(cheaper.ok());
+  const DiffResult bytes_diff = DiffRuns(*baseline, *cheaper, options);
+  ASSERT_EQ(bytes_diff.flagged.size(), 1u);
+  EXPECT_EQ(bytes_diff.flagged[0].name, "membership/handoff_bytes");
+  EXPECT_FALSE(bytes_diff.flagged[0].regression);
+  EXPECT_FALSE(bytes_diff.HasRegression());
 }
 
 // ---------------------------------------------------------------------------

@@ -62,6 +62,19 @@ constexpr char kUsage[] = R"(sketchml_train [flags]
   --fault-backoff=S     base retry backoff, doubles per attempt (def 1e-3)
   --min-quorum=K        min surviving workers per batch; fewer aborts the
                         run with "unavailable" (default 1)
+  --membership-seed=N   membership-decision seed (default 1); a fixed seed
+                        replays the identical churn schedule
+  --membership-join=P   P(a standby worker joins, per batch boundary)
+  --membership-leave=P  P(an active worker scales down; may rejoin later)
+  --membership-depart=P P(an active worker leaves permanently)
+  --membership-max-workers=K  fleet ceiling / worker-id universe
+                        (default 0 = --workers)
+  --membership-min-workers=K  scale-down floor (default 1)
+  --membership-checkpoint-every=N  seal a checkpoint every N epochs
+                        (default 0 = off); a below-quorum epoch then rolls
+                        back to the last checkpoint and retries
+  --membership-max-rollbacks=N  rollback-and-retry budget per epoch
+                        (default 2)
   --obs=MODE            auto | on | off (default auto: record metrics and
                         traces iff an output flag below is given; off
                         never perturbs results — losses and bytes are
@@ -132,6 +145,8 @@ int main(int argc, char** argv) {
   }
   auto fault_plan = dist::FaultPlanFromFlags(flags);
   if (!fault_plan.ok()) return Fail(fault_plan.status());
+  auto membership_plan = dist::MembershipPlanFromFlags(flags);
+  if (!membership_plan.ok()) return Fail(membership_plan.status());
   auto obs_config = obs::ConfigureFromFlags(flags);
   if (!obs_config.ok()) return Fail(obs_config.status());
   for (const auto* result :
@@ -187,6 +202,7 @@ int main(int argc, char** argv) {
   }
   cluster.network = dist::NetworkModel::Scaled(base, *net_scale);
   cluster.faults = *fault_plan;
+  cluster.membership = *membership_plan;
 
   dist::TrainerConfig config;
   config.batch_ratio = *batch_ratio;
@@ -238,6 +254,23 @@ int main(int argc, char** argv) {
                  static_cast<long long>(fault_plan->max_retries));
     metadata.Add("min_quorum", static_cast<long long>(fault_plan->min_quorum));
   }
+  if (membership_plan->Active()) {
+    metadata.Add("membership_seed",
+                 static_cast<long long>(membership_plan->seed));
+    metadata.Add("membership_join", membership_plan->join_prob);
+    metadata.Add("membership_leave", membership_plan->leave_prob);
+    metadata.Add("membership_depart", membership_plan->depart_prob);
+    metadata.Add("membership_max_workers",
+                 static_cast<long long>(membership_plan->max_workers));
+    metadata.Add("membership_min_workers",
+                 static_cast<long long>(membership_plan->min_workers));
+  }
+  if (membership_plan->CheckpointsEnabled()) {
+    metadata.Add("membership_checkpoint_every",
+                 static_cast<long long>(membership_plan->checkpoint_every));
+    metadata.Add("membership_max_rollbacks",
+                 static_cast<long long>(membership_plan->max_rollbacks));
+  }
   auto sampler = obs::StartSamplerFromConfig(*obs_config,
                                              std::move(metadata));
   if (!sampler.ok()) return Fail(sampler.status());
@@ -267,6 +300,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total.retransmit_bytes),
                 static_cast<unsigned long long>(total.lost_messages),
                 static_cast<unsigned long long>(total.degraded_batches));
+  }
+
+  if (membership_plan->Active() || membership_plan->CheckpointsEnabled()) {
+    // One summary line for the whole run; scripts/run_churn_matrix.sh
+    // greps these fields, so keep the format stable.
+    const dist::EpochStats total = dist::Aggregate(all_stats);
+    std::printf("membership: joins=%llu leaves=%llu departs=%llu "
+                "handoff_bytes=%llu sync_bytes=%llu reconfigs=%llu "
+                "rollbacks=%llu active_workers=%d\n",
+                static_cast<unsigned long long>(total.joins),
+                static_cast<unsigned long long>(total.leaves),
+                static_cast<unsigned long long>(total.departs),
+                static_cast<unsigned long long>(total.handoff_bytes),
+                static_cast<unsigned long long>(total.sync_bytes),
+                static_cast<unsigned long long>(total.reconfigurations),
+                static_cast<unsigned long long>(total.rollbacks),
+                trainer.active_workers());
   }
 
   if (obs_config->metrics) {
