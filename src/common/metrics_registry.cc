@@ -7,10 +7,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sketchml::obs {
 namespace {
@@ -63,16 +64,19 @@ struct RetiredTotals {
 };
 
 struct Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, int, std::less<>> counter_ids;
-  std::map<std::string, int, std::less<>> gauge_ids;
-  std::map<std::string, int, std::less<>> histogram_ids;
-  std::vector<std::string> counter_names;
-  std::vector<std::string> gauge_names;
-  std::vector<std::string> histogram_names;
+  mutable common::Mutex mutex;
+  std::map<std::string, int, std::less<>> counter_ids
+      SKETCHML_GUARDED_BY(mutex);
+  std::map<std::string, int, std::less<>> gauge_ids SKETCHML_GUARDED_BY(mutex);
+  std::map<std::string, int, std::less<>> histogram_ids
+      SKETCHML_GUARDED_BY(mutex);
+  std::vector<std::string> counter_names SKETCHML_GUARDED_BY(mutex);
+  std::vector<std::string> gauge_names SKETCHML_GUARDED_BY(mutex);
+  std::vector<std::string> histogram_names SKETCHML_GUARDED_BY(mutex);
+  // Atomic slots written by single-writer handles; reads are lock-free.
   std::array<std::atomic<double>, kMaxGauges> gauges{};
-  std::vector<Shard*> live_shards;
-  RetiredTotals retired;
+  std::vector<Shard*> live_shards SKETCHML_GUARDED_BY(mutex);
+  RetiredTotals retired SKETCHML_GUARDED_BY(mutex);
 };
 
 Impl& GetImpl() {
@@ -83,7 +87,7 @@ Impl& GetImpl() {
 
 void RetireShard(Shard* shard) {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   for (int i = 0; i < kMaxCounters; ++i) {
     impl.retired.counters[i] +=
         shard->counters[i].load(std::memory_order_relaxed);
@@ -117,7 +121,7 @@ Shard* ThisShard() {
     // NOLINTNEXTLINE(sketchml-naked-new): owned by the TLS retire cycle.
     auto* shard = new Shard;
     Impl& impl = GetImpl();
-    std::lock_guard<std::mutex> lock(impl.mutex);
+    common::MutexLock lock(impl.mutex);
     impl.live_shards.push_back(shard);
     tls.shard = shard;
   }
@@ -136,7 +140,7 @@ int Register(std::map<std::string, int, std::less<>>* ids,
              std::vector<std::string>* names, int capacity,
              std::string_view name) {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   const auto it = ids->find(name);
   if (it != ids->end()) return it->second;
   if (static_cast<int>(names->size()) >= capacity) {
@@ -338,7 +342,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   // The sketch registry has its own lock; collect outside ours so the two
   // never nest.
   snap.sketches = CollectSketchSummaries();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
 
   snap.counters.resize(impl.counter_names.size());
   for (size_t i = 0; i < impl.counter_names.size(); ++i) {
@@ -390,7 +394,7 @@ void MetricsRegistry::Reset() {
           g_sketch_reset_hook.load(std::memory_order_acquire)) {
     hook();
   }
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   impl.retired = RetiredTotals();
   for (auto& gauge : impl.gauges) {
     gauge.store(0.0, std::memory_order_relaxed);

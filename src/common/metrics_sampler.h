@@ -1,19 +1,19 @@
 #ifndef SKETCHML_COMMON_METRICS_SAMPLER_H_
 #define SKETCHML_COMMON_METRICS_SAMPLER_H_
 
-#include <condition_variable>
 #include <fstream>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sketchml::obs {
 
@@ -90,28 +90,28 @@ class MetricsSampler {
 
   /// Appends one sample immediately, tagged with `reason` (the trainer
   /// calls this at every epoch boundary with "epoch"). Thread-safe.
-  void SampleNow(std::string_view reason);
+  void SampleNow(std::string_view reason) SKETCHML_EXCLUDES(mutex_);
 
   /// Writes a last "final" sample, joins the periodic thread, flushes,
   /// and reports any write error. Idempotent.
-  common::Status Stop();
+  common::Status Stop() SKETCHML_EXCLUDES(mutex_);
 
-  size_t samples_written() const;
+  size_t samples_written() const SKETCHML_EXCLUDES(mutex_);
 
  private:
   explicit MetricsSampler(Options options);
 
-  void WriteHeader();
-  void WriteSampleLocked(std::string_view reason);
-  void PeriodicLoop();
+  void WriteHeader() SKETCHML_EXCLUDES(mutex_);
+  void WriteSampleLocked(std::string_view reason) SKETCHML_REQUIRES(mutex_);
+  void PeriodicLoop() SKETCHML_EXCLUDES(mutex_);
 
   Options options_;
-  std::ofstream out_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  bool stopped_ = false;
-  size_t samples_written_ = 0;
+  std::ofstream out_ SKETCHML_GUARDED_BY(mutex_);
+  mutable common::Mutex mutex_;
+  common::CondVar cv_;
+  bool stopping_ SKETCHML_GUARDED_BY(mutex_) = false;
+  bool stopped_ SKETCHML_GUARDED_BY(mutex_) = false;
+  size_t samples_written_ SKETCHML_GUARDED_BY(mutex_) = 0;
   std::thread periodic_;
 };
 

@@ -14,7 +14,8 @@ namespace {
 
 // The obs layer is itself timing infrastructure: NowNs() is the
 // sanctioned monotonic clock everything else is told to use.
-using Clock = std::chrono::steady_clock;  // NOLINT(sketchml-wallclock)
+// NOLINTNEXTLINE(sketchml-wallclock): NowNs is the sanctioned clock.
+using Clock = std::chrono::steady_clock;
 
 Clock::time_point ProcessEpoch() {
   static const Clock::time_point epoch = Clock::now();

@@ -20,10 +20,12 @@ template <typename T>
 class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(runtime/explicit): implicit `return value;` is the API.
+  Result(T value) : value_(std::move(value)) {}
 
   /// Constructs a failed result. `status` must be non-OK.
-  Result(Status status)  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(runtime/explicit): implicit `return status;` is the API.
+  Result(Status status)
       : status_(std::move(status)) {
     SKETCHML_CHECK(!status_.ok()) << "Result constructed from OK status";
   }

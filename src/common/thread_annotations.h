@@ -1,0 +1,75 @@
+#ifndef SKETCHML_COMMON_THREAD_ANNOTATIONS_H_
+#define SKETCHML_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety annotation macros (no-ops on every other compiler).
+//
+// The annotations document which mutex guards which member and which
+// functions require a lock to already be held, and clang's
+// -Wthread-safety analysis proves the claims at compile time: reading a
+// SKETCHML_GUARDED_BY member without holding its mutex, or calling a
+// SKETCHML_REQUIRES function unlocked, is a compile error under the
+// thread-safety CI job (cmake -DSKETCHML_THREAD_SAFETY=ON, clang only).
+// On gcc the macros expand to nothing, so annotated code builds
+// everywhere; the analysis only runs where the attribute exists.
+//
+// std::mutex in libstdc++ carries no capability attributes, so the
+// analysis cannot track it. Annotated code locks through the
+// common::Mutex / common::MutexLock wrappers in common/mutex.h instead.
+//
+// Conventions (see docs/static_analysis.md, "Thread-safety annotations"):
+//   - every member written under a lock is SKETCHML_GUARDED_BY(mutex_)
+//   - private helpers named *Locked take SKETCHML_REQUIRES(mutex_)
+//   - public entry points that must not be called with the lock held
+//     (they lock it themselves) take SKETCHML_EXCLUDES(mutex_)
+
+#if defined(__clang__)
+#define SKETCHML_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SKETCHML_THREAD_ANNOTATION__(x)
+#endif
+
+// Declares a class to be a lockable capability ("mutex" in diagnostics).
+#define SKETCHML_CAPABILITY(x) SKETCHML_THREAD_ANNOTATION__(capability(x))
+
+// Declares an RAII class that acquires a capability in its constructor
+// and releases it in its destructor.
+#define SKETCHML_SCOPED_CAPABILITY \
+  SKETCHML_THREAD_ANNOTATION__(scoped_lockable)
+
+// A data member that may only be accessed while holding `x`.
+#define SKETCHML_GUARDED_BY(x) SKETCHML_THREAD_ANNOTATION__(guarded_by(x))
+
+// A pointer member whose *pointee* may only be accessed while holding `x`.
+#define SKETCHML_PT_GUARDED_BY(x) \
+  SKETCHML_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// The function may only be called while already holding the listed
+// capabilities (it does not acquire them itself).
+#define SKETCHML_REQUIRES(...) \
+  SKETCHML_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+// The function must NOT be called while holding the listed capabilities
+// (it acquires them itself; calling locked would deadlock).
+#define SKETCHML_EXCLUDES(...) \
+  SKETCHML_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// The function acquires / releases the listed capabilities.
+#define SKETCHML_ACQUIRE(...) \
+  SKETCHML_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define SKETCHML_RELEASE(...) \
+  SKETCHML_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+// The function acquires the capability when it returns `ret`.
+#define SKETCHML_TRY_ACQUIRE(ret, ...) \
+  SKETCHML_THREAD_ANNOTATION__(try_acquire_capability(ret, __VA_ARGS__))
+
+// The function returns a reference to the capability guarding its result.
+#define SKETCHML_RETURN_CAPABILITY(x) \
+  SKETCHML_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch: the function's locking cannot be expressed to the
+// analysis (lock juggling across objects). Use sparingly, with a comment.
+#define SKETCHML_NO_THREAD_SAFETY_ANALYSIS \
+  SKETCHML_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SKETCHML_COMMON_THREAD_ANNOTATIONS_H_

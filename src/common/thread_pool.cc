@@ -47,14 +47,17 @@ ThreadPool::ThreadPool(int num_threads, std::string_view obs_pool)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   // Workers drain the queue before exiting, so after the joins every
   // submitted task node must have been handed to a worker (the claim
-  // race with TaskFuture::Get is downstream of the hand-off).
+  // race with TaskFuture::Get is downstream of the hand-off). All
+  // workers are joined, but the lock still satisfies the guarded-by
+  // contract on the members the DCHECKs read.
+  MutexLock lock(mutex_);
   SKETCHML_DCHECK(queue_.empty())
       << queue_.size() << " tasks still queued at pool shutdown";
   SKETCHML_DCHECK_EQ(debug_enqueued_, debug_dequeued_);
@@ -62,22 +65,25 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Enqueue(std::shared_ptr<internal::TaskNode> node) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(node));
     if constexpr (SKETCHML_DCHECK_ENABLED) ++debug_enqueued_;
     if (obs::MetricsEnabled()) {
       obs_.queue_depth.Set(static_cast<double>(queue_.size()));
     }
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<internal::TaskNode> node;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit wait loop instead of the predicate overload: the
+      // analysis cannot see through a predicate lambda, but it tracks
+      // the guarded reads in this loop directly.
+      while (!stopping_ && queue_.empty()) cv_.Wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained.
       node = std::move(queue_.front());
       queue_.pop_front();

@@ -2,12 +2,10 @@
 #define SKETCHML_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <type_traits>
@@ -15,7 +13,9 @@
 #include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/mutex.h"
 #include "common/obs.h"
+#include "common/thread_annotations.h"
 
 namespace sketchml::common {
 
@@ -157,22 +157,23 @@ class ThreadPool {
   }
 
  private:
-  void Enqueue(std::shared_ptr<internal::TaskNode> node);
-  void WorkerLoop();
+  void Enqueue(std::shared_ptr<internal::TaskNode> node)
+      SKETCHML_EXCLUDES(mutex_);
+  void WorkerLoop() SKETCHML_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<internal::TaskNode>> queue_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<internal::TaskNode>> queue_
+      SKETCHML_GUARDED_BY(mutex_);
+  bool stopping_ SKETCHML_GUARDED_BY(mutex_) = false;
   internal::PoolObs obs_;  // This pool's (possibly labeled) handles.
   std::vector<std::thread> workers_;
 
   // Task-count accounting for the shutdown DCHECK (maintained only in
-  // checked builds, both guarded by mutex_): every enqueued node must be
-  // dequeued by a worker before the pool dies, or a submitted task was
-  // silently dropped.
-  size_t debug_enqueued_ = 0;
-  size_t debug_dequeued_ = 0;
+  // checked builds): every enqueued node must be dequeued by a worker
+  // before the pool dies, or a submitted task was silently dropped.
+  size_t debug_enqueued_ SKETCHML_GUARDED_BY(mutex_) = 0;
+  size_t debug_dequeued_ SKETCHML_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sketchml::common

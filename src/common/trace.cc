@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <unordered_map>
 
 #include "common/metrics_registry.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sketchml::obs {
 namespace {
@@ -24,15 +25,17 @@ struct Ring {
   explicit Ring(size_t capacity, uint32_t tid_in)
       : events(capacity), tid(tid_in) {}
 
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
-  size_t next = 0;       // Append slot.
-  size_t count = 0;      // Valid events (<= capacity).
-  uint64_t dropped = 0;  // Overwritten by wraparound.
+  // Mutable so the collector can lock through the const pointers it
+  // iterates (locking is not logical mutation).
+  mutable common::Mutex mutex;
+  std::vector<TraceEvent> events SKETCHML_GUARDED_BY(mutex);
+  size_t next SKETCHML_GUARDED_BY(mutex) = 0;   // Append slot.
+  size_t count SKETCHML_GUARDED_BY(mutex) = 0;  // Valid events (<= capacity).
+  uint64_t dropped SKETCHML_GUARDED_BY(mutex) = 0;  // Lost to wraparound.
   uint32_t tid;
 
-  void Append(const TraceEvent& event) {
-    std::lock_guard<std::mutex> lock(mutex);
+  void Append(const TraceEvent& event) SKETCHML_EXCLUDES(mutex) {
+    common::MutexLock lock(mutex);
     if (count == events.size()) {
       ++dropped;
     } else {
@@ -44,7 +47,7 @@ struct Ring {
   }
 
   /// Oldest-first copy of the retained events.
-  void CopyTo(std::vector<TraceEvent>* out) const {
+  void CopyTo(std::vector<TraceEvent>* out) const SKETCHML_REQUIRES(mutex) {
     const size_t start = (next + events.size() - count) % events.size();
     for (size_t i = 0; i < count; ++i) {
       out->push_back(events[(start + i) % events.size()]);
@@ -53,14 +56,15 @@ struct Ring {
 };
 
 struct Impl {
-  mutable std::mutex mutex;
-  std::vector<Ring*> live;
-  std::vector<TraceEvent> retired_events;
-  uint64_t retired_dropped = 0;
+  mutable common::Mutex mutex;
+  std::vector<Ring*> live SKETCHML_GUARDED_BY(mutex);
+  std::vector<TraceEvent> retired_events SKETCHML_GUARDED_BY(mutex);
+  uint64_t retired_dropped SKETCHML_GUARDED_BY(mutex) = 0;
   // Per-thread drop counts of retired rings (nonzero entries only), so
   // DroppedEventsByThread survives thread exit.
-  std::vector<ThreadDroppedEvents> retired_dropped_by_tid;
-  uint32_t next_tid = 1;
+  std::vector<ThreadDroppedEvents> retired_dropped_by_tid
+      SKETCHML_GUARDED_BY(mutex);
+  uint32_t next_tid SKETCHML_GUARDED_BY(mutex) = 1;
   std::atomic<size_t> ring_capacity{kDefaultRingCapacity};
 };
 
@@ -72,9 +76,9 @@ Impl& GetImpl() {
 
 void RetireRing(Ring* ring) {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   {
-    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    common::MutexLock ring_lock(ring->mutex);
     ring->CopyTo(&impl.retired_events);
     impl.retired_dropped += ring->dropped;
     if (ring->dropped > 0) {
@@ -96,7 +100,7 @@ Ring* ThisRing() {
   thread_local TlsRing tls;
   if (tls.ring == nullptr) {
     Impl& impl = GetImpl();
-    std::lock_guard<std::mutex> lock(impl.mutex);
+    common::MutexLock lock(impl.mutex);
     // NOLINTNEXTLINE(sketchml-naked-new): owned by the TLS retire cycle.
     auto* ring = new Ring(impl.ring_capacity.load(std::memory_order_relaxed),
                           impl.next_tid++);
@@ -132,8 +136,8 @@ void PopContext() {
 /// the list itself is only touched under the mutex, on the slow path.
 struct CategoryFilter {
   std::atomic<bool> active{false};
-  std::mutex mutex;
-  std::vector<std::string> allowed;
+  common::Mutex mutex;
+  std::vector<std::string> allowed SKETCHML_GUARDED_BY(mutex);
 };
 
 CategoryFilter& GetCategoryFilter() {
@@ -221,7 +225,7 @@ TraceContextScope::~TraceContextScope() {
 
 void SetTraceCategories(std::string_view csv) {
   CategoryFilter& filter = GetCategoryFilter();
-  std::lock_guard<std::mutex> lock(filter.mutex);
+  common::MutexLock lock(filter.mutex);
   filter.allowed.clear();
   size_t pos = 0;
   while (pos <= csv.size()) {
@@ -239,7 +243,7 @@ void SetTraceCategories(std::string_view csv) {
 bool TraceCategoryEnabled(const char* category) {
   CategoryFilter& filter = GetCategoryFilter();
   if (!filter.active.load(std::memory_order_relaxed)) return true;
-  std::lock_guard<std::mutex> lock(filter.mutex);
+  common::MutexLock lock(filter.mutex);
   for (const std::string& allowed : filter.allowed) {
     if (allowed == category) return true;
   }
@@ -302,11 +306,10 @@ std::vector<TraceEvent> TraceLog::CollectEvents() const {
   Impl& impl = GetImpl();
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(impl.mutex);
+    common::MutexLock lock(impl.mutex);
     events = impl.retired_events;
     for (const Ring* ring : impl.live) {
-      std::lock_guard<std::mutex> ring_lock(
-          const_cast<Ring*>(ring)->mutex);
+      common::MutexLock ring_lock(ring->mutex);
       ring->CopyTo(&events);
     }
   }
@@ -319,10 +322,10 @@ std::vector<TraceEvent> TraceLog::CollectEvents() const {
 
 uint64_t TraceLog::DroppedEvents() const {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   uint64_t dropped = impl.retired_dropped;
   for (const Ring* ring : impl.live) {
-    std::lock_guard<std::mutex> ring_lock(const_cast<Ring*>(ring)->mutex);
+    common::MutexLock ring_lock(ring->mutex);
     dropped += ring->dropped;
   }
   return dropped;
@@ -332,10 +335,10 @@ std::vector<ThreadDroppedEvents> TraceLog::DroppedEventsByThread() const {
   Impl& impl = GetImpl();
   std::vector<ThreadDroppedEvents> dropped;
   {
-    std::lock_guard<std::mutex> lock(impl.mutex);
+    common::MutexLock lock(impl.mutex);
     dropped = impl.retired_dropped_by_tid;
     for (const Ring* ring : impl.live) {
-      std::lock_guard<std::mutex> ring_lock(const_cast<Ring*>(ring)->mutex);
+      common::MutexLock ring_lock(ring->mutex);
       if (ring->dropped > 0) dropped.push_back({ring->tid, ring->dropped});
     }
   }
@@ -362,12 +365,12 @@ void TraceLog::PublishDroppedEvents() const {
 
 void TraceLog::Reset() {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   impl.retired_events.clear();
   impl.retired_dropped = 0;
   impl.retired_dropped_by_tid.clear();
   for (Ring* ring : impl.live) {
-    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    common::MutexLock ring_lock(ring->mutex);
     ring->next = 0;
     ring->count = 0;
     ring->dropped = 0;

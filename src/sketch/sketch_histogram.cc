@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/byte_buffer.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/obs.h"
+#include "common/thread_annotations.h"
 #include "sketch/kll_sketch.h"
 
 namespace sketchml::obs {
@@ -61,16 +62,16 @@ struct Slot {
 /// is uncontended on the record path (only the owner writes); snapshots
 /// and window advances take it briefly to gather or drain.
 struct Shard {
-  std::mutex mutex;
-  std::vector<std::vector<double>> buffers;
+  common::Mutex mutex;
+  std::vector<std::vector<double>> buffers SKETCHML_GUARDED_BY(mutex);
 };
 
 struct Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, int, std::less<>> ids;
-  std::vector<std::string> names;
-  std::vector<std::unique_ptr<Slot>> slots;
-  std::vector<Shard*> live_shards;
+  mutable common::Mutex mutex;
+  std::map<std::string, int, std::less<>> ids SKETCHML_GUARDED_BY(mutex);
+  std::vector<std::string> names SKETCHML_GUARDED_BY(mutex);
+  std::vector<std::unique_ptr<Slot>> slots SKETCHML_GUARDED_BY(mutex);
+  std::vector<Shard*> live_shards SKETCHML_GUARDED_BY(mutex);
 };
 
 Impl& GetImpl() {
@@ -81,9 +82,9 @@ Impl& GetImpl() {
 
 void RetireShard(Shard* shard) {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   {
-    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    common::MutexLock shard_lock(shard->mutex);
     for (size_t id = 0; id < shard->buffers.size(); ++id) {
       auto& buf = shard->buffers[id];
       auto& retired = impl.slots[id]->retired_values;
@@ -108,7 +109,7 @@ Shard* ThisShard() {
     // NOLINTNEXTLINE(sketchml-naked-new): owned by the TLS retire cycle.
     auto* shard = new Shard;
     Impl& impl = GetImpl();
-    std::lock_guard<std::mutex> lock(impl.mutex);
+    common::MutexLock lock(impl.mutex);
     impl.live_shards.push_back(shard);
     tls.shard = shard;
   }
@@ -118,7 +119,8 @@ Shard* ThisShard() {
 /// Canonical sketch of everything recorded into `id` since the last
 /// window advance. Caller holds the registry mutex. With `drain`, the
 /// gathered sources are cleared (the tail becomes the retired window).
-KllSketch BuildTailLocked(Impl& impl, int id, bool drain) {
+KllSketch BuildTailLocked(Impl& impl, int id, bool drain)
+    SKETCHML_REQUIRES(impl.mutex) {
   Slot& slot = *impl.slots[id];
   std::vector<std::pair<double, uint64_t>> items = slot.spill.RetainedItems();
   // The spill sketch's exact extremes may not survive as retained items
@@ -129,7 +131,7 @@ KllSketch BuildTailLocked(Impl& impl, int id, bool drain) {
   const double spill_max = spill_nonempty ? slot.spill.Max() : 0.0;
   for (double v : slot.retired_values) items.emplace_back(v, 1);
   for (Shard* shard : impl.live_shards) {
-    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    common::MutexLock shard_lock(shard->mutex);
     if (shard->buffers.size() > static_cast<size_t>(id)) {
       for (double v : shard->buffers[id]) items.emplace_back(v, 1);
       if (drain) shard->buffers[id].clear();
@@ -182,7 +184,7 @@ SketchHistogramRegistry& SketchHistogramRegistry::Global() {
 
 SketchHistogram SketchHistogramRegistry::Get(std::string_view name) {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   const auto it = impl.ids.find(name);
   if (it != impl.ids.end()) return SketchHistogram(it->second);
   if (static_cast<int>(impl.names.size()) >= kMaxSketchHistograms) {
@@ -207,7 +209,7 @@ void SketchHistogram::Record(double value) const {
   Shard* shard = ThisShard();
   bool spill = false;
   {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    common::MutexLock lock(shard->mutex);
     if (shard->buffers.size() <= static_cast<size_t>(id_)) {
       shard->buffers.resize(id_ + 1);
     }
@@ -218,8 +220,8 @@ void SketchHistogram::Record(double value) const {
   if (spill) {
     // Re-acquire in registry→shard order (never shard→registry).
     Impl& impl = GetImpl();
-    std::lock_guard<std::mutex> lock(impl.mutex);
-    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    common::MutexLock lock(impl.mutex);
+    common::MutexLock shard_lock(shard->mutex);
     auto& buf = shard->buffers[id_];
     if (buf.size() < kSpillThreshold) return;  // Raced with a drain.
     KllSketch& dst = impl.slots[id_]->spill;
@@ -230,7 +232,7 @@ void SketchHistogram::Record(double value) const {
 
 void SketchHistogramRegistry::AdvanceWindows() {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   for (int id = 0; id < static_cast<int>(impl.slots.size()); ++id) {
     Slot& slot = *impl.slots[id];
     KllSketch window = BuildTailLocked(impl, id, /*drain=*/true);
@@ -245,7 +247,7 @@ void SketchHistogramRegistry::AdvanceWindows() {
 std::vector<SketchHistogramSummary> SketchHistogramRegistry::Summaries()
     const {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   const double eps = KllSketch::NormalizedRankError(kSketchK);
   std::vector<SketchHistogramSummary> out;
   for (int id = 0; id < static_cast<int>(impl.slots.size()); ++id) {
@@ -283,7 +285,7 @@ std::vector<uint8_t> SketchHistogramRegistry::SerializeTail(
     const SketchHistogram& h) const {
   if (h.id_ < 0) return {};
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   const KllSketch tail = BuildTailLocked(impl, h.id_, /*drain=*/false);
   if (tail.Count() == 0) return {};
   common::ByteWriter writer(tail.SerializedSize());
@@ -295,7 +297,7 @@ std::vector<uint8_t> SketchHistogramRegistry::DrainTail(
     const SketchHistogram& h) {
   if (h.id_ < 0) return {};
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   const KllSketch tail = BuildTailLocked(impl, h.id_, /*drain=*/true);
   if (tail.Count() == 0) return {};
   common::ByteWriter writer(tail.SerializedSize());
@@ -313,14 +315,14 @@ common::Status SketchHistogramRegistry::MergeSerialized(
   SKETCHML_RETURN_IF_ERROR(
       KllSketch::Deserialize(&reader, &remote, kCanonicalSeed));
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   impl.slots[h.id_]->spill.Merge(remote);
   return common::Status::Ok();
 }
 
 void SketchHistogramRegistry::Reset() {
   Impl& impl = GetImpl();
-  std::lock_guard<std::mutex> lock(impl.mutex);
+  common::MutexLock lock(impl.mutex);
   for (auto& slot : impl.slots) {
     slot->spill = MakeCanonicalSketch();
     slot->retired_values.clear();
@@ -328,7 +330,7 @@ void SketchHistogramRegistry::Reset() {
     slot->lifetime = MakeCanonicalSketch();
   }
   for (Shard* shard : impl.live_shards) {
-    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    common::MutexLock shard_lock(shard->mutex);
     for (auto& buf : shard->buffers) buf.clear();
   }
 }

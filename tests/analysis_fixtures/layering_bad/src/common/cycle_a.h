@@ -1,0 +1,7 @@
+#ifndef DEMO_CYCLE_A_H_
+#define DEMO_CYCLE_A_H_
+
+// Half of an include cycle the layering pass must report exactly once.
+#include "common/cycle_b.h"
+
+#endif  // DEMO_CYCLE_A_H_

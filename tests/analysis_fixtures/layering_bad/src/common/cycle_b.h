@@ -1,0 +1,7 @@
+#ifndef DEMO_CYCLE_B_H_
+#define DEMO_CYCLE_B_H_
+
+// Other half of the include cycle.
+#include "common/cycle_a.h"
+
+#endif  // DEMO_CYCLE_B_H_

@@ -1,0 +1,11 @@
+// Layering fixture: the sketch layer may only include sketch + common,
+// so the core/ include below must fire exactly one layering finding.
+#include "core/engine.h"
+
+#include "common/cycle_a.h"
+
+namespace demo {
+
+int UsesCore() { return 1; }
+
+}  // namespace demo

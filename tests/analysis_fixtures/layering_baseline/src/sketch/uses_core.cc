@@ -1,0 +1,10 @@
+// Same layering violation as layering_bad/, but this fixture tree ships
+// a tools/analysis_baseline.txt entry covering it, so the default
+// baseline discovery must suppress the finding.
+#include "core/engine.h"
+
+namespace demo {
+
+int UsesCore() { return 1; }
+
+}  // namespace demo

@@ -1,0 +1,9 @@
+// Clean layering fixture: sketch including common is allowed, and the
+// whole tree must come back clean under every pass.
+#include "common/util.h"
+
+namespace demo {
+
+int UsesCommon() { return Twice(21); }
+
+}  // namespace demo

@@ -1,0 +1,16 @@
+// Name-registry fixture: the consumer asks for "trainer/steps" but the
+// registration site spells it "trainer/step" — the pass must flag the
+// orphan and suggest the near-miss.
+
+namespace demo {
+
+void RegisterMetrics() {
+  auto counter = MetricsRegistry::GetCounter("trainer/step");
+  counter.Increment();
+}
+
+long ReadMetrics(const Snapshot& snapshot) {
+  return CounterValueOf(snapshot, "trainer/steps");
+}
+
+}  // namespace demo

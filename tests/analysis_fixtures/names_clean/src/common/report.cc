@@ -1,0 +1,15 @@
+// Clean name-registry fixture: registration, consumption, and docs all
+// agree on "trainer/step".
+
+namespace demo {
+
+void RegisterMetrics() {
+  auto counter = MetricsRegistry::GetCounter("trainer/step");
+  counter.Increment();
+}
+
+long ReadMetrics(const Snapshot& snapshot) {
+  return CounterValueOf(snapshot, "trainer/step");
+}
+
+}  // namespace demo

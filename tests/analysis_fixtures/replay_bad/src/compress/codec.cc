@@ -1,0 +1,18 @@
+// Replay-purity fixture: EncodeImpl (a built-in replay-critical entry)
+// reaches a helper that reads the wall clock, so the pass must report
+// the witness path EncodeImpl -> TimedHelper.
+#include <chrono>
+
+namespace demo {
+
+long TimedHelper() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+int EncodeImpl(const double* grad, int n) {
+  const long stamp = TimedHelper();
+  return n + static_cast<int>(stamp % 2);
+}
+
+}  // namespace demo

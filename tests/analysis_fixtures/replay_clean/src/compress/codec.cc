@@ -1,0 +1,17 @@
+// Clean replay-purity fixture: the default entry point only reaches a
+// pure helper. WallClockDebugOnly is tainted but unreachable — it must
+// not fire unless named explicitly via --replay-entry=.
+#include <chrono>
+
+namespace demo {
+
+int PureHelper(int n) { return n * 2; }
+
+int EncodeImpl(const double* grad, int n) { return PureHelper(n); }
+
+long WallClockDebugOnly() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace demo

@@ -1,0 +1,10 @@
+#ifndef DEMO_UTIL_H_
+#define DEMO_UTIL_H_
+
+namespace demo {
+
+inline int Twice(int n) { return n * 2; }
+
+}  // namespace demo
+
+#endif  // DEMO_UTIL_H_

@@ -1,0 +1,21 @@
+// Wire-symmetry fixture: ShardState::Serialize writes [u32,u64] but
+// Deserialize reads only [u32] (field-sequence mismatch), and
+// ClockState::SaveState has no RestoreState at all.
+
+namespace demo {
+
+void ShardState::Serialize(ByteWriter* writer) const {
+  writer->WriteU32(version_);
+  writer->WriteU64(count_);
+}
+
+bool ShardState::Deserialize(ByteReader* reader) {
+  version_ = reader->ReadU32();
+  return true;
+}
+
+void ClockState::SaveState(ByteWriter* writer) const {
+  writer->WriteU64(ticks_);
+}
+
+}  // namespace demo

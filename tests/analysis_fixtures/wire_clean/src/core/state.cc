@@ -1,0 +1,17 @@
+// Clean wire-symmetry fixture: both sides issue the same [u32,u64]
+// field sequence.
+
+namespace demo {
+
+void ShardState::Serialize(ByteWriter* writer) const {
+  writer->WriteU32(version_);
+  writer->WriteU64(count_);
+}
+
+bool ShardState::Deserialize(ByteReader* reader) {
+  version_ = reader->ReadU32();
+  count_ = reader->ReadU64();
+  return true;
+}
+
+}  // namespace demo

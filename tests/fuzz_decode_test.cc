@@ -43,7 +43,8 @@ TEST_P(CodecFuzzTest, SurvivesTruncationAtEveryPrefixLength) {
     truncated.bytes.assign(msg.bytes.begin(), msg.bytes.begin() + len);
     // The fuzz contract is only "no crash": a truncated message may fail
     // with any code, and a prefix that happens to parse is acceptable.
-    (void)codec->Decode(truncated, &decoded);  // NOLINT(sketchml-discarded-status)
+    // NOLINTNEXTLINE(sketchml-discarded-status): fuzz checks survival only.
+    (void)codec->Decode(truncated, &decoded);
   }
 }
 
@@ -83,7 +84,8 @@ TEST_P(CodecFuzzTest, SurvivesRandomGarbage) {
       b = static_cast<uint8_t>(rng.NextBounded(256));
     }
     // As above: garbage bytes must be survived, not classified.
-    (void)codec->Decode(garbage, &decoded);  // NOLINT(sketchml-discarded-status)
+    // NOLINTNEXTLINE(sketchml-discarded-status): fuzz checks survival only.
+    (void)codec->Decode(garbage, &decoded);
   }
 }
 

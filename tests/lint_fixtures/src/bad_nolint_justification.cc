@@ -1,0 +1,20 @@
+// Golden fixture: sketchml-nolint-justification violations.
+// Expected: 4 violations (lines 10, 11, 13, 15). The bare markers on 10
+// and 11 genuinely suppress their line's wallclock violation — which is
+// exactly the unexplained escape the audit exists to catch.
+#include <chrono>
+
+namespace sketchml::fixture {
+
+double Bad() {
+  const auto a = std::chrono::steady_clock::now();  // NOLINT
+  // NOLINTNEXTLINE
+  const auto b = std::chrono::steady_clock::now();
+  const int unused = 0;  // NOLINT(): empty list, a reason alone is not enough
+  const auto c = a - b;
+  // NOLINT(sketchml-wallclock) named rule but no justification
+  (void)unused;
+  return std::chrono::duration<double>(c).count();
+}
+
+}  // namespace sketchml::fixture

@@ -1,0 +1,18 @@
+// Golden fixture: sketchml-nolint-justification clean file.
+// Expected: 0 violations. Every suppression names its rule(s) and
+// carries a ': <why>' justification; prose that merely mentions a
+// marker mid-comment is not a suppression and is not audited.
+#include <chrono>
+
+namespace sketchml::fixture {
+
+// Dropping a NOLINT into running prose like this must not be audited.
+double Good() {
+  // NOLINTNEXTLINE(sketchml-wallclock): fixture-exercised escape hatch.
+  const auto now = std::chrono::steady_clock::now();
+  // NOLINTNEXTLINE(sketchml-wallclock, sketchml-banned-random): multi-rule.
+  const auto later = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(later - now).count();
+}
+
+}  // namespace sketchml::fixture

@@ -8,9 +8,10 @@ namespace sketchml::fixture {
 
 // A comment about std::chrono::system_clock does not trip the rule.
 double JustifiedClockRead() {
-  // NOLINTNEXTLINE(sketchml-wallclock)
+  // NOLINTNEXTLINE(sketchml-wallclock): fixture-exercised escape hatch.
   const auto now = std::chrono::system_clock::now();
-  const auto mono = std::chrono::steady_clock::now();  // NOLINT(sketchml-wallclock)
+  // NOLINTNEXTLINE(sketchml-wallclock): fixture-exercised escape hatch.
+  const auto mono = std::chrono::steady_clock::now();
   const std::string doc = "steady_clock inside a string literal";
   (void)doc;
   (void)mono;

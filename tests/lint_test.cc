@@ -2,8 +2,8 @@
 //
 // Each rule has a pair of fixtures under tests/lint_fixtures/src/: a
 // `bad_<rule>.cc` that must produce exactly the expected diagnostics and
-// a `good_<rule>.cc` that must lint clean (including NOLINT /
-// NOLINTNEXTLINE escape hatches and near-miss identifiers). The tests
+// a `good_<rule>.cc` that must lint clean (including justified
+// suppression escape hatches and near-miss identifiers). The tests
 // shell out to the real binary so exit codes and the file:line output
 // format are pinned, not just the rule logic.
 //
@@ -136,6 +136,15 @@ TEST(LintTest, TraceCategory) {
   ExpectClean("good_trace_category.cc");
 }
 
+TEST(LintTest, NolintJustification) {
+  ExpectViolations("bad_nolint_justification.cc",
+                   {{10, "sketchml-nolint-justification"},
+                    {11, "sketchml-nolint-justification"},
+                    {13, "sketchml-nolint-justification"},
+                    {15, "sketchml-nolint-justification"}});
+  ExpectClean("good_nolint_justification.cc");
+}
+
 // --rule= restricts checking to one rule: the banned-random fixture has
 // no wallclock violations, so filtering by sketchml-wallclock is clean.
 TEST(LintTest, RuleFilter) {
@@ -151,7 +160,7 @@ TEST(LintTest, ListRules) {
        {"sketchml-discarded-status", "sketchml-banned-random",
         "sketchml-wallclock", "sketchml-stdout", "sketchml-include-hygiene",
         "sketchml-naked-new", "sketchml-raw-simd",
-        "sketchml-trace-category"}) {
+        "sketchml-trace-category", "sketchml-nolint-justification"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << run.output;
   }
 }

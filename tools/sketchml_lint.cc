@@ -1,37 +1,41 @@
 // sketchml_lint — the repo's own correctness linter.
 //
-// A standalone analyzer (no libclang dependency) that tokenizes each
-// source file just enough to strip comments and string/char literals,
-// then enforces repo-specific rules that generic tooling cannot know:
+// A standalone analyzer (no libclang dependency) over the shared
+// comment/literal-stripping tokenizer in src/analysis/stripped_source.h
+// (the same model the whole-project semantic analyzer sketchml_analyze
+// builds on, so the two tools cannot drift). It enforces per-file,
+// per-line rules that generic tooling cannot know:
 //
-//   sketchml-discarded-status   no bare-statement or (void)-cast calls to
-//                               known Status/Result-returning APIs
-//   sketchml-banned-random      no std::rand/srand/random_device/time()
-//                               seeding outside common/random
-//   sketchml-wallclock          no raw clock reads outside the timing
-//                               infrastructure (stopwatch/trace)
-//   sketchml-stdout             no std::cout / printf / puts in src/
-//                               libraries (logging or snprintf only)
-//   sketchml-include-hygiene    a .cc includes its own header first; no
-//                               <bits/...> internal headers anywhere
-//   sketchml-naked-new          no naked new/delete in src/ (containers
-//                               and smart pointers own memory)
-//   sketchml-raw-simd           vector intrinsics only inside the
-//                               src/common/simd* dispatch seam
-//   sketchml-trace-category     TraceSpan/EmitSpan categories are string
-//                               literals from the documented allowlist
+//   sketchml-discarded-status      no bare-statement or (void)-cast calls
+//                                  to known Status/Result-returning APIs
+//   sketchml-banned-random         no std::rand/srand/random_device/time()
+//                                  seeding outside common/random
+//   sketchml-wallclock             no raw clock reads outside the timing
+//                                  infrastructure (stopwatch/trace)
+//   sketchml-stdout                no std::cout / printf / puts in src/
+//                                  libraries (logging or snprintf only)
+//   sketchml-include-hygiene       a .cc includes its own header first; no
+//                                  <bits/...> internal headers anywhere
+//   sketchml-naked-new             no naked new/delete in src/ (containers
+//                                  and smart pointers own memory)
+//   sketchml-raw-simd              vector intrinsics only inside the
+//                                  src/common/simd* dispatch seam
+//   sketchml-trace-category        TraceSpan/EmitSpan categories are
+//                                  string literals from the allowlist
+//   sketchml-nolint-justification  every suppression marker names the
+//                                  rule(s) it silences and says why
 //
-// Escape hatch: `// NOLINT(sketchml-<rule>)` on the offending line or
-// `// NOLINTNEXTLINE(sketchml-<rule>)` on the line above. A bare
-// `// NOLINT` without a rule list suppresses every rule on that line.
-// Suppressions should carry a justification comment; the rule catalog
+// Escape hatch: `// NOLINT(sketchml-<rule>): <why>` on the offending line
+// or `// NOLINTNEXTLINE(sketchml-<rule>): <why>` on the line above. The
+// justification audit itself cannot be suppressed; the rule catalog
 // lives in docs/static_analysis.md.
 //
 // Usage:
 //   sketchml_lint [--rule=<id>] [--list-rules] [--quiet] <paths...>
 // Directories are scanned recursively for .h/.cc files (paths containing
-// "lint_fixtures" are skipped unless named explicitly, so the golden
-// violation fixtures in tests/ never fail the tree-wide gate).
+// "lint_fixtures" or "analysis_fixtures" are skipped unless named
+// explicitly, so the golden violation fixtures in tests/ never fail the
+// tree-wide gate).
 // Exit code: 0 clean, 1 violations found, 2 usage/IO error.
 
 #include <algorithm>
@@ -46,6 +50,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "analysis/stripped_source.h"
 
 namespace {
 
@@ -97,6 +103,10 @@ const std::vector<RuleInfo>& RuleCatalog() {
        "(a computed string dangles) and both --trace-categories and the "
        "critical-path analyzer compare exact names, so a novel category "
        "silently vanishes from every report"},
+      {"sketchml-nolint-justification",
+       "every suppression marker must name the rule(s) it silences and "
+       "carry a ': <why>' justification; a bare marker suppresses every "
+       "rule with no audit trail (this rule itself cannot be suppressed)"},
   };
   return rules;
 }
@@ -108,248 +118,22 @@ bool IsRuleId(const std::string& id) {
 }
 
 // ---------------------------------------------------------------------------
-// Source model: one file split into lines, with comments and string/char
-// literal *contents* blanked out (replaced by spaces) so rules never match
-// inside them, plus the raw comment text per line for NOLINT handling.
+// Source model: the shared tokenizer from src/analysis. StrippedSource
+// blanks comments and string/char literal *contents* (preserving line
+// structure and column positions) so rules never match inside them, and
+// keeps the raw comment text per line for NOLINT handling.
 // ---------------------------------------------------------------------------
 
-struct SourceFile {
-  std::string path;       // As reported in diagnostics.
-  std::string rel;        // Repo-relative with forward slashes, for scoping.
-  std::vector<std::string> code;      // Line with comments/strings blanked.
-  std::vector<std::string> comments;  // Comment text on each line ("" if none).
-  std::vector<std::string> raw;       // Untouched source lines (for matching
-                                      // quoted #include paths).
-};
-
-// Blanks comments and literal contents, preserving line structure and
-// column positions. Tracks enough state for //, /* */, "...", '...', and
-// raw strings R"delim(...)delim".
-SourceFile StripToCode(const std::string& path, const std::string& rel,
-                       const std::string& text) {
-  SourceFile out;
-  out.path = path;
-  out.rel = rel;
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
-                     kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // For kRawString: the )delim" terminator.
-  std::string code_line, comment_line;
-
-  const auto flush_line = [&] {
-    out.code.push_back(code_line);
-    out.comments.push_back(comment_line);
-    code_line.clear();
-    comment_line.clear();
-  };
-
-  for (size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      // Unterminated ordinary literals cannot span lines; reset defensively.
-      if (state == State::kString || state == State::kChar) {
-        state = State::kCode;
-      }
-      flush_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          comment_line += "//";
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          comment_line += "/*";
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          // Raw string? Look back for R / u8R / LR / UR / uR.
-          const bool raw =
-              !code_line.empty() && code_line.back() == 'R' &&
-              (code_line.size() < 2 ||
-               !(std::isalnum(static_cast<unsigned char>(
-                     code_line[code_line.size() - 2])) ||
-                 code_line[code_line.size() - 2] == '_') ||
-               code_line[code_line.size() - 2] == '8' ||
-               code_line[code_line.size() - 2] == 'u' ||
-               code_line[code_line.size() - 2] == 'U' ||
-               code_line[code_line.size() - 2] == 'L');
-          if (raw) {
-            // Collect the delimiter up to '('.
-            raw_delim = ")";
-            size_t j = i + 1;
-            while (j < text.size() && text[j] != '(' && text[j] != '\n') {
-              raw_delim += text[j];
-              ++j;
-            }
-            raw_delim += '"';
-            state = State::kRawString;
-            code_line += '"';
-          } else {
-            state = State::kString;
-            code_line += '"';
-          }
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line += '\'';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case State::kBlockComment:
-        code_line += ' ';
-        comment_line += c;
-        if (c == '*' && next == '/') {
-          comment_line += '/';
-          code_line += ' ';
-          ++i;
-          state = State::kCode;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          code_line += '"';
-          state = State::kCode;
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-        } else if (c == '\'') {
-          code_line += '\'';
-          state = State::kCode;
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kRawString:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (size_t k = 0; k < raw_delim.size(); ++k) {
-            if (text[i + k] == '\n') {
-              flush_line();
-            } else {
-              code_line += ' ';
-            }
-          }
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else {
-          code_line += ' ';
-        }
-        break;
-    }
-  }
-  if (!code_line.empty() || !comment_line.empty()) flush_line();
-  // Raw lines, aligned with code/comments (padded if the file ends in '\n').
-  std::string raw_line;
-  for (const char c : text) {
-    if (c == '\n') {
-      out.raw.push_back(std::move(raw_line));
-      raw_line.clear();
-    } else {
-      raw_line += c;
-    }
-  }
-  if (!raw_line.empty()) out.raw.push_back(std::move(raw_line));
-  out.raw.resize(out.code.size());
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Matching helpers (token-boundary aware).
-// ---------------------------------------------------------------------------
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// True when `needle` occurs in `line` at a token boundary (no identifier
-// character on either side).
-bool ContainsToken(std::string_view line, std::string_view needle) {
-  size_t pos = 0;
-  while ((pos = line.find(needle, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
-    const size_t end = pos + needle.size();
-    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
-    if (left_ok && right_ok) return true;
-    pos += 1;
-  }
-  return false;
-}
-
-// True when `prefix` begins an identifier in `line` (no identifier
-// character to its left); the token may continue to the right, matching
-// whole intrinsic families like _mm256_* or __m128/__m128d/__m128i.
-bool ContainsTokenPrefix(std::string_view line, std::string_view prefix) {
-  size_t pos = 0;
-  while ((pos = line.find(prefix, pos)) != std::string_view::npos) {
-    if (pos == 0 || !IsIdentChar(line[pos - 1])) return true;
-    pos += 1;
-  }
-  return false;
-}
-
-// True when `needle` occurs at a token boundary and is immediately
-// followed (modulo spaces) by an opening parenthesis — i.e. a call.
-bool ContainsCall(std::string_view line, std::string_view needle) {
-  size_t pos = 0;
-  while ((pos = line.find(needle, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
-    size_t end = pos + needle.size();
-    while (end < line.size() && line[end] == ' ') ++end;
-    if (left_ok && end < line.size() && line[end] == '(') return true;
-    pos += 1;
-  }
-  return false;
-}
+using SourceFile = sketchml::analysis::StrippedSource;
+using sketchml::analysis::ContainsCall;
+using sketchml::analysis::ContainsToken;
+using sketchml::analysis::ContainsTokenPrefix;
+using sketchml::analysis::IsIdentChar;
+using sketchml::analysis::StripToCode;
+using sketchml::analysis::Suppressed;
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
-}
-
-// NOLINT lookup: rule suppressed on `line_idx` if that line's comment (or
-// the previous line's via NOLINTNEXTLINE) names it — or names no rule.
-bool Suppressed(const SourceFile& file, size_t line_idx,
-                const std::string& rule) {
-  const auto mentions = [&](const std::string& comment,
-                            std::string_view marker) {
-    const size_t pos = comment.find(marker);
-    if (pos == std::string::npos) return false;
-    const size_t after = pos + marker.size();
-    if (after >= comment.size() || comment[after] != '(') return true;  // Bare.
-    const size_t close = comment.find(')', after);
-    if (close == std::string::npos) return true;
-    const std::string list = comment.substr(after + 1, close - after - 1);
-    return list.find(rule) != std::string::npos;
-  };
-  const std::string& own = file.comments[line_idx];
-  // NOLINTNEXTLINE also contains "NOLINT"; check the longer marker first
-  // and only accept a plain NOLINT that is not a NOLINTNEXTLINE.
-  if (own.find("NOLINT") != std::string::npos &&
-      own.find("NOLINTNEXTLINE") == std::string::npos &&
-      mentions(own, "NOLINT")) {
-    return true;
-  }
-  if (line_idx > 0 && mentions(file.comments[line_idx - 1], "NOLINTNEXTLINE")) {
-    return true;
-  }
-  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -785,6 +569,64 @@ void CheckDiscardedStatus(const SourceFile& file, std::vector<Violation>* out) {
   }
 }
 
+// sketchml-nolint-justification: every comment-leading suppression marker
+// must name the rule(s) it silences and carry a ': <why>' justification,
+// e.g. `// NOLINT(sketchml-naked-new): leaked singleton, safe at exit.`
+// Suppressed() treats a comment-leading marker with no rule list as
+// suppress-everything, so a bare marker is an unbounded, unexplained
+// escape — including accidental ones, where a prose comment merely
+// *starts* with the word NOLINTNEXTLINE and silently disables every rule
+// on the next line. Violations are appended directly rather than through
+// Report() so a suppression can never silence its own audit. Markers
+// mentioned mid-comment (docs, rule rationales) are prose, not
+// suppressions, and are not audited.
+void CheckNolintJustification(const SourceFile& file,
+                              std::vector<Violation>* out) {
+  constexpr const char* kRule = "sketchml-nolint-justification";
+  for (size_t i = 0; i < file.comments.size(); ++i) {
+    const std::string& comment = file.comments[i];
+    const size_t start = comment.find_first_not_of("/* \t");
+    if (start == std::string::npos) continue;
+    const std::string_view body = std::string_view(comment).substr(start);
+    size_t marker_len = 0;
+    if (StartsWith(body, "NOLINTNEXTLINE")) {
+      marker_len = 14;
+    } else if (StartsWith(body, "NOLINT")) {
+      marker_len = 6;
+    } else {
+      continue;
+    }
+    const std::string marker(body.substr(0, marker_len));
+    const std::string_view rest = body.substr(marker_len);
+    if (rest.empty() || rest[0] != '(') {
+      out->push_back({file.path, i + 1, kRule,
+                      "bare " + marker +
+                          " suppresses every rule with no audit trail; use " +
+                          marker + "(<rule>): <why>"});
+      continue;
+    }
+    const size_t close = rest.find(')');
+    if (close == std::string_view::npos ||
+        rest.substr(1, close - 1).find_first_not_of(" \t") ==
+            std::string_view::npos) {
+      out->push_back({file.path, i + 1, kRule,
+                      marker + " has an empty or unterminated rule list; "
+                              "name the rule(s) it silences"});
+      continue;
+    }
+    const std::string_view after = rest.substr(close + 1);
+    const size_t colon = after.find_first_not_of(" \t");
+    const bool justified =
+        colon != std::string_view::npos && after[colon] == ':' &&
+        after.find_first_not_of(" \t", colon + 1) != std::string_view::npos;
+    if (!justified) {
+      out->push_back({file.path, i + 1, kRule,
+                      marker + "(" + std::string(rest.substr(1, close - 1)) +
+                          ") lacks a justification; append \": <why>\""});
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
@@ -799,6 +641,7 @@ const std::map<std::string, RuleFn>& Rules() {
       {"sketchml-naked-new", CheckNakedNew},
       {"sketchml-raw-simd", CheckRawSimd},
       {"sketchml-trace-category", CheckTraceCategory},
+      {"sketchml-nolint-justification", CheckNolintJustification},
   };
   return rules;
 }
@@ -808,15 +651,9 @@ bool IsSourceFile(const fs::path& p) {
   return ext == ".cc" || ext == ".h";
 }
 
-// Repo-relative path with forward slashes: the longest suffix starting at
-// a known top-level directory, else the whole path.
+// Repo-relative path with forward slashes, for rule scoping.
 std::string RepoRelative(const fs::path& p) {
-  const std::string s = p.generic_string();
-  for (const char* root : {"src/", "tests/", "tools/", "bench/", "examples/"}) {
-    const size_t pos = s.rfind(root);
-    if (pos != std::string::npos) return s.substr(pos);
-  }
-  return s;
+  return sketchml::analysis::RepoRelative(p.generic_string());
 }
 
 int LintFile(const fs::path& path, const std::string& only_rule,
@@ -886,8 +723,9 @@ int main(int argc, char** argv) {
            it != fs::recursive_directory_iterator(); ++it) {
         if (!it->is_regular_file(ec) || !IsSourceFile(it->path())) continue;
         // Golden violation fixtures only lint when named explicitly.
-        if (it->path().generic_string().find("lint_fixtures") !=
-            std::string::npos) {
+        const std::string generic = it->path().generic_string();
+        if (generic.find("lint_fixtures") != std::string::npos ||
+            generic.find("analysis_fixtures") != std::string::npos) {
           continue;
         }
         files.push_back(it->path());
